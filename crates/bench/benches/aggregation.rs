@@ -1,0 +1,77 @@
+//! Wire-protocol microbenchmarks: packet encode/decode throughput for
+//! gather vs linearized aggregation — the host-side costs behind E10.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use madeleine::ids::{FlowId, TrafficClass};
+use madeleine::proto::{decode_packet, encode_packet, ChunkHeader, WireChunk};
+use simnet::{NicId, NodeId, WirePacket};
+use std::hint::black_box;
+
+fn chunks(n: usize, size: usize) -> Vec<WireChunk> {
+    (0..n)
+        .map(|i| WireChunk {
+            header: ChunkHeader {
+                flow: FlowId(i as u32),
+                msg_seq: 0,
+                frag_index: 0,
+                frag_count: 1,
+                express: false,
+                class: TrafficClass::DEFAULT,
+                frag_len: size as u32,
+                offset: 0,
+                chunk_len: size as u32,
+                submit_ns: 0,
+            },
+            data: Bytes::from(vec![i as u8; size]),
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_packet");
+    for &(n, size) in &[(4usize, 64usize), (16, 64), (16, 1024)] {
+        let ch = chunks(n, size);
+        let bytes = (n * size) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::new("gather", format!("{n}x{size}")),
+            &ch,
+            |b, ch| b.iter(|| black_box(encode_packet(ch, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linearize", format!("{n}x{size}")),
+            &ch,
+            |b, ch| b.iter(|| black_box(encode_packet(ch, true))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_packet");
+    for &(n, size) in &[(16usize, 64usize), (16, 1024)] {
+        let segs = encode_packet(&chunks(n, size), false);
+        let pkt = WirePacket {
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_nic: NicId(0),
+            dst_nic: NicId(1),
+            vchan: 0,
+            kind: 1,
+            cookie: 0,
+            seq: 0,
+            payload: segs,
+        };
+        group.throughput(Throughput::Bytes((n * size) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("chunks", format!("{n}x{size}")),
+            &pkt,
+            |b, pkt| b.iter(|| black_box(decode_packet(pkt).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Substrate microbenchmark: the simulator's event queue and a full
+//! two-node message exchange, in wall-clock terms (how fast the DES runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use madeleine::harness::{Cluster, ClusterSpec};
+use madeleine::ids::TrafficClass;
+use madeleine::message::MessageBuilder;
+use simnet::event::{EventKind, EventQueue};
+use simnet::{NicId, NodeId, SimTime};
+use std::hint::black_box;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(
+                        SimTime::from_nanos(((i * 2654435761) % 1_000_000) as u64),
+                        EventKind::TxEngineDone { nic: NicId(0) },
+                    );
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e.at);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_exchange(c: &mut Criterion) {
+    c.bench_function("sim_100_message_exchange", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::build(&ClusterSpec::mx_pair(), vec![]);
+            let h = cluster.handle(0).clone();
+            let (src, dst) = (cluster.nodes[0], cluster.nodes[1]);
+            let f = h.open_flow(dst, TrafficClass::DEFAULT);
+            cluster.sim.inject(src, |ctx| {
+                for i in 0..100u8 {
+                    h.send(
+                        ctx,
+                        f,
+                        MessageBuilder::new().pack_cheaper(&[i; 128]).build_parts(),
+                    );
+                }
+            });
+            black_box(cluster.drain());
+            let _ = NodeId(0);
+        })
+    });
+}
+
+criterion_group!(benches, bench_queue, bench_sim_exchange);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! API-layer microbenchmark: cost of packing structured messages and of
+//! the collect layer's submission path (the part of `send` that runs in
+//! the application's context and must stay cheap — §3's "immediately
+//! returns to computing").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use madeleine::collect::CollectLayer;
+use madeleine::ids::TrafficClass;
+use madeleine::message::MessageBuilder;
+use simnet::{NodeId, SimTime};
+use std::hint::black_box;
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_pack");
+    for &frags in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("fragments", frags), &frags, |b, &frags| {
+            let payload = vec![7u8; 256];
+            b.iter(|| {
+                let mut m = MessageBuilder::new().pack_express(b"header##");
+                for _ in 0..frags {
+                    m = m.pack_cheaper(&payload);
+                }
+                black_box(m.build_parts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_submit(c: &mut Criterion) {
+    c.bench_function("collect_submit", |b| {
+        let parts = MessageBuilder::new()
+            .pack_express(b"header##")
+            .pack_cheaper(&vec![7u8; 512])
+            .build_parts();
+        b.iter_with_setup(
+            || {
+                let mut col = CollectLayer::new();
+                let f = col.open_flow(NodeId(1), TrafficClass::DEFAULT);
+                (col, f)
+            },
+            |(mut col, f)| {
+                for i in 0..64u64 {
+                    black_box(col.submit(f, parts.clone(), SimTime::from_nanos(i), 1 << 30));
+                }
+                col
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_pack, bench_submit);
+criterion_main!(benches);

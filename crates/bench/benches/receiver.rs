@@ -1,0 +1,96 @@
+//! Receive-path microbenchmark: chunk ingest + reassembly + ordered
+//! delivery throughput of `madeleine::receiver::Receiver` — the per-packet
+//! work a receiving host pays for the sender's aggregation.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use madeleine::ids::{FlowId, TrafficClass};
+use madeleine::proto::ChunkHeader;
+use madeleine::receiver::Receiver;
+use simnet::{NodeId, SimTime};
+use std::hint::black_box;
+
+fn chunks(msgs: u32, frag_len: usize) -> Vec<madeleine::proto::DecodedChunk> {
+    (0..msgs)
+        .map(|seq| madeleine::proto::DecodedChunk {
+            header: ChunkHeader {
+                flow: FlowId(seq % 4),
+                msg_seq: seq / 4,
+                frag_index: 0,
+                frag_count: 1,
+                express: false,
+                class: TrafficClass::DEFAULT,
+                frag_len: frag_len as u32,
+                offset: 0,
+                chunk_len: frag_len as u32,
+                submit_ns: 0,
+            },
+            data: Bytes::from(vec![seq as u8; frag_len]),
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("receiver_ingest");
+    for &(msgs, len) in &[(512u32, 64usize), (512, 1024)] {
+        let input = chunks(msgs, len);
+        group.throughput(Throughput::Bytes(msgs as u64 * len as u64));
+        group.bench_with_input(
+            BenchmarkId::new("whole_messages", format!("{msgs}x{len}")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut r = Receiver::new();
+                    let mut delivered = 0usize;
+                    for ch in input {
+                        delivered += r.on_chunk(NodeId(0), ch, SimTime::from_nanos(1)).len();
+                    }
+                    black_box(delivered)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fragmented(c: &mut Criterion) {
+    // Large fragments arriving as out-of-order 4 KiB pieces: the interval
+    // bookkeeping path.
+    let total = 64 << 10;
+    let piece = 4 << 10;
+    let mut input = Vec::new();
+    let n = total / piece;
+    for i in 0..n {
+        // Reverse order: worst case for coalescing.
+        let off = (n - 1 - i) * piece;
+        input.push(madeleine::proto::DecodedChunk {
+            header: ChunkHeader {
+                flow: FlowId(0),
+                msg_seq: 0,
+                frag_index: 0,
+                frag_count: 1,
+                express: false,
+                class: TrafficClass::BULK,
+                frag_len: total as u32,
+                offset: off as u32,
+                chunk_len: piece as u32,
+                submit_ns: 0,
+            },
+            data: Bytes::from(vec![7u8; piece]),
+        });
+    }
+    c.bench_function("receiver_reassemble_64k_reverse", |b| {
+        b.iter(|| {
+            let mut r = Receiver::new();
+            let mut out = 0;
+            for ch in &input {
+                out += r.on_chunk(NodeId(0), ch, SimTime::from_nanos(1)).len();
+            }
+            assert_eq!(out, 1);
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench_ingest, bench_fragmented);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment runner: regenerates every table in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! experiments all          # run everything
+//! experiments e1 e7        # run selected experiments
+//! experiments --list       # list ids and titles
+//! ```
+
+use mad_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--list] <all | e1 e2 ...>");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (id, run) in experiments::all() {
+            // Cheap: construct only the metadata via running? No — list statically.
+            let _ = run;
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        experiments::all().iter().map(|(id, _)| id.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match experiments::run_by_id(&id) {
+            Some(report) => println!("{}", report.render()),
+            None => {
+                eprintln!("unknown experiment: {id}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

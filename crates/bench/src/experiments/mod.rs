@@ -1,0 +1,41 @@
+//! The numbered experiments (see `DESIGN.md` §3 for the index).
+
+pub mod e1_aggregation;
+pub mod e2_nic_idle;
+pub mod e3_nagle;
+pub mod e4_window;
+pub mod e5_budget;
+pub mod e6_classes;
+pub mod e7_multirail;
+pub mod e8_adaptive;
+pub mod e9_protocols;
+pub mod e10_gather;
+pub mod e11_ablation;
+
+use crate::Report;
+
+/// An experiment runner.
+pub type Runner = fn() -> Report;
+
+/// All experiments in order, as (id, runner) pairs.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("e1", e1_aggregation::run as Runner),
+        ("e2", e2_nic_idle::run),
+        ("e3", e3_nagle::run),
+        ("e4", e4_window::run),
+        ("e5", e5_budget::run),
+        ("e6", e6_classes::run),
+        ("e7", e7_multirail::run),
+        ("e8", e8_adaptive::run),
+        ("e9", e9_protocols::run),
+        ("e10", e10_gather::run),
+        ("e11", e11_ablation::run),
+    ]
+}
+
+/// Run one experiment by id (case-insensitive), if it exists.
+pub fn run_by_id(id: &str) -> Option<Report> {
+    let id = id.to_ascii_lowercase();
+    all().into_iter().find(|(k, _)| *k == id).map(|(_, f)| f())
+}

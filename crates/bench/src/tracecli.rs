@@ -1,0 +1,203 @@
+//! Implementation of the `trace-tool` binary: inspect, generate and replay
+//! workload traces from the command line.
+
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madware::apps::{FlowSpec, TrafficApp};
+use madware::trace::{Recorder, ReplayApp, Trace};
+use madware::workload::{Arrival, SizeDist};
+use simnet::{NodeId, SimDuration, Technology};
+
+use crate::fmt_f;
+
+/// Parse a technology name.
+pub fn parse_tech(s: &str) -> Option<Technology> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "mx" | "myrinet" => Technology::MyrinetMx,
+        "elan" | "quadrics" => Technology::QuadricsElan,
+        "ib" | "infiniband" => Technology::InfiniBand,
+        "tcp" | "gige" => Technology::TcpEthernet,
+        "shm" => Technology::SharedMem,
+        _ => return None,
+    })
+}
+
+/// Render a human summary of a trace.
+pub fn info(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "flows: {}   messages: {}   payload: {} bytes\n",
+        trace.flows.len(),
+        trace.len(),
+        trace.total_bytes()
+    ));
+    if let (Some(first), Some(last)) = (trace.msgs.first(), trace.msgs.last()) {
+        out.push_str(&format!(
+            "span: {} us of virtual time\n",
+            fmt_f((last.at_ns - first.at_ns) as f64 / 1e3)
+        ));
+    }
+    for (i, (dst, class)) in trace.flows.iter().enumerate() {
+        let msgs = trace.msgs.iter().filter(|m| m.flow_idx == i).count();
+        let bytes: u64 = trace
+            .msgs
+            .iter()
+            .filter(|m| m.flow_idx == i)
+            .flat_map(|m| m.frags.iter())
+            .map(|&(n, _)| n as u64)
+            .sum();
+        out.push_str(&format!(
+            "  flow {i}: -> node {} class {} ({} msgs, {} bytes)\n",
+            dst.0,
+            class.label(),
+            msgs,
+            bytes
+        ));
+    }
+    out
+}
+
+/// Replay a trace on a fresh two-node cluster; returns a result summary.
+pub fn replay(trace: Trace, legacy: bool, tech: Technology) -> String {
+    let engine = if legacy { EngineKind::legacy() } else { EngineKind::optimizing() };
+    let expected = trace.len() as u64;
+    let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
+    let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(trace))), None]);
+    let end = c.drain();
+    let tx = c.handle(0).metrics();
+    let rx = c.handle(1).metrics();
+    format!(
+        "engine: {}   rail: {}\n\
+         delivered {}/{} messages in {} (virtual)\n\
+         {} wire packets, {} chunks/pkt, mean latency {} us\n",
+        if legacy { "legacy" } else { "optimizing" },
+        tech.label(),
+        rx.delivered_msgs,
+        expected,
+        end,
+        tx.packets_sent,
+        fmt_f(tx.aggregation_ratio()),
+        fmt_f(rx.latency.summary().mean()),
+    )
+}
+
+/// Run the same trace on both engines and render a comparison table.
+pub fn compare(trace: Trace, tech: Technology) -> String {
+    let run = |legacy: bool| {
+        let engine = if legacy { EngineKind::legacy() } else { EngineKind::optimizing() };
+        let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
+        let mut c = Cluster::build(
+            &spec,
+            vec![Some(Box::new(ReplayApp::new(trace.clone()))), None],
+        );
+        let end = c.drain();
+        let tx = c.handle(0).metrics();
+        let rx = c.handle(1).metrics();
+        (end, tx, rx)
+    };
+    let (opt_end, opt_tx, opt_rx) = run(false);
+    let (leg_end, leg_tx, leg_rx) = run(true);
+    let mut t = crate::Table::new(
+        format!("same trace on both engines ({} rail)", tech.label()),
+        &["metric", "optimizing", "legacy"],
+    );
+    t.row(vec![
+        "makespan (us)".into(),
+        fmt_f(opt_end.as_micros_f64()),
+        fmt_f(leg_end.as_micros_f64()),
+    ]);
+    t.row(vec![
+        "wire packets".into(),
+        opt_tx.packets_sent.to_string(),
+        leg_tx.packets_sent.to_string(),
+    ]);
+    t.row(vec![
+        "chunks/packet".into(),
+        fmt_f(opt_tx.aggregation_ratio()),
+        fmt_f(leg_tx.aggregation_ratio()),
+    ]);
+    t.row(vec![
+        "mean latency (us)".into(),
+        fmt_f(opt_rx.latency.summary().mean()),
+        fmt_f(leg_rx.latency.summary().mean()),
+    ]);
+    t.row(vec![
+        "p99-ish latency (us)".into(),
+        fmt_f(opt_rx.latency.quantile(0.99).as_micros_f64()),
+        fmt_f(leg_rx.latency.quantile(0.99).as_micros_f64()),
+    ]);
+    t.render()
+}
+
+/// Generate a sample multi-flow trace (for demos and tests).
+pub fn sample(seed: u64) -> Trace {
+    let specs: Vec<FlowSpec> = (0..4)
+        .map(|_| FlowSpec {
+            dst: NodeId(1),
+            class: madeleine::TrafficClass::DEFAULT,
+            arrival: Arrival::Poisson(SimDuration::from_micros(6)),
+            sizes: SizeDist::Uniform(16, 1024),
+            express_header: 8,
+            stop_after: Some(50),
+            start_after: SimDuration::ZERO,
+        })
+        .collect();
+    let (app, _) = TrafficApp::new("sample", specs, seed, 0);
+    let (recorder, handle) = Recorder::new(Box::new(app));
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx],
+        engine: EngineKind::optimizing(),
+        trace: None,
+    };
+    let mut c = Cluster::build(&spec, vec![Some(Box::new(recorder)), None]);
+    c.drain();
+    let t = handle.borrow().clone();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_traces_are_nonempty_and_parse() {
+        let t = sample(7);
+        assert_eq!(t.len(), 200);
+        let text = t.to_text();
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn info_mentions_every_flow() {
+        let t = sample(7);
+        let s = info(&t);
+        assert!(s.contains("messages: 200"));
+        assert!(s.contains("flow 3:"));
+    }
+
+    #[test]
+    fn replay_summary_reports_full_delivery() {
+        let t = sample(9);
+        let s = replay(t.clone(), false, Technology::MyrinetMx);
+        assert!(s.contains("delivered 200/200"), "{s}");
+        let s = replay(t, true, Technology::QuadricsElan);
+        assert!(s.contains("legacy"));
+        assert!(s.contains("delivered 200/200"), "{s}");
+    }
+
+    #[test]
+    fn compare_renders_both_engines() {
+        let t = sample(11);
+        let s = compare(t, Technology::MyrinetMx);
+        assert!(s.contains("optimizing"));
+        assert!(s.contains("legacy"));
+        assert!(s.contains("makespan"));
+    }
+
+    #[test]
+    fn tech_names_parse() {
+        assert_eq!(parse_tech("mx"), Some(Technology::MyrinetMx));
+        assert_eq!(parse_tech("ELAN"), Some(Technology::QuadricsElan));
+        assert_eq!(parse_tech("nonsense"), None);
+    }
+}

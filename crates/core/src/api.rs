@@ -1,0 +1,59 @@
+//! The application/middleware-facing API, shared by the optimizing engine
+//! and the legacy baseline so workloads run unmodified on both.
+
+use simnet::{NodeId, SimDuration, SimTime};
+
+use crate::ids::{FlowId, MsgId, TrafficClass};
+use crate::message::{DeliveredMessage, Fragment};
+
+
+/// Timer tags at or above this value are reserved for library internals
+/// (Nagle flushes, adaptive-policy epochs).
+pub const INTERNAL_TAG_BASE: u64 = 1 << 62;
+
+/// What an application/middleware may do from inside its callbacks.
+///
+/// Mirrors the Madeleine API shape: open logical flows (channels), pack
+/// messages ([`crate::message::MessageBuilder`]) and submit them. Submission
+/// enqueues into the collect layer and returns immediately (§3).
+pub trait CommApi {
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+    /// The local node.
+    fn node(&self) -> NodeId;
+    /// Open a flow toward `dst` with a traffic class.
+    fn open_flow(&mut self, dst: NodeId, class: TrafficClass) -> FlowId;
+    /// Submit a packed message on a flow; returns its id. Never blocks.
+    fn send(&mut self, flow: FlowId, parts: Vec<Fragment>) -> MsgId;
+    /// Arm a one-shot timer; `tag` (< [`INTERNAL_TAG_BASE`]) is echoed to
+    /// [`AppDriver::on_timer`].
+    fn set_timer(&mut self, delay: SimDuration, tag: u64);
+    /// Force the engine to push pending traffic now, bypassing any pending
+    /// Nagle delay (the optimizer runs on every idle rail; the legacy
+    /// engine pumps its software queues).
+    fn flush(&mut self);
+}
+
+/// The application/middleware stack driving one node.
+///
+/// Implementations are installed into an engine at construction and driven
+/// entirely by callbacks — exactly the paper's model where the application
+/// "simply enqueues packets ... and immediately returns to computing".
+#[allow(unused_variables)]
+pub trait AppDriver {
+    /// Called once at simulation start.
+    fn on_start(&mut self, api: &mut dyn CommApi) {}
+    /// A timer armed via [`CommApi::set_timer`] fired.
+    fn on_timer(&mut self, api: &mut dyn CommApi, tag: u64) {}
+    /// A message was delivered to this node.
+    fn on_message(&mut self, api: &mut dyn CommApi, msg: &DeliveredMessage) {}
+    /// A locally submitted message finished transmission (its last chunk
+    /// completed injection). Local completion, not a delivery receipt.
+    fn on_sent(&mut self, api: &mut dyn CommApi, msg: MsgId) {}
+}
+
+/// A no-op application (receive-only nodes).
+#[derive(Debug, Default)]
+pub struct NullApp;
+
+impl AppDriver for NullApp {}

@@ -1,0 +1,638 @@
+//! The **collect layer** (bottom-left of Figure 1): per-flow lists of
+//! waiting packets.
+//!
+//! "The application simply enqueues packets into a list and immediately
+//! returns to computing" (§3). While a NIC is busy, submissions accumulate
+//! here as a *backlog*; each optimizer activation views a window of that
+//! backlog as schedulable chunk candidates.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use simnet::{NodeId, SimTime};
+
+use crate::ids::{ChannelId, FlowId, FragIndex, MsgId, MsgSeq, TrafficClass};
+use crate::message::{Fragment, PackMode};
+use crate::plan::{ChunkCandidate, DstGroup, PlannedChunk, RndvCandidate};
+
+/// Rendezvous protocol state of one pending fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RndvState {
+    /// Small enough to go eagerly.
+    Eager,
+    /// Needs a rendezvous request before any data may move.
+    NeedRequest,
+    /// Request sent, waiting for the grant.
+    Requested,
+    /// Grant received; data may move.
+    Granted,
+}
+
+/// One fragment awaiting (complete) transmission.
+#[derive(Clone, Debug)]
+pub struct PendingFragment {
+    /// Index within the message.
+    pub index: FragIndex,
+    /// Express/cheaper mode.
+    pub mode: PackMode,
+    /// Payload.
+    pub data: Bytes,
+    /// Bytes whose transmission has completed (tx_done seen).
+    pub sent: u32,
+    /// Bytes currently inside NIC hardware queues.
+    pub inflight: u32,
+    /// Rendezvous state.
+    pub rndv: RndvState,
+}
+
+impl PendingFragment {
+    /// Fragment length.
+    pub fn len(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// True for zero-length fragments.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes committed to the NIC (sent or in flight).
+    pub fn committed(&self) -> u32 {
+        self.sent + self.inflight
+    }
+
+    /// Bytes still schedulable.
+    pub fn remaining(&self) -> u32 {
+        self.len() - self.committed()
+    }
+
+    /// All bytes handed to a NIC.
+    pub fn fully_committed(&self) -> bool {
+        self.committed() >= self.len()
+    }
+
+    /// All bytes completed transmission.
+    pub fn fully_sent(&self) -> bool {
+        self.sent >= self.len()
+    }
+
+    /// Whether the rendezvous protocol currently blocks scheduling.
+    pub fn rndv_blocked(&self) -> bool {
+        matches!(self.rndv, RndvState::NeedRequest | RndvState::Requested)
+    }
+}
+
+/// One submitted message not yet fully transmitted.
+#[derive(Clone, Debug)]
+pub struct PendingMessage {
+    /// Identity.
+    pub id: MsgId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Traffic class (from the flow).
+    pub class: TrafficClass,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Fragments in pack order.
+    pub frags: Vec<PendingFragment>,
+    /// Rail the message is pinned to while its express constraints are
+    /// unresolved (cross-rail reordering could otherwise overtake an
+    /// express header). `None` = free to use any eligible rail.
+    pub pinned_rail: Option<ChannelId>,
+}
+
+impl PendingMessage {
+    /// Index of the first express fragment that is not yet fully committed;
+    /// fragments *after* it may not be scheduled yet.
+    pub fn first_open_express(&self) -> Option<usize> {
+        self.frags
+            .iter()
+            .position(|f| f.mode == PackMode::Express && !f.fully_committed())
+    }
+
+    /// Whether fragment `j` may be scheduled now (express gating only; the
+    /// rendezvous state is checked separately).
+    pub fn frag_schedulable(&self, j: usize) -> bool {
+        match self.first_open_express() {
+            Some(gate) => j <= gate,
+            None => true,
+        }
+    }
+
+    /// All fragments fully transmitted.
+    pub fn is_complete(&self) -> bool {
+        self.frags.iter().all(PendingFragment::fully_sent)
+    }
+
+    /// Whether all express fragments are fully sent (unpinning condition).
+    pub fn express_resolved(&self) -> bool {
+        self.frags
+            .iter()
+            .filter(|f| f.mode == PackMode::Express)
+            .all(PendingFragment::fully_sent)
+    }
+
+    /// Payload bytes not yet committed to any NIC.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.frags.iter().map(|f| f.remaining() as u64).sum()
+    }
+}
+
+/// One flow's state: identity, class, routing, and its queue of pending
+/// messages.
+#[derive(Clone, Debug)]
+pub struct FlowState {
+    /// Flow id.
+    pub id: FlowId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Traffic class.
+    pub class: TrafficClass,
+    next_seq: u32,
+    /// Pending (not fully transmitted) messages, oldest first.
+    pub queue: VecDeque<PendingMessage>,
+}
+
+/// The collect layer: all flows and their backlogs.
+#[derive(Clone, Debug, Default)]
+pub struct CollectLayer {
+    flows: Vec<FlowState>,
+}
+
+impl CollectLayer {
+    /// Empty collect layer.
+    pub fn new() -> Self {
+        CollectLayer { flows: Vec::new() }
+    }
+
+    /// Open a new flow toward `dst` with the given class.
+    pub fn open_flow(&mut self, dst: NodeId, class: TrafficClass) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowState { id, dst, class, next_seq: 0, queue: VecDeque::new() });
+        id
+    }
+
+    /// Flow lookup.
+    pub fn flow(&self, id: FlowId) -> &FlowState {
+        &self.flows[id.0 as usize]
+    }
+
+    /// All flows.
+    pub fn flows(&self) -> &[FlowState] {
+        &self.flows
+    }
+
+    /// Enqueue a packed message on `flow`. Fragments of `rndv_threshold`
+    /// bytes or more enter the rendezvous protocol. Returns the assigned id.
+    pub fn submit(
+        &mut self,
+        flow: FlowId,
+        parts: Vec<Fragment>,
+        now: SimTime,
+        rndv_threshold: u64,
+    ) -> MsgId {
+        let fs = &mut self.flows[flow.0 as usize];
+        let id = MsgId { flow, seq: MsgSeq(fs.next_seq) };
+        fs.next_seq += 1;
+        let frags = parts
+            .into_iter()
+            .map(|f| {
+                let rndv = if (f.data.len() as u64) >= rndv_threshold {
+                    RndvState::NeedRequest
+                } else {
+                    RndvState::Eager
+                };
+                PendingFragment {
+                    index: f.index,
+                    mode: f.mode,
+                    data: f.data,
+                    sent: 0,
+                    inflight: 0,
+                    rndv,
+                }
+            })
+            .collect();
+        fs.queue.push_back(PendingMessage {
+            id,
+            dst: fs.dst,
+            class: fs.class,
+            submitted_at: now,
+            frags,
+            pinned_rail: None,
+        });
+        id
+    }
+
+    /// Total uncommitted payload bytes across all flows.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.flows
+            .iter()
+            .flat_map(|f| f.queue.iter())
+            .map(PendingMessage::backlog_bytes)
+            .sum()
+    }
+
+    /// True if nothing is waiting anywhere (including rendezvous waits and
+    /// in-flight-but-unfinished messages).
+    pub fn is_empty(&self) -> bool {
+        self.flows.iter().all(|f| f.queue.is_empty())
+    }
+
+    /// Find a pending message.
+    pub fn find_msg(&self, flow: FlowId, seq: u32) -> Option<&PendingMessage> {
+        self.flows
+            .get(flow.0 as usize)?
+            .queue
+            .iter()
+            .find(|m| m.id.seq.0 == seq)
+    }
+
+    /// Find a pending message mutably.
+    pub fn find_msg_mut(&mut self, flow: FlowId, seq: u32) -> Option<&mut PendingMessage> {
+        self.flows
+            .get_mut(flow.0 as usize)?
+            .queue
+            .iter_mut()
+            .find(|m| m.id.seq.0 == seq)
+    }
+
+    /// Build the optimizer's view for one rail: schedulable chunks grouped
+    /// by destination, at most `window` candidates, oldest messages first.
+    /// `eligible` filters flows by the scheduler policy for this rail.
+    pub fn collect_candidates(
+        &self,
+        rail: ChannelId,
+        window: usize,
+        eligible: impl Fn(FlowId, TrafficClass) -> bool,
+    ) -> Vec<DstGroup> {
+        let mut groups: Vec<DstGroup> = Vec::new();
+        let mut taken = 0usize;
+        for fs in &self.flows {
+            if taken >= window {
+                break;
+            }
+            if !eligible(fs.id, fs.class) {
+                continue;
+            }
+            for msg in &fs.queue {
+                if taken >= window {
+                    break;
+                }
+                if let Some(pin) = msg.pinned_rail {
+                    if pin != rail {
+                        continue;
+                    }
+                }
+                // Fragments are offered in pack order. A fragment may be
+                // offered even when an earlier express fragment is not yet
+                // committed, because strategies preserve within-message
+                // order, so the express bytes travel earlier in the same
+                // packet (the constraint checker verifies this). Only an
+                // express fragment stuck in the rendezvous protocol gates
+                // everything behind it.
+                let mut express_open = false;
+                for frag in &msg.frags {
+                    if taken >= window {
+                        break;
+                    }
+                    if frag.fully_committed() {
+                        continue;
+                    }
+                    let group = match groups.iter_mut().find(|g| g.dst == msg.dst) {
+                        Some(g) => g,
+                        None => {
+                            groups.push(DstGroup::new(msg.dst));
+                            groups.last_mut().expect("just pushed")
+                        }
+                    };
+                    match frag.rndv {
+                        RndvState::NeedRequest => {
+                            group.rndv.push(RndvCandidate {
+                                flow: fs.id,
+                                seq: msg.id.seq.0,
+                                frag: frag.index,
+                                frag_len: frag.len(),
+                                class: msg.class,
+                                submitted_at: msg.submitted_at,
+                            });
+                            taken += 1;
+                            if frag.mode == PackMode::Express {
+                                express_open = true;
+                            }
+                        }
+                        RndvState::Requested => {
+                            if frag.mode == PackMode::Express {
+                                express_open = true;
+                            }
+                        }
+                        RndvState::Eager | RndvState::Granted => {
+                            if express_open {
+                                break; // gated behind a rendezvous express
+                            }
+                            group.candidates.push(ChunkCandidate {
+                                flow: fs.id,
+                                seq: msg.id.seq.0,
+                                frag: frag.index,
+                                offset: frag.committed(),
+                                remaining: frag.remaining(),
+                                express: frag.mode == PackMode::Express,
+                                class: msg.class,
+                                submitted_at: msg.submitted_at,
+                            });
+                            taken += 1;
+                        }
+                    }
+                }
+            }
+        }
+        groups
+    }
+
+    /// Mark a planned chunk as handed to the NIC; pins the message to
+    /// `rail` while its express constraints are open.
+    ///
+    /// # Panics
+    /// Panics if the chunk does not start at the fragment's committed
+    /// frontier — plans must schedule fragment bytes contiguously.
+    pub fn commit_chunk(&mut self, chunk: &PlannedChunk, rail: ChannelId) {
+        let msg = self
+            .find_msg_mut(chunk.flow, chunk.seq)
+            .expect("commit for unknown message");
+        if msg.pinned_rail.is_none() && !msg.express_resolved() {
+            msg.pinned_rail = Some(rail);
+        }
+        let frag = &mut msg.frags[chunk.frag as usize];
+        assert_eq!(
+            frag.committed(),
+            chunk.offset,
+            "non-contiguous chunk commit for {}/{}",
+            chunk.flow,
+            chunk.frag
+        );
+        assert!(chunk.offset + chunk.len <= frag.len(), "chunk overruns fragment");
+        frag.inflight += chunk.len;
+    }
+
+    /// Mark a committed chunk's transmission complete; removes the message
+    /// once fully sent. Returns true if the message completed.
+    pub fn complete_chunk(&mut self, chunk: &PlannedChunk) -> bool {
+        let msg = self
+            .find_msg_mut(chunk.flow, chunk.seq)
+            .expect("completion for unknown message");
+        let frag = &mut msg.frags[chunk.frag as usize];
+        debug_assert!(frag.inflight >= chunk.len, "completion exceeds inflight");
+        frag.inflight -= chunk.len;
+        frag.sent += chunk.len;
+        if msg.pinned_rail.is_some() && msg.express_resolved() {
+            msg.pinned_rail = None;
+        }
+        if msg.is_complete() {
+            let fs = &mut self.flows[chunk.flow.0 as usize];
+            fs.queue.retain(|m| m.id.seq.0 != chunk.seq);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Transition a fragment from `NeedRequest` to `Requested`.
+    pub fn mark_rndv_requested(&mut self, flow: FlowId, seq: u32, frag: FragIndex) {
+        if let Some(msg) = self.find_msg_mut(flow, seq) {
+            let f = &mut msg.frags[frag as usize];
+            debug_assert_eq!(f.rndv, RndvState::NeedRequest);
+            f.rndv = RndvState::Requested;
+        }
+    }
+
+    /// Transition a fragment to `Granted` (rendezvous ack received).
+    /// Returns true if the fragment was waiting for this grant.
+    pub fn grant_rndv(&mut self, flow: FlowId, seq: u32, frag: FragIndex) -> bool {
+        if let Some(msg) = self.find_msg_mut(flow, seq) {
+            let f = &mut msg.frags[frag as usize];
+            if f.rndv == RndvState::Requested {
+                f.rndv = RndvState::Granted;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageBuilder;
+
+    fn layer_with_flow() -> (CollectLayer, FlowId) {
+        let mut c = CollectLayer::new();
+        let f = c.open_flow(NodeId(1), TrafficClass::DEFAULT);
+        (c, f)
+    }
+
+    fn parts(sizes: &[(usize, PackMode)]) -> Vec<Fragment> {
+        let mut b = MessageBuilder::new();
+        for &(n, mode) in sizes {
+            b = b.pack(&vec![0xAB; n], mode);
+        }
+        b.build_parts()
+    }
+
+    #[test]
+    fn submit_assigns_sequences() {
+        let (mut c, f) = layer_with_flow();
+        let a = c.submit(f, parts(&[(10, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        let b = c.submit(f, parts(&[(10, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        assert_eq!(a.seq.0, 0);
+        assert_eq!(b.seq.0, 1);
+        assert_eq!(c.backlog_bytes(), 20);
+    }
+
+    #[test]
+    fn rndv_threshold_splits_protocols() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(
+            f,
+            parts(&[(100, PackMode::Cheaper), (5000, PackMode::Cheaper)]),
+            SimTime::ZERO,
+            1024,
+        );
+        let msg = c.find_msg(f, 0).unwrap();
+        assert_eq!(msg.frags[0].rndv, RndvState::Eager);
+        assert_eq!(msg.frags[1].rndv, RndvState::NeedRequest);
+    }
+
+    #[test]
+    fn all_fragments_offered_in_pack_order() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(
+            f,
+            parts(&[
+                (8, PackMode::Express),
+                (100, PackMode::Cheaper),
+                (8, PackMode::Express),
+                (100, PackMode::Cheaper),
+            ]),
+            SimTime::ZERO,
+            1 << 20,
+        );
+        // Every fragment is offered (in order): strategies keep the order,
+        // so express headers travel before dependants in the same packet.
+        let groups = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert_eq!(groups.len(), 1);
+        let frags: Vec<_> = groups[0].candidates.iter().map(|c| c.frag).collect();
+        assert_eq!(frags, vec![0, 1, 2, 3]);
+
+        // Committed fragments disappear from the offer.
+        c.commit_chunk(
+            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 },
+            ChannelId(0),
+        );
+        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 });
+        let groups = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        let frags: Vec<_> = groups[0].candidates.iter().map(|c| c.frag).collect();
+        assert_eq!(frags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rendezvous_express_gates_later_fragments() {
+        let (mut c, f) = layer_with_flow();
+        // Express fragment large enough for rendezvous, then a body.
+        c.submit(
+            f,
+            parts(&[(5000, PackMode::Express), (100, PackMode::Cheaper)]),
+            SimTime::ZERO,
+            1024,
+        );
+        let groups = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        // Only the rendezvous request is offered; the body must wait for
+        // the express data to become sendable.
+        assert_eq!(groups[0].rndv.len(), 1);
+        assert!(groups[0].candidates.is_empty());
+        c.mark_rndv_requested(f, 0, 0);
+        let groups = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert!(groups.is_empty() || groups[0].candidates.is_empty());
+        c.grant_rndv(f, 0, 0);
+        let groups = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        let frags: Vec<_> = groups[0].candidates.iter().map(|c| c.frag).collect();
+        assert_eq!(frags, vec![0, 1]);
+    }
+
+    #[test]
+    fn pinning_keeps_message_on_one_rail_until_express_resolved() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(
+            f,
+            parts(&[(8, PackMode::Express), (100, PackMode::Cheaper)]),
+            SimTime::ZERO,
+            1 << 20,
+        );
+        c.commit_chunk(
+            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 },
+            ChannelId(2),
+        );
+        // Other rails now see nothing from this message.
+        assert!(c.collect_candidates(ChannelId(0), 64, |_, _| true).is_empty());
+        assert_eq!(c.collect_candidates(ChannelId(2), 64, |_, _| true)[0].candidates.len(), 1);
+        // Once the express fragment completes, the pin is lifted.
+        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 });
+        assert_eq!(c.collect_candidates(ChannelId(0), 64, |_, _| true)[0].candidates.len(), 1);
+    }
+
+    #[test]
+    fn completion_removes_finished_messages() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(f, parts(&[(32, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        let ch = PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 32 };
+        c.commit_chunk(&ch, ChannelId(0));
+        assert_eq!(c.backlog_bytes(), 0); // committed, not yet sent
+        assert!(!c.is_empty());
+        assert!(c.complete_chunk(&ch));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn partial_chunking_advances_offsets() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(f, parts(&[(100, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        c.commit_chunk(
+            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 40 },
+            ChannelId(0),
+        );
+        let g = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert_eq!(g[0].candidates[0].offset, 40);
+        assert_eq!(g[0].candidates[0].remaining, 60);
+        // Out-of-order completion keeps counters consistent.
+        c.commit_chunk(
+            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 40, len: 60 },
+            ChannelId(0),
+        );
+        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 40, len: 60 });
+        assert!(!c.is_empty());
+        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 40 });
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn non_contiguous_commit_panics() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(f, parts(&[(100, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        c.commit_chunk(
+            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 50, len: 10 },
+            ChannelId(0),
+        );
+    }
+
+    #[test]
+    fn window_limits_candidates() {
+        let (mut c, f) = layer_with_flow();
+        for _ in 0..10 {
+            c.submit(f, parts(&[(8, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        }
+        let g = c.collect_candidates(ChannelId(0), 3, |_, _| true);
+        assert_eq!(g[0].candidates.len(), 3);
+    }
+
+    #[test]
+    fn class_filter_excludes_flows() {
+        let mut c = CollectLayer::new();
+        let fa = c.open_flow(NodeId(1), TrafficClass::BULK);
+        let fb = c.open_flow(NodeId(1), TrafficClass::CONTROL);
+        c.submit(fa, parts(&[(8, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        c.submit(fb, parts(&[(8, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        let g = c.collect_candidates(ChannelId(0), 64, |_, cl| cl == TrafficClass::CONTROL);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].candidates.len(), 1);
+        assert_eq!(g[0].candidates[0].class, TrafficClass::CONTROL);
+    }
+
+    #[test]
+    fn rndv_grant_cycle() {
+        let (mut c, f) = layer_with_flow();
+        c.submit(f, parts(&[(5000, PackMode::Cheaper)]), SimTime::ZERO, 1024);
+        let g = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert_eq!(g[0].rndv.len(), 1);
+        assert!(g[0].candidates.is_empty());
+        c.mark_rndv_requested(f, 0, 0);
+        // While requested, neither data nor request candidates appear.
+        let g = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert!(g.is_empty() || (g[0].rndv.is_empty() && g[0].candidates.is_empty()));
+        assert!(c.grant_rndv(f, 0, 0));
+        let g = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert_eq!(g[0].candidates.len(), 1);
+        // Double grant reports false.
+        assert!(!c.grant_rndv(f, 0, 0));
+    }
+
+    #[test]
+    fn groups_separate_destinations() {
+        let mut c = CollectLayer::new();
+        let fa = c.open_flow(NodeId(1), TrafficClass::DEFAULT);
+        let fb = c.open_flow(NodeId(2), TrafficClass::DEFAULT);
+        c.submit(fa, parts(&[(8, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        c.submit(fb, parts(&[(8, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        let g = c.collect_candidates(ChannelId(0), 64, |_, _| true);
+        assert_eq!(g.len(), 2);
+        assert_ne!(g[0].dst, g[1].dst);
+    }
+}

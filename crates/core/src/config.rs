@@ -1,0 +1,165 @@
+//! Engine configuration: every tunable the paper discusses or announces as
+//! future work is an explicit knob here, so the experiment harness can sweep
+//! them (lookahead window — E4; rearrangement budget — E5; Nagle delay — E3;
+//! strategy toggles — ablations).
+
+use simnet::SimDuration;
+
+/// Configuration of the optimizing engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Maximum backlog chunks the optimizer examines per activation — the
+    /// "packet lookahead window" whose sizing the paper lists as future
+    /// work (§4).
+    pub lookahead_window: usize,
+    /// Maximum candidate plans the optimizer *scores* per activation — the
+    /// bound on "the number of data rearrangements the optimizer has to
+    /// evaluate" (§4).
+    pub rearrange_budget: usize,
+    /// Nagle-style artificial delay applied when a submission finds an idle
+    /// NIC and a small backlog (§3). Zero disables the delay: packets are
+    /// sent as they become available.
+    pub nagle_delay: SimDuration,
+    /// Backlog payload size (bytes) above which the Nagle delay is skipped
+    /// and the optimizer runs immediately.
+    pub nagle_threshold: u64,
+    /// Eager→rendezvous switch point in bytes; `None` uses the driver's
+    /// capability hint per rail.
+    pub rndv_threshold: Option<u64>,
+    /// Maximum chunks merged into one packet by the aggregation
+    /// strategies (bounds header-table growth and per-chunk framing
+    /// overhead).
+    pub agg_chunk_limit: usize,
+    /// Enable the cross-flow eager aggregation strategy.
+    pub enable_aggregation: bool,
+    /// Enable reordering strategies (SJF / class-priority orderings).
+    pub enable_reorder: bool,
+    /// Enable multi-rail bulk splitting.
+    pub enable_split: bool,
+    /// Enable the rendezvous protocol for large fragments.
+    pub enable_rndv: bool,
+    /// Enable zero-copy gather variants (else every multi-chunk packet is
+    /// linearized by copy).
+    pub enable_gather: bool,
+    /// Weight of the anti-starvation urgency term in plan scoring.
+    pub urgency_weight: f64,
+    /// Record every delivered message in the engine handle (tests and
+    /// examples want them; long benches turn this off).
+    pub record_deliveries: bool,
+    /// Epoch length for the adaptive policy's class↔channel reassignment.
+    pub adaptive_epoch: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            lookahead_window: 64,
+            rearrange_budget: 256,
+            nagle_delay: SimDuration::ZERO,
+            nagle_threshold: 1024,
+            rndv_threshold: None,
+            agg_chunk_limit: 16,
+            enable_aggregation: true,
+            enable_reorder: true,
+            enable_split: true,
+            enable_rndv: true,
+            enable_gather: true,
+            urgency_weight: 1.0,
+            record_deliveries: true,
+            adaptive_epoch: SimDuration::from_millis(1),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with every optimization disabled except the FIFO
+    /// fallback — the optimizer degenerates to a plain send-as-submitted
+    /// library (useful as an ablation mid-point between the legacy engine
+    /// and the full optimizer).
+    pub fn fifo_only() -> Self {
+        EngineConfig {
+            enable_aggregation: false,
+            enable_reorder: false,
+            enable_split: false,
+            enable_rndv: false,
+            enable_gather: false,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the lookahead window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.lookahead_window = window;
+        self
+    }
+
+    /// Builder-style setter for the rearrangement budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.rearrange_budget = budget;
+        self
+    }
+
+    /// Builder-style setter for the Nagle delay.
+    pub fn with_nagle(mut self, delay: SimDuration) -> Self {
+        self.nagle_delay = delay;
+        self
+    }
+
+    /// Validate ranges; called by engine constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lookahead_window == 0 {
+            return Err("lookahead_window must be >= 1".into());
+        }
+        if self.rearrange_budget == 0 {
+            return Err("rearrange_budget must be >= 1".into());
+        }
+        if self.agg_chunk_limit == 0 {
+            return Err("agg_chunk_limit must be >= 1".into());
+        }
+        if !(self.urgency_weight.is_finite() && self.urgency_weight >= 0.0) {
+            return Err("urgency_weight must be finite and >= 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_everything_enabled() {
+        let c = EngineConfig::default();
+        assert!(c.validate().is_ok());
+        assert!(c.enable_aggregation && c.enable_reorder && c.enable_split);
+        assert!(c.nagle_delay.is_zero(), "paper default: send when available");
+    }
+
+    #[test]
+    fn fifo_only_disables_strategies() {
+        let c = EngineConfig::fifo_only();
+        assert!(c.validate().is_ok());
+        assert!(!c.enable_aggregation && !c.enable_rndv && !c.enable_gather);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::default()
+            .with_window(8)
+            .with_budget(16)
+            .with_nagle(SimDuration::from_micros(5));
+        assert_eq!(c.lookahead_window, 8);
+        assert_eq!(c.rearrange_budget, 16);
+        assert_eq!(c.nagle_delay.as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_values() {
+        assert!(EngineConfig::default().with_window(0).validate().is_err());
+        assert!(EngineConfig::default().with_budget(0).validate().is_err());
+        let c = EngineConfig { agg_chunk_limit: 0, ..EngineConfig::default() };
+        assert!(c.validate().is_err());
+        let c = EngineConfig { urgency_weight: f64::NAN, ..EngineConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1008 @@
+//! The optimizing communication engine: Figure 1 assembled.
+//!
+//! ```text
+//!   Application / middlewares           (AppDriver, CommApi)
+//!        │ submit: enqueue & return
+//!   ┌────▼─────────────────────────┐
+//!   │ Collect layer  (collect.rs)  │  per-flow waiting-packet lists
+//!   ├──────────────────────────────┤
+//!   │ OPTIMIZER – SCHEDULER        │  activated on NIC-idle events,
+//!   │ (optimizer.rs, strategy/*)   │  strategies × cost model × budget
+//!   ├──────────────────────────────┤
+//!   │ Transfer layer (nicdrv)      │  capability-validated submissions
+//!   └──────────────────────────────┘
+//!        │ simulated NICs (simnet)
+//! ```
+//!
+//! [`MadEngine`] implements [`simnet::Endpoint`]; the optimizer runs inside
+//! `on_nic_idle` — the paper's central mechanism — plus the submit-time and
+//! Nagle-timer activations of §3. All externally observable state lives in
+//! a shared [`EngineCore`] so tests and harnesses hold an [`EngineHandle`]
+//! onto a running engine.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use nicdrv::{Driver, ModeSel, SimDriver, TransferRequest};
+use simnet::{
+    Endpoint, NicId, NodeId, SimCtx, SimTime, Technology, TimerId, WirePacket,
+};
+
+use crate::api::{AppDriver, CommApi, INTERNAL_TAG_BASE};
+use crate::classes::ClassMap;
+use crate::collect::CollectLayer;
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::ids::{ChannelId, FlowId, MsgId, TrafficClass};
+use crate::message::{DeliveredMessage, Fragment};
+use crate::metrics::{Activation, EngineMetrics};
+use crate::optimizer::{select_plan, submit_action, SubmitAction};
+use crate::plan::{PlanBody, PlannedChunk, TransferPlan};
+use crate::proto::{
+    decode_packet, decode_rndv, encode_packet, encode_rndv, make_header, ChunkHeader, WireChunk,
+    KIND_DATA, KIND_RNDV_ACK, KIND_RNDV_REQ,
+};
+use crate::policy::{PolicyKind, RailPolicy};
+use crate::receiver::{Receiver, ReceiverStats};
+use crate::strategy::{OptContext, Strategy, StrategyRegistry};
+
+/// Internal timer tag: Nagle flush.
+const NAGLE_TAG: u64 = INTERNAL_TAG_BASE;
+/// Internal timer tag: adaptive-policy epoch.
+const ADAPTIVE_TAG: u64 = INTERNAL_TAG_BASE + 1;
+/// Cookie used by control packets (no completion bookkeeping).
+const CTRL_COOKIE: u64 = 0;
+
+/// One rail: a driver plus its routing and class/channel assignment.
+pub struct Rail {
+    /// The NIC driver.
+    pub driver: SimDriver,
+    /// Class → virtual channel map for this NIC.
+    pub classmap: ClassMap,
+    /// Network MTU of the rail.
+    pub wire_mtu: u64,
+    peers: HashMap<NodeId, NicId>,
+}
+
+/// The engine's mutable state (shared behind an [`EngineHandle`]).
+pub struct EngineCore {
+    node: NodeId,
+    config: EngineConfig,
+    rails: Vec<Rail>,
+    nic_to_rail: HashMap<NicId, usize>,
+    /// Rail-eligibility policy.
+    pub policy: RailPolicy,
+    registry: StrategyRegistry,
+    /// The collect layer (backlog).
+    pub collect: CollectLayer,
+    /// Receive-side reassembly.
+    pub receiver: Receiver,
+    inflight: HashMap<u64, Vec<PlannedChunk>>,
+    next_cookie: u64,
+    nagle_armed: bool,
+    nagle_timer: Option<TimerId>,
+    /// Adaptive-policy epoch timer state: consecutive traffic-less epochs,
+    /// and whether the timer has been put to sleep (so an otherwise-idle
+    /// simulation can reach quiescence).
+    adaptive_idle_epochs: u32,
+    adaptive_sleeping: bool,
+    pending_ctrl: VecDeque<(usize, NodeId, u16, ChunkHeader)>,
+    /// Counters and distributions.
+    pub metrics: EngineMetrics,
+    /// Delivered messages (retained when `config.record_deliveries`).
+    pub delivered: Vec<DeliveredMessage>,
+}
+
+impl EngineCore {
+    fn rail_of(&self, nic: NicId) -> Option<usize> {
+        self.nic_to_rail.get(&nic).copied()
+    }
+
+    fn rndv_threshold_for(&self, flow: FlowId) -> u64 {
+        if !self.config.enable_rndv {
+            return u64::MAX;
+        }
+        if let Some(t) = self.config.rndv_threshold {
+            return t;
+        }
+        let fs = self.collect.flow(flow);
+        let (id, class) = (fs.id, fs.class);
+        (0..self.rails.len())
+            .filter(|&r| self.policy.eligible(id, class, r))
+            .map(|r| self.rails[r].driver.capabilities().rndv_threshold_hint)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Open a flow toward `dst`, checking that the destination is
+    /// reachable (registered as a peer on at least one rail).
+    ///
+    /// # Panics
+    /// Panics when `dst` was never registered via
+    /// [`EngineBuilder::peer`] — a topology bug best caught at flow-open
+    /// time rather than deep inside the optimizer.
+    pub fn open_flow(&mut self, dst: NodeId, class: TrafficClass) -> FlowId {
+        assert!(
+            self.rails.iter().any(|r| r.peers.contains_key(&dst)),
+            "node {dst:?} is not a registered peer on any rail of node {:?}",
+            self.node
+        );
+        self.collect.open_flow(dst, class)
+    }
+
+    /// Submit a packed message: enqueue into the collect layer and apply
+    /// the submit-time activation policy. Returns immediately (§3).
+    pub fn send(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        flow: FlowId,
+        parts: Vec<Fragment>,
+    ) -> MsgId {
+        assert!(!parts.is_empty(), "message must have at least one fragment");
+        let threshold = self.rndv_threshold_for(flow);
+        self.metrics.submitted_msgs += 1;
+        self.metrics.submitted_bytes += parts.iter().map(|p| p.data.len() as u64).sum::<u64>();
+        if self.policy.kind() == PolicyKind::Adaptive && self.adaptive_sleeping {
+            self.adaptive_sleeping = false;
+            self.adaptive_idle_epochs = 0;
+            ctx.set_timer(self.config.adaptive_epoch, ADAPTIVE_TAG);
+        }
+        let id = self.collect.submit(flow, parts, ctx.now(), threshold);
+        let fs = self.collect.flow(flow);
+        let (fid, class) = (fs.id, fs.class);
+        let any_idle = (0..self.rails.len()).any(|r| {
+            self.policy.eligible(fid, class, r) && self.rails[r].driver.is_idle(ctx)
+        });
+        match submit_action(
+            &self.config,
+            any_idle,
+            self.collect.backlog_bytes(),
+            self.nagle_armed,
+        ) {
+            SubmitAction::OptimizeNow => self.optimize_all_idle(ctx, Activation::Submit),
+            SubmitAction::ArmNagle(delay) => {
+                self.nagle_armed = true;
+                self.nagle_timer = Some(ctx.set_timer(delay, NAGLE_TAG));
+            }
+            SubmitAction::Wait => {}
+        }
+        id
+    }
+
+    /// Force-push pending traffic: run the optimizer on every idle rail
+    /// immediately (used by `CommApi::flush` and the Nagle timer).
+    pub fn flush(&mut self, ctx: &mut SimCtx<'_>) {
+        self.nagle_armed = false;
+        if let Some(t) = self.nagle_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.optimize_all_idle(ctx, Activation::Timer);
+    }
+
+    fn optimize_all_idle(&mut self, ctx: &mut SimCtx<'_>, cause: Activation) {
+        for r in 0..self.rails.len() {
+            if self.rails[r].driver.is_idle(ctx) {
+                self.optimize_rail(ctx, r, cause);
+            }
+        }
+    }
+
+    /// One optimizer activation on one rail: repeatedly select and submit
+    /// the best plan until the hardware queue fills or the backlog (as
+    /// visible to this rail) is exhausted.
+    fn optimize_rail(&mut self, ctx: &mut SimCtx<'_>, rail_idx: usize, cause: Activation) {
+        self.metrics.record_activation(cause);
+        self.flush_ctrl(ctx);
+        // The rearrangement budget bounds scoring work per *activation*
+        // (§4): plan evaluations are deducted across the whole refill loop.
+        let mut budget = self.config.rearrange_budget;
+        let mut first_pass = true;
+        loop {
+            if budget == 0 || self.rails[rail_idx].driver.free_slots(ctx) == 0 {
+                break;
+            }
+            let (best, evaluated, backlog) = {
+                let rail = &self.rails[rail_idx];
+                let caps = rail.driver.capabilities();
+                let groups = self.collect.collect_candidates(
+                    ChannelId(rail_idx as u16),
+                    self.config.lookahead_window,
+                    |f, c| self.policy.eligible(f, c, rail_idx),
+                );
+                if groups.is_empty() {
+                    if first_pass {
+                        self.metrics.backlog_depth.record(0.0);
+                    }
+                    break;
+                }
+                let backlog: usize = groups
+                    .iter()
+                    .map(|g| g.candidates.len() + g.rndv.len())
+                    .sum();
+                let octx = OptContext {
+                    now: ctx.now(),
+                    channel: ChannelId(rail_idx as u16),
+                    caps,
+                    cost: rail.driver.cost_model(),
+                    config: &self.config,
+                    groups: &groups,
+                    packet_limit: rail.wire_mtu.min(caps.max_packet_bytes),
+                    rail_count: self.rails.len(),
+                };
+                let outcome = select_plan(
+                    &self.registry,
+                    &octx,
+                    &self.collect,
+                    rail.wire_mtu,
+                    budget,
+                );
+                (outcome.best.map(|s| s.plan), outcome.evaluated as u64, backlog)
+            };
+            if first_pass {
+                self.metrics.backlog_depth.record(backlog as f64);
+                first_pass = false;
+            }
+            self.metrics.plans_evaluated += evaluated;
+            budget = budget.saturating_sub(evaluated as usize);
+            let Some(plan) = best else { break };
+            *self.metrics.strategy_wins.entry(plan.strategy).or_insert(0) += 1;
+            if let Err(e) = self.apply_plan(ctx, rail_idx, plan) {
+                // Plans are validated before scoring, so a rejection here is
+                // an engine bug or transient queue race; count and stop.
+                self.metrics.driver_rejections += 1;
+                debug_assert!(false, "driver rejected validated plan: {e}");
+                break;
+            }
+        }
+    }
+
+    fn apply_plan(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        rail_idx: usize,
+        plan: TransferPlan,
+    ) -> Result<(), EngineError> {
+        match plan.body {
+            PlanBody::Data { ref chunks, linearize } => {
+                let mut wire_chunks = Vec::with_capacity(chunks.len());
+                for c in chunks {
+                    let msg = self
+                        .collect
+                        .find_msg(c.flow, c.seq)
+                        .expect("validated plan references live message");
+                    let frag = &msg.frags[c.frag as usize];
+                    wire_chunks.push(WireChunk {
+                        header: make_header(
+                            c.flow,
+                            c.seq,
+                            c.frag,
+                            msg.frags.len() as u16,
+                            frag.mode == crate::message::PackMode::Express,
+                            msg.class,
+                            frag.len(),
+                            c.offset,
+                            c.len,
+                            msg.submitted_at,
+                        ),
+                        data: frag.data.slice(c.offset as usize..(c.offset + c.len) as usize),
+                    });
+                }
+                // A packet travels on one virtual channel; when chunks of
+                // several classes share a packet (only possible when the
+                // policy lets those classes share the rail), the leading
+                // chunk's class tags it. Receiver demux by channel is a
+                // sorting aid (§2), not a correctness dependency — chunk
+                // headers carry the authoritative class.
+                let class = self
+                    .collect
+                    .find_msg(chunks[0].flow, chunks[0].seq)
+                    .expect("checked above")
+                    .class;
+                let rail = &self.rails[rail_idx];
+                let dst_nic = *rail
+                    .peers
+                    .get(&plan.dst)
+                    .ok_or(EngineError::UnknownPeer(plan.dst))?;
+                let total = plan.payload_bytes() + plan.framing();
+                let host_prep = if linearize {
+                    rail.driver.cost_model().copy_time(total)
+                } else {
+                    simnet::SimDuration::ZERO
+                };
+                let cookie = self.next_cookie;
+                self.next_cookie += 1;
+                let segments = encode_packet(&wire_chunks, linearize);
+                rail.driver.submit(
+                    ctx,
+                    TransferRequest {
+                        dst_nic,
+                        vchan: rail.classmap.vchan_for(class),
+                        kind: KIND_DATA,
+                        cookie,
+                        mode: ModeSel::Auto,
+                        host_prep,
+                        segments,
+                    },
+                )?;
+                for c in chunks {
+                    self.collect.commit_chunk(c, ChannelId(rail_idx as u16));
+                }
+                self.inflight.insert(cookie, chunks.clone());
+                self.metrics.record_packet(chunks.len(), linearize);
+                self.metrics.plans_submitted += 1;
+                self.policy.record_traffic(class, plan.payload_bytes());
+                Ok(())
+            }
+            PlanBody::RndvRequest { flow, seq, frag } => {
+                let msg = self
+                    .collect
+                    .find_msg(flow, seq)
+                    .expect("validated plan references live message");
+                let f = &msg.frags[frag as usize];
+                let header = make_header(
+                    flow,
+                    seq,
+                    frag,
+                    msg.frags.len() as u16,
+                    f.mode == crate::message::PackMode::Express,
+                    msg.class,
+                    f.len(),
+                    0,
+                    0,
+                    msg.submitted_at,
+                );
+                let dst = msg.dst;
+                self.send_ctrl(ctx, rail_idx, dst, KIND_RNDV_REQ, header)?;
+                self.collect.mark_rndv_requested(flow, seq, frag);
+                self.metrics.rndv_requests += 1;
+                self.metrics.plans_submitted += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Send (or queue) a control packet on a rail's control channel.
+    fn send_ctrl(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        rail_idx: usize,
+        dst: NodeId,
+        kind: u16,
+        header: ChunkHeader,
+    ) -> Result<(), EngineError> {
+        let rail = &self.rails[rail_idx];
+        let dst_nic = *rail
+            .peers
+            .get(&dst)
+            .ok_or(EngineError::UnknownPeer(dst))?;
+        if rail.driver.free_slots(ctx) == 0 {
+            self.pending_ctrl.push_back((rail_idx, dst, kind, header));
+            return Ok(());
+        }
+        let req = TransferRequest {
+            dst_nic,
+            vchan: rail.classmap.control(),
+            kind,
+            cookie: CTRL_COOKIE,
+            mode: ModeSel::Auto,
+            host_prep: simnet::SimDuration::ZERO,
+            segments: encode_rndv(header),
+        };
+        match rail.driver.submit(ctx, req) {
+            Ok(()) => Ok(()),
+            Err(nicdrv::DriverError::Nic(simnet::SubmitError::QueueFull)) => {
+                self.pending_ctrl.push_back((rail_idx, dst, kind, header));
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Retry queued control packets (called whenever queue space may have
+    /// appeared).
+    fn flush_ctrl(&mut self, ctx: &mut SimCtx<'_>) {
+        let n = self.pending_ctrl.len();
+        for _ in 0..n {
+            let Some((rail_idx, dst, kind, header)) = self.pending_ctrl.pop_front() else {
+                break;
+            };
+            // send_ctrl re-queues on failure.
+            let _ = self.send_ctrl(ctx, rail_idx, dst, kind, header);
+        }
+    }
+
+    /// Returns the ids of messages whose transmission completed with this
+    /// packet.
+    fn complete_cookie(&mut self, cookie: u64) -> Vec<MsgId> {
+        let mut done = Vec::new();
+        if cookie == CTRL_COOKIE {
+            return done;
+        }
+        if let Some(chunks) = self.inflight.remove(&cookie) {
+            for c in &chunks {
+                if self.collect.complete_chunk(c) {
+                    done.push(MsgId { flow: c.flow, seq: crate::ids::MsgSeq(c.seq) });
+                }
+            }
+        }
+        done
+    }
+
+    /// Process an incoming wire packet; returns messages that became
+    /// deliverable.
+    fn handle_packet(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        nic: NicId,
+        pkt: WirePacket,
+    ) -> Vec<DeliveredMessage> {
+        match pkt.kind {
+            KIND_DATA => {
+                self.receiver.record_vchan(pkt.vchan);
+                let chunks = match decode_packet(&pkt) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        self.metrics.proto_errors += 1;
+                        return Vec::new();
+                    }
+                };
+                let mut out = Vec::new();
+                for ch in &chunks {
+                    out.extend(self.receiver.on_chunk(pkt.src, ch, ctx.now()));
+                }
+                for d in &out {
+                    self.metrics
+                        .record_delivery(d.class, d.total_len(), d.latency);
+                }
+                if self.config.record_deliveries {
+                    self.delivered.extend(out.iter().cloned());
+                }
+                out
+            }
+            KIND_RNDV_REQ => {
+                if let Ok(header) = decode_rndv(&pkt) {
+                    if let Some(rail_idx) = self.rail_of(nic) {
+                        // Grant immediately: echo the header back.
+                        let _ = self.send_ctrl(ctx, rail_idx, pkt.src, KIND_RNDV_ACK, header);
+                    }
+                } else {
+                    self.metrics.proto_errors += 1;
+                }
+                Vec::new()
+            }
+            KIND_RNDV_ACK => {
+                if let Ok(header) = decode_rndv(&pkt) {
+                    if self
+                        .collect
+                        .grant_rndv(header.flow, header.msg_seq, header.frag_index)
+                    {
+                        self.metrics.rndv_grants += 1;
+                        self.optimize_all_idle(ctx, Activation::Submit);
+                    }
+                } else {
+                    self.metrics.proto_errors += 1;
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The [`CommApi`] view handed to application callbacks.
+pub struct MadApi<'a, 'b> {
+    core: &'a mut EngineCore,
+    ctx: &'a mut SimCtx<'b>,
+}
+
+impl CommApi for MadApi<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn node(&self) -> NodeId {
+        self.core.node
+    }
+
+    fn open_flow(&mut self, dst: NodeId, class: TrafficClass) -> FlowId {
+        self.core.open_flow(dst, class)
+    }
+
+    fn send(&mut self, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
+        self.core.send(self.ctx, flow, parts)
+    }
+
+    fn set_timer(&mut self, delay: simnet::SimDuration, tag: u64) {
+        assert!(tag < INTERNAL_TAG_BASE, "timer tags >= 2^62 are reserved");
+        self.ctx.set_timer(delay, tag);
+    }
+
+    fn flush(&mut self) {
+        self.core.flush(self.ctx);
+    }
+}
+
+/// The optimizing engine, installed as a node's [`Endpoint`].
+pub struct MadEngine {
+    core: Rc<RefCell<EngineCore>>,
+    app: Option<Box<dyn AppDriver>>,
+}
+
+/// A cloneable handle onto a (possibly running) engine, used by tests,
+/// examples and the experiment harness to submit traffic and read state.
+#[derive(Clone)]
+pub struct EngineHandle {
+    core: Rc<RefCell<EngineCore>>,
+}
+
+/// Builder for [`MadEngine`].
+pub struct EngineBuilder {
+    node: NodeId,
+    config: EngineConfig,
+    policy_kind: PolicyKind,
+    rails: Vec<(SimDriver, u64)>,
+    peers: Vec<(NodeId, Vec<NicId>)>,
+    app: Option<Box<dyn AppDriver>>,
+    extra_strategies: Vec<Box<dyn Strategy>>,
+}
+
+impl EngineBuilder {
+    /// Start building an engine for `node`.
+    pub fn new(node: NodeId) -> Self {
+        EngineBuilder {
+            node,
+            config: EngineConfig::default(),
+            policy_kind: PolicyKind::Pooled,
+            rails: Vec::new(),
+            peers: Vec::new(),
+            app: None,
+            extra_strategies: Vec::new(),
+        }
+    }
+
+    /// Set the engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the scheduling policy family.
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy_kind = kind;
+        self
+    }
+
+    /// Add a rail from an explicit driver and wire MTU.
+    pub fn rail(mut self, driver: SimDriver, wire_mtu: u64) -> Self {
+        self.rails.push((driver, wire_mtu));
+        self
+    }
+
+    /// Add a rail using a technology's calibrated driver and MTU.
+    pub fn rail_tech(self, tech: Technology, nic: NicId) -> Self {
+        let mtu = nicdrv::calib::params(tech).mtu;
+        self.rail(nicdrv::calib::driver(tech, nic), mtu)
+    }
+
+    /// Register a peer's NIC addresses, one per rail in rail order.
+    pub fn peer(mut self, node: NodeId, nics: Vec<NicId>) -> Self {
+        self.peers.push((node, nics));
+        self
+    }
+
+    /// Install the application/middleware stack.
+    pub fn app(mut self, app: Box<dyn AppDriver>) -> Self {
+        self.app = Some(app);
+        self
+    }
+
+    /// Register an additional optimization strategy (consulted after the
+    /// predefined database).
+    pub fn strategy(mut self, s: Box<dyn Strategy>) -> Self {
+        self.extra_strategies.push(s);
+        self
+    }
+
+    /// Build the engine and its handle.
+    pub fn build(self) -> Result<(MadEngine, EngineHandle), EngineError> {
+        self.config.validate().map_err(EngineError::Config)?;
+        if self.rails.is_empty() {
+            return Err(EngineError::Config("engine needs at least one rail".into()));
+        }
+        let mut registry = StrategyRegistry::standard(&self.config);
+        for s in self.extra_strategies {
+            registry.register(s);
+        }
+        let mut rails = Vec::with_capacity(self.rails.len());
+        let mut nic_to_rail = HashMap::new();
+        for (idx, (driver, wire_mtu)) in self.rails.into_iter().enumerate() {
+            nic_to_rail.insert(driver.nic(), idx);
+            let classmap = ClassMap::new(driver.capabilities().vchannels);
+            rails.push(Rail { driver, classmap, wire_mtu, peers: HashMap::new() });
+        }
+        for (peer, nics) in self.peers {
+            if nics.len() != rails.len() {
+                return Err(EngineError::Config(format!(
+                    "peer {peer:?} supplied {} NICs for {} rails",
+                    nics.len(),
+                    rails.len()
+                )));
+            }
+            for (rail, nic) in rails.iter_mut().zip(nics) {
+                rail.peers.insert(peer, nic);
+            }
+        }
+        let policy = RailPolicy::new(self.policy_kind, rails.len());
+        let core = Rc::new(RefCell::new(EngineCore {
+            node: self.node,
+            config: self.config,
+            rails,
+            nic_to_rail,
+            policy,
+            registry,
+            collect: CollectLayer::new(),
+            receiver: Receiver::new(),
+            inflight: HashMap::new(),
+            next_cookie: 1,
+            nagle_armed: false,
+            nagle_timer: None,
+            adaptive_idle_epochs: 0,
+            adaptive_sleeping: true,
+            pending_ctrl: VecDeque::new(),
+            metrics: EngineMetrics::default(),
+            delivered: Vec::new(),
+        }));
+        let handle = EngineHandle { core: core.clone() };
+        Ok((MadEngine { core, app: self.app }, handle))
+    }
+}
+
+impl MadEngine {
+    /// Start building an engine for `node`.
+    pub fn builder(node: NodeId) -> EngineBuilder {
+        EngineBuilder::new(node)
+    }
+
+    fn with_app(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        f: impl FnOnce(&mut dyn AppDriver, &mut MadApi<'_, '_>),
+    ) {
+        if let Some(mut app) = self.app.take() {
+            {
+                let mut core = self.core.borrow_mut();
+                let mut api = MadApi { core: &mut core, ctx };
+                f(app.as_mut(), &mut api);
+            }
+            self.app = Some(app);
+        }
+    }
+}
+
+impl Endpoint for MadEngine {
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>) {
+        {
+            let mut core = self.core.borrow_mut();
+            if core.policy.kind() == PolicyKind::Adaptive {
+                let epoch = core.config.adaptive_epoch;
+                core.adaptive_sleeping = false;
+                ctx.set_timer(epoch, ADAPTIVE_TAG);
+            }
+        }
+        self.with_app(ctx, |app, api| app.on_start(api));
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut SimCtx<'_>, _nic: NicId, cookie: u64) {
+        let completed = {
+            let mut core = self.core.borrow_mut();
+            let completed = core.complete_cookie(cookie);
+            core.flush_ctrl(ctx);
+            completed
+        };
+        if !completed.is_empty() {
+            self.with_app(ctx, |app, api| {
+                for id in completed {
+                    app.on_sent(api, id);
+                }
+            });
+        }
+    }
+
+    fn on_nic_idle(&mut self, ctx: &mut SimCtx<'_>, nic: NicId) {
+        let mut core = self.core.borrow_mut();
+        if let Some(rail) = core.rail_of(nic) {
+            core.optimize_rail(ctx, rail, Activation::NicIdle);
+        }
+    }
+
+    fn on_packet_rx(&mut self, ctx: &mut SimCtx<'_>, nic: NicId, pkt: WirePacket) {
+        let deliveries = self.core.borrow_mut().handle_packet(ctx, nic, pkt);
+        if deliveries.is_empty() {
+            return;
+        }
+        self.with_app(ctx, |app, api| {
+            for d in &deliveries {
+                app.on_message(api, d);
+            }
+        });
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx<'_>, _timer: TimerId, tag: u64) {
+        match tag {
+            NAGLE_TAG => {
+                let mut core = self.core.borrow_mut();
+                core.nagle_armed = false;
+                core.nagle_timer = None;
+                core.optimize_all_idle(ctx, Activation::Timer);
+            }
+            ADAPTIVE_TAG => {
+                let mut core = self.core.borrow_mut();
+                let traffic = core.policy.epoch_traffic();
+                core.policy.rebalance();
+                if traffic == 0 {
+                    core.adaptive_idle_epochs += 1;
+                } else {
+                    core.adaptive_idle_epochs = 0;
+                }
+                // After two silent epochs the timer sleeps so the event
+                // queue can drain; the next submission re-arms it.
+                if core.adaptive_idle_epochs >= 2 {
+                    core.adaptive_sleeping = true;
+                } else {
+                    let epoch = core.config.adaptive_epoch;
+                    drop(core);
+                    ctx.set_timer(epoch, ADAPTIVE_TAG);
+                }
+            }
+            t => self.with_app(ctx, |app, api| app.on_timer(api, t)),
+        }
+    }
+}
+
+impl EngineHandle {
+    /// The node this engine runs on.
+    pub fn node(&self) -> NodeId {
+        self.core.borrow().node
+    }
+
+    /// Snapshot of the engine's metrics.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.core.borrow().metrics.clone()
+    }
+
+    /// Snapshot of receive-side statistics.
+    pub fn receiver_stats(&self) -> ReceiverStats {
+        self.core.borrow().receiver.stats.clone()
+    }
+
+    /// Drain the recorded delivered messages.
+    pub fn take_delivered(&self) -> Vec<DeliveredMessage> {
+        std::mem::take(&mut self.core.borrow_mut().delivered)
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.core.borrow().metrics.delivered_msgs
+    }
+
+    /// Uncommitted backlog bytes in the collect layer.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.core.borrow().collect.backlog_bytes()
+    }
+
+    /// Open a flow toward `dst` (must be a registered peer).
+    pub fn open_flow(&self, dst: NodeId, class: TrafficClass) -> FlowId {
+        self.core.borrow_mut().open_flow(dst, class)
+    }
+
+    /// Submit a packed message (from outside the event loop, via
+    /// [`simnet::Simulation::inject`]).
+    pub fn send(&self, ctx: &mut SimCtx<'_>, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
+        self.core.borrow_mut().send(ctx, flow, parts)
+    }
+
+    /// Pin a traffic class to a rail subset (ClassPinned policy).
+    pub fn pin_class(&self, class: TrafficClass, rails: &[usize]) {
+        self.core.borrow_mut().policy.pin_class(class, rails);
+    }
+
+    /// Switch the scheduling policy family at runtime (§2).
+    pub fn switch_policy(&self, kind: PolicyKind) {
+        self.core.borrow_mut().policy.switch_kind(kind);
+    }
+
+    /// Collapse all traffic classes onto one virtual channel on every rail
+    /// (the "no class separation" baseline of experiment E6).
+    pub fn collapse_classes(&self) {
+        for rail in &mut self.core.borrow_mut().rails {
+            rail.classmap.collapse();
+        }
+    }
+
+    /// Reassign a class to a virtual channel on one rail.
+    pub fn set_class_vchan(&self, rail: usize, class: TrafficClass, vchan: u8) -> bool {
+        self.core.borrow_mut().rails[rail].classmap.assign(class, vchan)
+    }
+
+    /// Names of registered strategies, in consultation order.
+    pub fn strategy_names(&self) -> Vec<&'static str> {
+        self.core.borrow().registry.names()
+    }
+
+    /// Number of adaptive-policy rebalances performed.
+    pub fn rebalances(&self) -> u64 {
+        self.core.borrow().policy.rebalances()
+    }
+
+    /// Force-push pending traffic from outside the event loop.
+    pub fn flush(&self, ctx: &mut SimCtx<'_>) {
+        self.core.borrow_mut().flush(ctx);
+    }
+
+    /// True when nothing is pending: no backlog, no in-flight packets, no
+    /// queued control messages.
+    pub fn is_drained(&self) -> bool {
+        let core = self.core.borrow();
+        core.collect.is_empty() && core.inflight.is_empty() && core.pending_ctrl.is_empty()
+    }
+
+    /// Human-readable snapshot of the engine's state, for debugging stuck
+    /// workloads: backlog, in-flight packets, pending control messages,
+    /// per-strategy win counts and headline metrics.
+    pub fn debug_report(&self) -> String {
+        let core = self.core.borrow();
+        let m = &core.metrics;
+        let mut out = format!(
+            "engine@{:?}: {} rails, policy {:?}\n             backlog: {} bytes in {} flows; inflight packets: {}; pending ctrl: {}\n             submitted {} msgs / delivered {} msgs; {} packets ({:.2} chunks/pkt)\n             activations: {} idle / {} submit / {} timer; plans {} evaluated / {} submitted\n",
+            core.node,
+            core.rails.len(),
+            core.policy.kind(),
+            core.collect.backlog_bytes(),
+            core.collect.flows().len(),
+            core.inflight.len(),
+            core.pending_ctrl.len(),
+            m.submitted_msgs,
+            m.delivered_msgs,
+            m.packets_sent,
+            m.aggregation_ratio(),
+            m.activations_idle,
+            m.activations_submit,
+            m.activations_timer,
+            m.plans_evaluated,
+            m.plans_submitted,
+        );
+        if !m.strategy_wins.is_empty() {
+            out.push_str("strategy wins:");
+            for (name, wins) in &m.strategy_wins {
+                out.push_str(&format!(" {name}={wins}"));
+            }
+            out.push('\n');
+        }
+        for fs in core.collect.flows() {
+            if !fs.queue.is_empty() {
+                out.push_str(&format!(
+                    "  {}: {} pending messages toward {:?}\n",
+                    fs.id,
+                    fs.queue.len(),
+                    fs.dst
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageBuilder;
+    use simnet::{NetworkParams, Simulation};
+
+    fn sim_with_two_nics() -> (Simulation, NodeId, NicId, NicId) {
+        let mut sim = Simulation::new();
+        let net = sim.add_network(NetworkParams::synthetic());
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let na = sim.add_nic(a, net);
+        let nb = sim.add_nic(b, net);
+        (sim, a, na, nb)
+    }
+
+    fn driver(nic: NicId) -> SimDriver {
+        SimDriver::new(
+            nic,
+            nicdrv::calib::synthetic_capabilities(),
+            nicdrv::CostModel::from_params(&NetworkParams::synthetic()),
+        )
+    }
+
+    #[test]
+    fn builder_rejects_no_rails() {
+        let r = MadEngine::builder(NodeId(0)).build();
+        assert!(matches!(r, Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn builder_rejects_peer_rail_mismatch() {
+        let (_sim, a, na, nb) = sim_with_two_nics();
+        let r = MadEngine::builder(a)
+            .rail(driver(na), 1 << 20)
+            .peer(NodeId(1), vec![nb, nb]) // two NICs for one rail
+            .build();
+        assert!(matches!(r, Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let (_sim, a, na, _nb) = sim_with_two_nics();
+        let r = MadEngine::builder(a)
+            .rail(driver(na), 1 << 20)
+            .config(EngineConfig::default().with_window(0))
+            .build();
+        assert!(matches!(r, Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered peer")]
+    fn open_flow_to_unknown_peer_fails_fast() {
+        let (_sim, a, na, _nb) = sim_with_two_nics();
+        let (_engine, handle) = MadEngine::builder(a)
+            .rail(driver(na), 1 << 20)
+            .build()
+            .unwrap();
+        // No peers registered: the topology bug surfaces immediately.
+        let _ = handle.open_flow(NodeId(1), TrafficClass::DEFAULT);
+    }
+
+    #[test]
+    fn handle_exposes_strategy_names_and_node() {
+        let (_sim, a, na, nb) = sim_with_two_nics();
+        let (_engine, handle) = MadEngine::builder(a)
+            .rail(driver(na), 1 << 20)
+            .peer(NodeId(1), vec![nb])
+            .build()
+            .unwrap();
+        assert_eq!(handle.node(), a);
+        let names = handle.strategy_names();
+        assert!(names.contains(&"aggregate"));
+        assert!(names.contains(&"fifo"));
+        assert_eq!(handle.backlog_bytes(), 0);
+        assert_eq!(handle.delivered_count(), 0);
+    }
+
+    #[test]
+    fn send_requires_fragments() {
+        let (mut sim, a, na, nb) = sim_with_two_nics();
+        let (engine, handle) = MadEngine::builder(a)
+            .rail(driver(na), 1 << 20)
+            .peer(NodeId(1), vec![nb])
+            .build()
+            .unwrap();
+        sim.set_endpoint(a, Box::new(engine));
+        let f = handle.open_flow(NodeId(1), TrafficClass::DEFAULT);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.inject(a, |ctx| handle.send(ctx, f, vec![]));
+        }));
+        assert!(result.is_err(), "empty message must panic");
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_submissions() {
+        let (mut sim, a, na, nb) = sim_with_two_nics();
+        let (engine, handle) = MadEngine::builder(a)
+            .rail(driver(na), 1 << 20)
+            .peer(NodeId(1), vec![nb])
+            .build()
+            .unwrap();
+        sim.set_endpoint(a, Box::new(engine));
+        let f = handle.open_flow(NodeId(1), TrafficClass::DEFAULT);
+        sim.inject(a, |ctx| {
+            handle.send(ctx, f, MessageBuilder::new().pack_cheaper(&[1; 64]).build_parts());
+        });
+        let m = handle.metrics();
+        assert_eq!(m.submitted_msgs, 1);
+        assert_eq!(m.submitted_bytes, 64);
+        assert_eq!(m.activations_submit, 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Cluster harness: one-call construction of a simulated cluster running
+//! either engine, used by integration tests, examples and the experiment
+//! harness.
+
+use simnet::{NicId, NodeId, SimDuration, Simulation, SimTime, Technology};
+
+use crate::api::AppDriver;
+use crate::config::EngineConfig;
+use crate::engine::{EngineHandle, MadEngine};
+use crate::ids::{FlowId, MsgId, TrafficClass};
+use crate::legacy::{LegacyEngine, LegacyHandle};
+use crate::message::{DeliveredMessage, Fragment};
+use crate::metrics::EngineMetrics;
+use crate::policy::PolicyKind;
+use crate::receiver::ReceiverStats;
+
+/// Which engine the cluster's nodes run.
+#[derive(Clone, Debug)]
+pub enum EngineKind {
+    /// The paper's optimizing engine.
+    Optimizing {
+        /// Engine configuration.
+        config: EngineConfig,
+        /// Scheduling policy.
+        policy: PolicyKind,
+    },
+    /// The deterministic per-flow baseline.
+    Legacy {
+        /// Engine configuration (rendezvous/recording knobs).
+        config: EngineConfig,
+    },
+}
+
+impl EngineKind {
+    /// Optimizing engine with defaults.
+    pub fn optimizing() -> Self {
+        EngineKind::Optimizing { config: EngineConfig::default(), policy: PolicyKind::Pooled }
+    }
+
+    /// Legacy engine with defaults.
+    pub fn legacy() -> Self {
+        EngineKind::Legacy { config: EngineConfig::default() }
+    }
+}
+
+/// Handle onto one node's engine, independent of its kind.
+#[derive(Clone)]
+pub enum NodeHandle {
+    /// Optimizing engine handle.
+    Opt(EngineHandle),
+    /// Legacy engine handle.
+    Legacy(LegacyHandle),
+}
+
+impl NodeHandle {
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> EngineMetrics {
+        match self {
+            NodeHandle::Opt(h) => h.metrics(),
+            NodeHandle::Legacy(h) => h.metrics(),
+        }
+    }
+
+    /// Receiver statistics snapshot.
+    pub fn receiver_stats(&self) -> ReceiverStats {
+        match self {
+            NodeHandle::Opt(h) => h.receiver_stats(),
+            NodeHandle::Legacy(h) => h.receiver_stats(),
+        }
+    }
+
+    /// Drain recorded deliveries.
+    pub fn take_delivered(&self) -> Vec<DeliveredMessage> {
+        match self {
+            NodeHandle::Opt(h) => h.take_delivered(),
+            NodeHandle::Legacy(h) => h.take_delivered(),
+        }
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        match self {
+            NodeHandle::Opt(h) => h.delivered_count(),
+            NodeHandle::Legacy(h) => h.delivered_count(),
+        }
+    }
+
+    /// Bytes waiting to be transmitted (collect-layer backlog for the
+    /// optimizer; software-queue payload for the legacy engine).
+    pub fn backlog_bytes(&self) -> u64 {
+        match self {
+            NodeHandle::Opt(h) => h.backlog_bytes(),
+            NodeHandle::Legacy(h) => h.queued_bytes(),
+        }
+    }
+
+    /// Open a flow.
+    pub fn open_flow(&self, dst: NodeId, class: TrafficClass) -> FlowId {
+        match self {
+            NodeHandle::Opt(h) => h.open_flow(dst, class),
+            NodeHandle::Legacy(h) => h.open_flow(dst, class),
+        }
+    }
+
+    /// Submit a message (inside a [`Simulation::inject`] closure).
+    pub fn send(
+        &self,
+        ctx: &mut simnet::SimCtx<'_>,
+        flow: FlowId,
+        parts: Vec<Fragment>,
+    ) -> MsgId {
+        match self {
+            NodeHandle::Opt(h) => h.send(ctx, flow, parts),
+            NodeHandle::Legacy(h) => h.send(ctx, flow, parts),
+        }
+    }
+
+    /// The optimizing-engine handle, when this node runs one (for
+    /// policy/class operations the legacy engine does not support).
+    pub fn opt(&self) -> Option<&EngineHandle> {
+        match self {
+            NodeHandle::Opt(h) => Some(h),
+            NodeHandle::Legacy(_) => None,
+        }
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// One rail per listed technology, on every node.
+    pub rails: Vec<Technology>,
+    /// Engine kind for every node.
+    pub engine: EngineKind,
+    /// Enable simulator tracing with this capacity.
+    pub trace: Option<usize>,
+}
+
+impl ClusterSpec {
+    /// Two nodes, one MX rail, optimizing engine — the paper's beta setup.
+    pub fn mx_pair() -> Self {
+        ClusterSpec {
+            nodes: 2,
+            rails: vec![Technology::MyrinetMx],
+            engine: EngineKind::optimizing(),
+            trace: None,
+        }
+    }
+}
+
+/// A built cluster.
+pub struct Cluster {
+    /// The simulation.
+    pub sim: Simulation,
+    /// Node ids in construction order.
+    pub nodes: Vec<NodeId>,
+    /// `nics[node][rail]`.
+    pub nics: Vec<Vec<NicId>>,
+    /// Engine handles per node.
+    pub handles: Vec<NodeHandle>,
+}
+
+impl Cluster {
+    /// Build a cluster; `apps[i]` is installed on node `i` (pad with
+    /// `None` for pure-engine nodes). `apps` may be shorter than the node
+    /// count.
+    pub fn build(spec: &ClusterSpec, mut apps: Vec<Option<Box<dyn AppDriver>>>) -> Cluster {
+        assert!(spec.nodes >= 1);
+        assert!(!spec.rails.is_empty(), "need at least one rail technology");
+        let mut sim = Simulation::new();
+        if let Some(cap) = spec.trace {
+            sim.enable_trace(cap);
+        }
+        let networks: Vec<_> = spec
+            .rails
+            .iter()
+            .map(|&t| sim.add_network(nicdrv::calib::params(t)))
+            .collect();
+        let nodes: Vec<NodeId> = (0..spec.nodes).map(|_| sim.add_node()).collect();
+        let nics: Vec<Vec<NicId>> = nodes
+            .iter()
+            .map(|&n| networks.iter().map(|&net| sim.add_nic(n, net)).collect())
+            .collect();
+        apps.resize_with(spec.nodes, || None);
+        let mut handles = Vec::with_capacity(spec.nodes);
+        for (i, (&node, app)) in nodes.iter().zip(apps).enumerate() {
+            match &spec.engine {
+                EngineKind::Optimizing { config, policy } => {
+                    let mut b = MadEngine::builder(node)
+                        .config(config.clone())
+                        .policy(*policy);
+                    for (r, &tech) in spec.rails.iter().enumerate() {
+                        b = b.rail_tech(tech, nics[i][r]);
+                    }
+                    for (j, &peer) in nodes.iter().enumerate() {
+                        if j != i {
+                            b = b.peer(peer, nics[j].clone());
+                        }
+                    }
+                    if let Some(app) = app {
+                        b = b.app(app);
+                    }
+                    let (engine, handle) = b.build().expect("valid cluster spec");
+                    sim.set_endpoint(node, Box::new(engine));
+                    handles.push(NodeHandle::Opt(handle));
+                }
+                EngineKind::Legacy { config } => {
+                    let mut b = LegacyEngine::builder(node).config(config.clone());
+                    for (r, &tech) in spec.rails.iter().enumerate() {
+                        b = b.rail_tech(tech, nics[i][r]);
+                    }
+                    for (j, &peer) in nodes.iter().enumerate() {
+                        if j != i {
+                            b = b.peer(peer, nics[j].clone());
+                        }
+                    }
+                    if let Some(app) = app {
+                        b = b.app(app);
+                    }
+                    let (engine, handle) = b.build().expect("valid cluster spec");
+                    sim.set_endpoint(node, Box::new(engine));
+                    handles.push(NodeHandle::Legacy(handle));
+                }
+            }
+        }
+        Cluster { sim, nodes, nics, handles }
+    }
+
+    /// Run for a fixed span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> SimTime {
+        let deadline = self.sim.now() + d;
+        self.sim.run_until(deadline)
+    }
+
+    /// Run until no events remain (or the safety limit).
+    pub fn drain(&mut self) -> SimTime {
+        self.sim
+            .run_until_quiescent(SimTime::from_nanos(u64::MAX / 2))
+    }
+
+    /// Handle of node `i`.
+    pub fn handle(&self, i: usize) -> &NodeHandle {
+        &self.handles[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageBuilder;
+
+    #[test]
+    fn mx_pair_roundtrip() {
+        let mut c = Cluster::build(&ClusterSpec::mx_pair(), vec![]);
+        let (a, b) = (c.nodes[0], c.nodes[1]);
+        let ha = c.handle(0).clone();
+        let f = ha.open_flow(b, TrafficClass::DEFAULT);
+        c.sim.inject(a, |ctx| {
+            ha.send(ctx, f, MessageBuilder::new().pack_cheaper(b"payload").build_parts())
+        });
+        c.drain();
+        assert_eq!(c.handle(1).delivered_count(), 1);
+        let got = c.handle(1).take_delivered();
+        assert_eq!(got[0].contiguous(), b"payload");
+    }
+
+    #[test]
+    fn legacy_cluster_roundtrip() {
+        let spec = ClusterSpec {
+            nodes: 3,
+            rails: vec![Technology::MyrinetMx],
+            engine: EngineKind::legacy(),
+            trace: None,
+        };
+        let mut c = Cluster::build(&spec, vec![]);
+        let h0 = c.handle(0).clone();
+        let n2 = c.nodes[2];
+        let f = h0.open_flow(n2, TrafficClass::DEFAULT);
+        let n0 = c.nodes[0];
+        c.sim.inject(n0, |ctx| {
+            h0.send(ctx, f, MessageBuilder::new().pack_cheaper(&[3; 64]).build_parts())
+        });
+        c.drain();
+        assert_eq!(c.handle(2).delivered_count(), 1);
+        assert_eq!(c.handle(1).delivered_count(), 0);
+    }
+
+    #[test]
+    fn multirail_cluster_builds() {
+        let spec = ClusterSpec {
+            nodes: 2,
+            rails: vec![Technology::MyrinetMx, Technology::QuadricsElan],
+            engine: EngineKind::optimizing(),
+            trace: Some(1024),
+        };
+        let c = Cluster::build(&spec, vec![]);
+        assert_eq!(c.nics[0].len(), 2);
+        assert_eq!(c.nics[1].len(), 2);
+        assert!(c.sim.trace().is_enabled());
+    }
+}

@@ -1,0 +1,112 @@
+//! Identifier newtypes shared across the engine.
+
+use std::fmt;
+
+/// A communication flow: one logical stream of messages from this node to a
+/// destination, created by a middleware (MPI channel, RPC binding, DSM
+/// pager...). Flows are the unit the paper's engine *mixes*: cross-flow
+/// optimization is exactly what the previous Madeleine could not do (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// Per-flow message sequence number; delivery to the application preserves
+/// this order within a flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgSeq(pub u32);
+
+/// A (flow, sequence) pair identifying one message from one sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId {
+    /// Originating flow.
+    pub flow: FlowId,
+    /// Sequence within the flow.
+    pub seq: MsgSeq,
+}
+
+/// Index of a fragment within its message (pack order).
+pub type FragIndex = u16;
+
+/// A transmission channel: one (NIC, virtual channel) pair in the pooled
+/// resource set managed by the scheduler (§1: "network multiplexing units as
+/// networking resources to be put in common into a pool").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u16);
+
+/// Traffic class of a flow (§2: "assigning different channels to large
+/// synchronous sends, put/get transfers and control/signalling messages").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrafficClass(pub u8);
+
+impl TrafficClass {
+    /// Ordinary two-sided sends (default).
+    pub const DEFAULT: TrafficClass = TrafficClass(0);
+    /// Large synchronous bulk transfers.
+    pub const BULK: TrafficClass = TrafficClass(1);
+    /// One-sided put/get style transfers.
+    pub const PUT_GET: TrafficClass = TrafficClass(2);
+    /// Small latency-critical control / signalling messages.
+    pub const CONTROL: TrafficClass = TrafficClass(3);
+
+    /// Number of predefined classes.
+    pub const COUNT: usize = 4;
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self.0 {
+            0 => "default",
+            1 => "bulk",
+            2 => "put/get",
+            3 => "control",
+            _ => "user",
+        }
+    }
+
+    /// Relative urgency weight used by the optimizer's scoring function:
+    /// higher means a stalled packet of this class hurts more.
+    pub fn urgency_weight(self) -> f64 {
+        match self.0 {
+            3 => 8.0, // control: latency-critical
+            2 => 2.0,
+            1 => 0.5, // bulk: throughput-oriented, tolerate delay
+            _ => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.flow, self.seq.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels_and_weights() {
+        assert_eq!(TrafficClass::CONTROL.label(), "control");
+        assert_eq!(TrafficClass(9).label(), "user");
+        assert!(TrafficClass::CONTROL.urgency_weight() > TrafficClass::BULK.urgency_weight());
+    }
+
+    #[test]
+    fn msg_id_orders_by_flow_then_seq() {
+        let a = MsgId { flow: FlowId(1), seq: MsgSeq(5) };
+        let b = MsgId { flow: FlowId(1), seq: MsgSeq(6) };
+        let c = MsgId { flow: FlowId(2), seq: MsgSeq(0) };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = MsgId { flow: FlowId(3), seq: MsgSeq(7) };
+        assert_eq!(m.to_string(), "flow3#7");
+    }
+}

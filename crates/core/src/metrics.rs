@@ -1,0 +1,224 @@
+//! Engine-level metrics: everything the experiment harness reports is
+//! accumulated here, on both the sending and receiving sides.
+
+use simnet::{LatencyHistogram, SimDuration, Summary};
+use std::collections::BTreeMap;
+
+use crate::ids::TrafficClass;
+
+/// Histogram of chunks-per-packet (index = chunk count, capped at the last
+/// bucket). `chunks/packets > 1` is aggregation happening.
+const AGG_BUCKETS: usize = 17;
+
+/// Why the optimizer ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// A NIC transmit engine drained (the paper's primary trigger).
+    NicIdle,
+    /// An application submission found an idle NIC.
+    Submit,
+    /// A Nagle-delay timer expired.
+    Timer,
+}
+
+/// Counters and distributions for one engine instance.
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    /// Messages submitted by the local application.
+    pub submitted_msgs: u64,
+    /// Payload bytes submitted.
+    pub submitted_bytes: u64,
+    /// Messages delivered to the local application.
+    pub delivered_msgs: u64,
+    /// Payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Submission→delivery latency of delivered messages.
+    pub latency: LatencyHistogram,
+    /// Latency split by traffic class.
+    pub latency_by_class: Vec<LatencyHistogram>,
+    /// Wire packets sent (data only).
+    pub packets_sent: u64,
+    /// Chunks sent (aggregation ratio = chunks / packets).
+    pub chunks_sent: u64,
+    /// chunks-per-packet histogram.
+    pub agg_histogram: [u64; AGG_BUCKETS],
+    /// Optimizer activations by NIC-idle events.
+    pub activations_idle: u64,
+    /// Optimizer activations by application submissions.
+    pub activations_submit: u64,
+    /// Optimizer activations by Nagle timers.
+    pub activations_timer: u64,
+    /// Candidate plans scored (the quantity E5 bounds).
+    pub plans_evaluated: u64,
+    /// Plans actually submitted to drivers.
+    pub plans_submitted: u64,
+    /// Rendezvous requests sent.
+    pub rndv_requests: u64,
+    /// Rendezvous grants received.
+    pub rndv_grants: u64,
+    /// Multi-chunk packets sent linearized (by copy).
+    pub linearized_packets: u64,
+    /// Multi-chunk packets sent as zero-copy gather lists.
+    pub gathered_packets: u64,
+    /// Receiver-observed express-ordering violations (must stay 0 on
+    /// single-rail runs; see `receiver` docs for the multi-rail caveat).
+    pub express_violations: u64,
+    /// Undecodable packets received (fault injection only).
+    pub proto_errors: u64,
+    /// Plans the driver rejected at submission (engine bugs; should be 0).
+    pub driver_rejections: u64,
+    /// Backlog depth (schedulable chunks visible to the rail) sampled at
+    /// each optimizer activation — the paper's "pool of lookahead packets".
+    pub backlog_depth: Summary,
+    /// How many times each strategy's proposal won the scoring contest
+    /// (keyed by strategy name; `BTreeMap` for deterministic iteration).
+    pub strategy_wins: BTreeMap<&'static str, u64>,
+    /// Total time submissions spent blocked in the application's context.
+    /// The collect layer returns immediately, so this only accumulates the
+    /// (modelled) enqueue cost — E2's "application blocking" metric.
+    pub app_blocking: SimDuration,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            submitted_msgs: 0,
+            submitted_bytes: 0,
+            delivered_msgs: 0,
+            delivered_bytes: 0,
+            latency: LatencyHistogram::new(),
+            latency_by_class: (0..TrafficClass::COUNT).map(|_| LatencyHistogram::new()).collect(),
+            packets_sent: 0,
+            chunks_sent: 0,
+            agg_histogram: [0; AGG_BUCKETS],
+            activations_idle: 0,
+            activations_submit: 0,
+            activations_timer: 0,
+            plans_evaluated: 0,
+            plans_submitted: 0,
+            rndv_requests: 0,
+            rndv_grants: 0,
+            linearized_packets: 0,
+            gathered_packets: 0,
+            express_violations: 0,
+            proto_errors: 0,
+            driver_rejections: 0,
+            backlog_depth: Summary::new(),
+            strategy_wins: BTreeMap::new(),
+            app_blocking: SimDuration::ZERO,
+        }
+    }
+}
+
+impl EngineMetrics {
+    /// Record an optimizer activation.
+    pub fn record_activation(&mut self, a: Activation) {
+        match a {
+            Activation::NicIdle => self.activations_idle += 1,
+            Activation::Submit => self.activations_submit += 1,
+            Activation::Timer => self.activations_timer += 1,
+        }
+    }
+
+    /// Record a sent data packet of `chunks` chunks.
+    pub fn record_packet(&mut self, chunks: usize, linearized: bool) {
+        self.packets_sent += 1;
+        self.chunks_sent += chunks as u64;
+        let idx = chunks.min(AGG_BUCKETS - 1);
+        self.agg_histogram[idx] += 1;
+        if chunks > 1 {
+            if linearized {
+                self.linearized_packets += 1;
+            } else {
+                self.gathered_packets += 1;
+            }
+        }
+    }
+
+    /// Record a delivered message.
+    pub fn record_delivery(&mut self, class: TrafficClass, bytes: u64, latency: SimDuration) {
+        self.delivered_msgs += 1;
+        self.delivered_bytes += bytes;
+        self.latency.record(latency);
+        let idx = (class.0 as usize).min(self.latency_by_class.len() - 1);
+        self.latency_by_class[idx].record(latency);
+    }
+
+    /// Mean chunks per data packet (1.0 = no aggregation).
+    pub fn aggregation_ratio(&self) -> f64 {
+        if self.packets_sent == 0 {
+            return 0.0;
+        }
+        self.chunks_sent as f64 / self.packets_sent as f64
+    }
+
+    /// Total optimizer activations.
+    pub fn activations(&self) -> u64 {
+        self.activations_idle + self.activations_submit + self.activations_timer
+    }
+
+    /// Mean plans evaluated per activation.
+    pub fn plans_per_activation(&self) -> f64 {
+        let a = self.activations();
+        if a == 0 {
+            return 0.0;
+        }
+        self.plans_evaluated as f64 / a as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_ratio_reflects_chunk_counts() {
+        let mut m = EngineMetrics::default();
+        m.record_packet(1, false);
+        m.record_packet(3, true);
+        m.record_packet(4, false);
+        assert!((m.aggregation_ratio() - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.linearized_packets, 1);
+        assert_eq!(m.gathered_packets, 1);
+        assert_eq!(m.agg_histogram[1], 1);
+        assert_eq!(m.agg_histogram[3], 1);
+    }
+
+    #[test]
+    fn activation_counters() {
+        let mut m = EngineMetrics::default();
+        m.record_activation(Activation::NicIdle);
+        m.record_activation(Activation::NicIdle);
+        m.record_activation(Activation::Submit);
+        m.record_activation(Activation::Timer);
+        assert_eq!(m.activations(), 4);
+        assert_eq!(m.activations_idle, 2);
+        m.plans_evaluated = 8;
+        assert!((m.plans_per_activation() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_updates_class_histograms() {
+        let mut m = EngineMetrics::default();
+        m.record_delivery(TrafficClass::CONTROL, 64, SimDuration::from_micros(3));
+        m.record_delivery(TrafficClass::BULK, 1 << 20, SimDuration::from_millis(2));
+        assert_eq!(m.delivered_msgs, 2);
+        assert_eq!(m.latency.count(), 2);
+        assert_eq!(m.latency_by_class[TrafficClass::CONTROL.0 as usize].count(), 1);
+        assert_eq!(m.latency_by_class[TrafficClass::BULK.0 as usize].count(), 1);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_ratios() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.aggregation_ratio(), 0.0);
+        assert_eq!(m.plans_per_activation(), 0.0);
+    }
+
+    #[test]
+    fn user_class_out_of_range_clamps() {
+        let mut m = EngineMetrics::default();
+        m.record_delivery(TrafficClass(200), 1, SimDuration::from_nanos(1));
+        assert_eq!(m.latency_by_class.last().unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! The optimizer's decision procedures: plan selection under a
+//! rearrangement budget, and the submit-time activation policy (send now,
+//! wait for NIC idle, or arm a Nagle-style delay).
+
+use simnet::SimDuration;
+
+use crate::collect::CollectLayer;
+use crate::config::EngineConfig;
+use crate::constraints::validate_plan;
+use crate::cost::{score_plan, ScoredPlan};
+use crate::strategy::{OptContext, StrategyRegistry};
+
+/// Result of one plan-selection pass.
+#[derive(Debug)]
+pub struct SelectionOutcome {
+    /// The winning plan, if any proposal survived validation and scoring.
+    pub best: Option<ScoredPlan>,
+    /// Plans scored (counted against the rearrangement budget).
+    pub evaluated: usize,
+    /// Proposals rejected by the constraint checker.
+    pub rejected: usize,
+    /// Proposals skipped because the budget ran out.
+    pub skipped: usize,
+}
+
+/// Collect proposals from every strategy, validate each, score up to
+/// `budget` of them, and return the best.
+///
+/// Determinism: proposals are considered in registry order; ties in score
+/// keep the earlier proposal. The budget bounds *scoring* work — the
+/// quantity the paper proposes to limit (§4 future work) — so a budget of
+/// `k` means at most `k` cost-model evaluations per pass.
+pub fn select_plan(
+    registry: &StrategyRegistry,
+    ctx: &OptContext<'_>,
+    collect: &CollectLayer,
+    wire_mtu: u64,
+    budget: usize,
+) -> SelectionOutcome {
+    let mut proposals = Vec::new();
+    registry.propose_all(ctx, &mut proposals);
+    let mut best: Option<ScoredPlan> = None;
+    let mut evaluated = 0usize;
+    let mut rejected = 0usize;
+    let mut skipped = 0usize;
+    for plan in proposals {
+        if evaluated >= budget {
+            skipped += 1;
+            continue;
+        }
+        if validate_plan(&plan, collect, ctx.caps, wire_mtu).is_err() {
+            rejected += 1;
+            continue;
+        }
+        let scored = score_plan(&plan, ctx);
+        evaluated += 1;
+        match &best {
+            Some(b) if b.score >= scored.score => {}
+            _ => best = Some(scored),
+        }
+    }
+    SelectionOutcome { best, evaluated, rejected, skipped }
+}
+
+/// What to do when the application submits a message and at least one
+/// eligible NIC is idle (§3: "the scheduler may send packets as they become
+/// available ... or may artificially delay them for a short time to
+/// increase the potential of interesting aggregations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitAction {
+    /// Run the optimizer immediately.
+    OptimizeNow,
+    /// Arm a Nagle timer for the given delay.
+    ArmNagle(SimDuration),
+    /// Do nothing: either the NIC is busy (idle event will trigger us) or a
+    /// Nagle timer is already pending.
+    Wait,
+}
+
+/// Decide the submit-time action.
+pub fn submit_action(
+    cfg: &EngineConfig,
+    any_idle_rail: bool,
+    backlog_bytes: u64,
+    nagle_armed: bool,
+) -> SubmitAction {
+    if !any_idle_rail {
+        return SubmitAction::Wait;
+    }
+    if cfg.nagle_delay.is_zero() || backlog_bytes >= cfg.nagle_threshold {
+        return SubmitAction::OptimizeNow;
+    }
+    if nagle_armed {
+        SubmitAction::Wait
+    } else {
+        SubmitAction::ArmNagle(cfg.nagle_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChannelId, TrafficClass};
+    use crate::message::{MessageBuilder, PackMode};
+    use crate::strategy::OptContext;
+    use nicdrv::{calib, CostModel};
+    use simnet::{NetworkParams, NodeId, SimTime};
+
+    fn backlog(n_msgs: usize, size: usize) -> CollectLayer {
+        let mut c = CollectLayer::new();
+        let f = c.open_flow(NodeId(1), TrafficClass::DEFAULT);
+        for _ in 0..n_msgs {
+            let parts = MessageBuilder::new()
+                .pack(&vec![7u8; size], PackMode::Cheaper)
+                .build_parts();
+            c.submit(f, parts, SimTime::ZERO, 1 << 30);
+        }
+        c
+    }
+
+    fn run_selection(collect: &CollectLayer, budget: usize) -> SelectionOutcome {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let registry = StrategyRegistry::standard(&cfg);
+        let groups = collect.collect_candidates(ChannelId(0), cfg.lookahead_window, |_, _| true);
+        let ctx = OptContext {
+            now: SimTime::from_nanos(10_000),
+            channel: ChannelId(0),
+            caps: &caps,
+            cost: &cost,
+            config: &cfg,
+            groups: &groups,
+            packet_limit: 1 << 16,
+            rail_count: 1,
+        };
+        select_plan(&registry, &ctx, collect, 1 << 20, budget)
+    }
+
+    #[test]
+    fn multi_flow_backlog_selects_aggregation() {
+        let c = backlog(6, 64);
+        let out = run_selection(&c, 256);
+        let best = out.best.expect("a plan must be selected");
+        assert!(best.plan.chunk_count() >= 2, "expected aggregation, got {best:?}");
+        assert!(out.evaluated >= 2);
+        assert_eq!(out.rejected, 0);
+    }
+
+    #[test]
+    fn single_message_backlog_selects_something() {
+        let c = backlog(1, 64);
+        let out = run_selection(&c, 256);
+        let best = out.best.expect("fifo fallback must fire");
+        assert_eq!(best.plan.chunk_count(), 1);
+    }
+
+    #[test]
+    fn empty_backlog_selects_nothing() {
+        let c = CollectLayer::new();
+        let out = run_selection(&c, 256);
+        assert!(out.best.is_none());
+        assert_eq!(out.evaluated, 0);
+    }
+
+    #[test]
+    fn budget_bounds_evaluations() {
+        let c = backlog(10, 64);
+        let out = run_selection(&c, 1);
+        assert_eq!(out.evaluated, 1);
+        assert!(out.skipped > 0, "other proposals should be skipped");
+        assert!(out.best.is_some(), "budget 1 still returns the first plan");
+    }
+
+    #[test]
+    fn submit_action_logic() {
+        let mut cfg = EngineConfig::default();
+        // Paper default: no delay -> optimize immediately when idle.
+        assert_eq!(submit_action(&cfg, true, 10, false), SubmitAction::OptimizeNow);
+        assert_eq!(submit_action(&cfg, false, 10, false), SubmitAction::Wait);
+        // Nagle enabled: small backlog arms the timer once.
+        cfg.nagle_delay = SimDuration::from_micros(5);
+        cfg.nagle_threshold = 1024;
+        assert_eq!(
+            submit_action(&cfg, true, 10, false),
+            SubmitAction::ArmNagle(SimDuration::from_micros(5))
+        );
+        assert_eq!(submit_action(&cfg, true, 10, true), SubmitAction::Wait);
+        // Large backlog bypasses the delay.
+        assert_eq!(submit_action(&cfg, true, 4096, false), SubmitAction::OptimizeNow);
+    }
+}

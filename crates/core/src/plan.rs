@@ -1,0 +1,238 @@
+//! Transfer plans: the candidate "packet rearrangements" the optimizer
+//! enumerates, scores and submits (§3).
+//!
+//! A plan describes one wire packet (or one rendezvous request) on one
+//! rail. Strategies propose plans; the cost model scores them; the
+//! constraint checker vetoes invalid ones; the best one is executed.
+
+use simnet::{NodeId, SimTime};
+
+use crate::ids::{ChannelId, FlowId, FragIndex, TrafficClass};
+use crate::proto::framing_bytes;
+
+/// A byte range of one fragment scheduled for transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedChunk {
+    /// Flow the fragment's message belongs to.
+    pub flow: FlowId,
+    /// Message sequence within the flow.
+    pub seq: u32,
+    /// Fragment index within the message.
+    pub frag: FragIndex,
+    /// Starting offset within the fragment.
+    pub offset: u32,
+    /// Bytes to send.
+    pub len: u32,
+}
+
+/// What a plan does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanBody {
+    /// Send one wire packet carrying the listed chunks (in order).
+    Data {
+        /// Chunks in packet order.
+        chunks: Vec<PlannedChunk>,
+        /// Linearize by copy (true) or send as a gather list (false).
+        linearize: bool,
+    },
+    /// Send a rendezvous request for a large fragment.
+    RndvRequest {
+        /// Flow of the fragment's message.
+        flow: FlowId,
+        /// Message sequence.
+        seq: u32,
+        /// Fragment index.
+        frag: FragIndex,
+    },
+}
+
+/// A complete candidate plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// Rail (NIC) the packet goes out on.
+    pub channel: ChannelId,
+    /// Destination node (all chunks of a data plan share it).
+    pub dst: NodeId,
+    /// The action.
+    pub body: PlanBody,
+    /// Name of the strategy that proposed it (for metrics/debugging).
+    pub strategy: &'static str,
+}
+
+impl TransferPlan {
+    /// Total payload bytes the plan moves (0 for rendezvous requests).
+    pub fn payload_bytes(&self) -> u64 {
+        match &self.body {
+            PlanBody::Data { chunks, .. } => chunks.iter().map(|c| c.len as u64).sum(),
+            PlanBody::RndvRequest { .. } => 0,
+        }
+    }
+
+    /// Number of chunks (0 for rendezvous requests).
+    pub fn chunk_count(&self) -> usize {
+        match &self.body {
+            PlanBody::Data { chunks, .. } => chunks.len(),
+            PlanBody::RndvRequest { .. } => 0,
+        }
+    }
+
+    /// Protocol framing bytes this plan will add on the wire.
+    pub fn framing(&self) -> u64 {
+        match &self.body {
+            PlanBody::Data { chunks, .. } => framing_bytes(chunks.len()),
+            PlanBody::RndvRequest { .. } => framing_bytes(1),
+        }
+    }
+
+    /// Gather segments the NIC sees (header block + one per chunk, or a
+    /// single linearized segment).
+    pub fn segment_count(&self) -> usize {
+        match &self.body {
+            PlanBody::Data { chunks, linearize } => {
+                if *linearize {
+                    1
+                } else {
+                    1 + chunks.len()
+                }
+            }
+            PlanBody::RndvRequest { .. } => 1,
+        }
+    }
+}
+
+/// A schedulable byte range offered to strategies (one entry of the
+/// optimizer's lookahead window).
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkCandidate {
+    /// Flow of the message.
+    pub flow: FlowId,
+    /// Message sequence within the flow.
+    pub seq: u32,
+    /// Fragment index.
+    pub frag: FragIndex,
+    /// Next schedulable offset (contiguous after sent+inflight bytes).
+    pub offset: u32,
+    /// Remaining schedulable bytes from `offset`.
+    pub remaining: u32,
+    /// Whether the fragment is express.
+    pub express: bool,
+    /// Traffic class of the message.
+    pub class: TrafficClass,
+    /// When the message was submitted (for aging/urgency).
+    pub submitted_at: SimTime,
+}
+
+/// A fragment waiting for a rendezvous request to be sent.
+#[derive(Clone, Copy, Debug)]
+pub struct RndvCandidate {
+    /// Flow of the message.
+    pub flow: FlowId,
+    /// Message sequence.
+    pub seq: u32,
+    /// Fragment index.
+    pub frag: FragIndex,
+    /// Fragment total length (the size being negotiated).
+    pub frag_len: u32,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Submission time.
+    pub submitted_at: SimTime,
+}
+
+/// All schedulable work toward one destination node, as seen by one rail's
+/// optimizer activation.
+#[derive(Clone, Debug)]
+pub struct DstGroup {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Schedulable chunks, oldest message first.
+    pub candidates: Vec<ChunkCandidate>,
+    /// Fragments needing a rendezvous request.
+    pub rndv: Vec<RndvCandidate>,
+}
+
+impl DstGroup {
+    /// Empty group for a destination.
+    pub fn new(dst: NodeId) -> Self {
+        DstGroup { dst, candidates: Vec::new(), rndv: Vec::new() }
+    }
+
+    /// Total schedulable payload bytes in this group.
+    pub fn total_bytes(&self) -> u64 {
+        self.candidates.iter().map(|c| c.remaining as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{CHUNK_HEADER_BYTES, PACKET_PREFIX_BYTES};
+
+    fn chunk(len: u32) -> PlannedChunk {
+        PlannedChunk { flow: FlowId(0), seq: 0, frag: 0, offset: 0, len }
+    }
+
+    fn data_plan(chunks: Vec<PlannedChunk>, linearize: bool) -> TransferPlan {
+        TransferPlan {
+            channel: ChannelId(0),
+            dst: NodeId(1),
+            body: PlanBody::Data { chunks, linearize },
+            strategy: "test",
+        }
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let p = data_plan(vec![chunk(100), chunk(50)], false);
+        assert_eq!(p.payload_bytes(), 150);
+        assert_eq!(p.chunk_count(), 2);
+        assert_eq!(p.framing(), PACKET_PREFIX_BYTES + 2 * CHUNK_HEADER_BYTES);
+        assert_eq!(p.segment_count(), 3);
+        let p = data_plan(vec![chunk(100), chunk(50)], true);
+        assert_eq!(p.segment_count(), 1);
+    }
+
+    #[test]
+    fn rndv_plan_accounting() {
+        let p = TransferPlan {
+            channel: ChannelId(1),
+            dst: NodeId(2),
+            body: PlanBody::RndvRequest { flow: FlowId(3), seq: 4, frag: 5 },
+            strategy: "rndv",
+        };
+        assert_eq!(p.payload_bytes(), 0);
+        assert_eq!(p.chunk_count(), 0);
+        assert_eq!(p.segment_count(), 1);
+    }
+
+    #[test]
+    fn dst_group_totals() {
+        let g = DstGroup {
+            dst: NodeId(0),
+            candidates: vec![
+                ChunkCandidate {
+                    flow: FlowId(0),
+                    seq: 0,
+                    frag: 0,
+                    offset: 0,
+                    remaining: 100,
+                    express: false,
+                    class: TrafficClass::DEFAULT,
+                    submitted_at: SimTime::ZERO,
+                },
+                ChunkCandidate {
+                    flow: FlowId(1),
+                    seq: 0,
+                    frag: 0,
+                    offset: 64,
+                    remaining: 36,
+                    express: true,
+                    class: TrafficClass::CONTROL,
+                    submitted_at: SimTime::ZERO,
+                },
+            ],
+            rndv: vec![],
+        };
+        assert_eq!(g.total_bytes(), 136);
+    }
+}

@@ -1,0 +1,331 @@
+//! The extendable strategy database (abstract: "The database of predefined
+//! strategies can be easily extended").
+//!
+//! A [`Strategy`] looks at the optimizer's current view ([`OptContext`]) and
+//! proposes candidate [`TransferPlan`]s. The optimizer scores every proposal
+//! with the rail's cost model (within the rearrangement budget) and executes
+//! the best one. Users extend the engine by registering their own
+//! strategies — see `examples/custom_strategy.rs`.
+
+mod aggregate;
+mod copyagg;
+mod fifo;
+mod reorder;
+mod rndv;
+mod split;
+
+pub use aggregate::{EagerAggregation, MAX_AGG_CHUNKS};
+pub use copyagg::CopyAggregation;
+pub use fifo::FifoFallback;
+pub use reorder::ReorderVariants;
+pub use rndv::RendezvousPromotion;
+pub use split::BulkChunking;
+
+use nicdrv::{CostModel, DriverCapabilities};
+use simnet::{NodeId, SimTime};
+
+use crate::config::EngineConfig;
+use crate::ids::ChannelId;
+use crate::plan::{ChunkCandidate, DstGroup, PlanBody, PlannedChunk, TransferPlan};
+use crate::proto::framing_bytes;
+
+/// Everything a strategy may consult when proposing plans for one rail
+/// activation.
+pub struct OptContext<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Rail being scheduled.
+    pub channel: ChannelId,
+    /// The rail's driver capabilities.
+    pub caps: &'a DriverCapabilities,
+    /// The rail's cost model.
+    pub cost: &'a CostModel,
+    /// Engine configuration (window, thresholds, toggles).
+    pub config: &'a EngineConfig,
+    /// Schedulable work, grouped by destination.
+    pub groups: &'a [DstGroup],
+    /// Upper bound on payload+framing bytes per packet on this rail.
+    pub packet_limit: u64,
+    /// Number of rails currently eligible for this traffic (≥ 1); used by
+    /// splitting heuristics.
+    pub rail_count: usize,
+}
+
+impl<'a> OptContext<'a> {
+    /// Remaining payload budget for a packet already carrying `chunks`
+    /// chunks.
+    pub fn payload_budget(&self, chunks: usize) -> u64 {
+        self.packet_limit.saturating_sub(framing_bytes(chunks))
+    }
+}
+
+/// A packet-rearrangement strategy.
+pub trait Strategy {
+    /// Stable name used in metrics and plan provenance.
+    fn name(&self) -> &'static str;
+    /// Append candidate plans for the current context to `out`.
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>);
+}
+
+/// Greedily fill one packet from `candidates` (in the given order),
+/// respecting the packet size budget and, when `force_linearize` is false,
+/// preferring zero-copy gather when the hardware allows it.
+///
+/// Within-message chunk order must already be correct in `candidates`
+/// (callers permute *messages*, not chunks within a message).
+pub fn fill_packet(
+    ctx: &OptContext<'_>,
+    dst: NodeId,
+    candidates: &[ChunkCandidate],
+    max_chunks: usize,
+    force_linearize: bool,
+    strategy: &'static str,
+) -> Option<TransferPlan> {
+    let mut chunks: Vec<PlannedChunk> = Vec::new();
+    let mut payload = 0u64;
+    for cand in candidates {
+        if chunks.len() >= max_chunks {
+            break;
+        }
+        let budget = ctx.payload_budget(chunks.len() + 1).saturating_sub(payload);
+        if budget == 0 {
+            break;
+        }
+        let take = (cand.remaining as u64).min(budget) as u32;
+        if take == 0 {
+            continue;
+        }
+        chunks.push(PlannedChunk {
+            flow: cand.flow,
+            seq: cand.seq,
+            frag: cand.frag,
+            offset: cand.offset,
+            len: take,
+        });
+        payload += take as u64;
+        // A partially-taken fragment blocks everything after it from the
+        // same message (offsets must stay contiguous), but candidates from
+        // other messages may still fit; partial takes only happen when the
+        // budget is exhausted anyway.
+        if take < cand.remaining {
+            break;
+        }
+    }
+    if chunks.is_empty() {
+        return None;
+    }
+    let total = payload + framing_bytes(chunks.len());
+    let linearize = if force_linearize || (!ctx.config.enable_gather && chunks.len() > 1) {
+        true
+    } else {
+        let segs = 1 + chunks.len();
+        // Zero-copy requires either PIO streaming or a wide-enough gather.
+        !(ctx.caps.can_pio(total) || ctx.caps.can_gather(segs))
+    };
+    Some(TransferPlan {
+        channel: ctx.channel,
+        dst,
+        body: PlanBody::Data { chunks, linearize },
+        strategy,
+    })
+}
+
+/// Registry of strategies consulted on every optimizer activation, in
+/// registration order.
+pub struct StrategyRegistry {
+    items: Vec<Box<dyn Strategy>>,
+}
+
+impl std::fmt::Debug for StrategyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.items.iter().map(|s| s.name()))
+            .finish()
+    }
+}
+
+impl StrategyRegistry {
+    /// Empty registry (only useful with [`StrategyRegistry::register`]).
+    pub fn empty() -> Self {
+        StrategyRegistry { items: Vec::new() }
+    }
+
+    /// The predefined database, honouring the config's toggles. The FIFO
+    /// fallback is always present so the engine can always make progress.
+    pub fn standard(cfg: &EngineConfig) -> Self {
+        let mut r = StrategyRegistry::empty();
+        if cfg.enable_rndv {
+            r.register(Box::new(RendezvousPromotion::new()));
+        }
+        if cfg.enable_aggregation {
+            r.register(Box::new(EagerAggregation::new()));
+        }
+        if cfg.enable_aggregation && cfg.enable_gather {
+            r.register(Box::new(CopyAggregation::new()));
+        }
+        if cfg.enable_reorder {
+            r.register(Box::new(ReorderVariants::new()));
+        }
+        if cfg.enable_split {
+            r.register(Box::new(BulkChunking::new()));
+        }
+        r.register(Box::new(FifoFallback::new()));
+        r
+    }
+
+    /// Add a strategy (consulted after the ones already present).
+    pub fn register(&mut self, s: Box<dyn Strategy>) {
+        self.items.push(s);
+    }
+
+    /// Names in consultation order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.items.iter().map(|s| s.name()).collect()
+    }
+
+    /// Collect proposals from every strategy.
+    pub fn propose_all(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        for s in &self.items {
+            s.propose(ctx, out);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::ids::{FlowId, TrafficClass};
+
+    /// Candidate constructor for strategy unit tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cand(
+        flow: u32,
+        seq: u32,
+        frag: u16,
+        offset: u32,
+        remaining: u32,
+        express: bool,
+        class: TrafficClass,
+        age_ns: u64,
+    ) -> ChunkCandidate {
+        ChunkCandidate {
+            flow: FlowId(flow),
+            seq,
+            frag,
+            offset,
+            remaining,
+            express,
+            class,
+            submitted_at: SimTime::from_nanos(1_000_000u64.saturating_sub(age_ns)),
+        }
+    }
+
+    pub fn ctx_fixture<'a>(
+        groups: &'a [DstGroup],
+        caps: &'a DriverCapabilities,
+        cost: &'a CostModel,
+        config: &'a EngineConfig,
+    ) -> OptContext<'a> {
+        OptContext {
+            now: SimTime::from_nanos(1_000_000),
+            channel: ChannelId(0),
+            caps,
+            cost,
+            config,
+            groups,
+            packet_limit: 1 << 16,
+            rail_count: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use crate::ids::TrafficClass;
+    use nicdrv::calib;
+    use simnet::NetworkParams;
+
+    fn fixtures() -> (DriverCapabilities, CostModel, EngineConfig) {
+        (
+            calib::synthetic_capabilities(),
+            CostModel::from_params(&NetworkParams::synthetic()),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn standard_registry_respects_toggles() {
+        let full = StrategyRegistry::standard(&EngineConfig::default());
+        assert!(full.names().contains(&"aggregate"));
+        assert!(full.names().contains(&"fifo"));
+        let fifo = StrategyRegistry::standard(&EngineConfig::fifo_only());
+        assert_eq!(fifo.names(), vec!["fifo"]);
+    }
+
+    #[test]
+    fn fill_packet_respects_budget_and_counts() {
+        let (caps, cost, cfg) = fixtures();
+        let groups: Vec<DstGroup> = vec![];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let cands: Vec<_> = (0..10)
+            .map(|i| cand(i, 0, 0, 0, 100, false, TrafficClass::DEFAULT, 0))
+            .collect();
+        let plan = fill_packet(&ctx, simnet::NodeId(1), &cands, 4, false, "t").unwrap();
+        assert_eq!(plan.chunk_count(), 4);
+        assert_eq!(plan.payload_bytes(), 400);
+    }
+
+    #[test]
+    fn fill_packet_truncates_large_fragment_to_budget() {
+        let (caps, cost, cfg) = fixtures();
+        let groups: Vec<DstGroup> = vec![];
+        let mut ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        ctx.packet_limit = 1000;
+        let cands = vec![cand(0, 0, 0, 0, 5000, false, TrafficClass::DEFAULT, 0)];
+        let plan = fill_packet(&ctx, simnet::NodeId(1), &cands, 16, false, "t").unwrap();
+        assert_eq!(plan.chunk_count(), 1);
+        // 1000 - framing(1) = 964 payload bytes.
+        assert_eq!(plan.payload_bytes(), 1000 - crate::proto::framing_bytes(1));
+    }
+
+    #[test]
+    fn fill_packet_linearizes_when_gather_impossible() {
+        let (mut caps, cost, cfg) = fixtures();
+        caps.max_gather_entries = 2;
+        caps.pio_max_bytes = 16; // too small to stream
+        let groups: Vec<DstGroup> = vec![];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let cands: Vec<_> = (0..4)
+            .map(|i| cand(i, 0, 0, 0, 100, false, TrafficClass::DEFAULT, 0))
+            .collect();
+        let plan = fill_packet(&ctx, simnet::NodeId(1), &cands, 16, false, "t").unwrap();
+        match plan.body {
+            PlanBody::Data { linearize, .. } => assert!(linearize),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fill_packet_empty_candidates_yields_none() {
+        let (caps, cost, cfg) = fixtures();
+        let groups: Vec<DstGroup> = vec![];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        assert!(fill_packet(&ctx, simnet::NodeId(1), &[], 4, false, "t").is_none());
+    }
+
+    #[test]
+    fn custom_strategy_registration() {
+        struct Noop;
+        impl Strategy for Noop {
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+            fn propose(&self, _ctx: &OptContext<'_>, _out: &mut Vec<TransferPlan>) {}
+        }
+        let mut r = StrategyRegistry::standard(&EngineConfig::default());
+        r.register(Box::new(Noop));
+        assert!(r.names().contains(&"noop"));
+    }
+}

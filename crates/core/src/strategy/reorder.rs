@@ -1,0 +1,182 @@
+//! Reordering strategies: propose alternative packet *orders* for the same
+//! backlog, widening the space of rearrangements the optimizer evaluates
+//! (§3: accumulating packets "widens the possibilities of packet
+//! reordering").
+//!
+//! Permutations operate on whole messages — chunks of one message keep
+//! their relative order, so express constraints survive any permutation
+//! this strategy produces.
+
+use crate::ids::{FlowId, TrafficClass};
+use crate::plan::{ChunkCandidate, TransferPlan};
+use crate::strategy::{fill_packet, OptContext, Strategy};
+
+/// Message-permutation proposals: shortest-message-first and
+/// urgent-class-first orderings.
+#[derive(Debug, Default)]
+pub struct ReorderVariants;
+
+impl ReorderVariants {
+    /// Construct.
+    pub fn new() -> Self {
+        ReorderVariants
+    }
+}
+
+/// Group candidates by message, preserving within-message chunk order.
+fn message_groups(cands: &[ChunkCandidate]) -> Vec<Vec<ChunkCandidate>> {
+    let mut groups: Vec<(FlowId, u32, Vec<ChunkCandidate>)> = Vec::new();
+    for c in cands {
+        match groups.iter_mut().find(|(f, s, _)| *f == c.flow && *s == c.seq) {
+            Some((_, _, v)) => v.push(*c),
+            None => groups.push((c.flow, c.seq, vec![*c])),
+        }
+    }
+    groups.into_iter().map(|(_, _, v)| v).collect()
+}
+
+fn flatten(groups: Vec<Vec<ChunkCandidate>>) -> Vec<ChunkCandidate> {
+    groups.into_iter().flatten().collect()
+}
+
+impl Strategy for ReorderVariants {
+    fn name(&self) -> &'static str {
+        "reorder"
+    }
+
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        for g in ctx.groups {
+            if g.candidates.len() < 2 {
+                continue;
+            }
+            // Variant 1: shortest message first — packs more distinct
+            // messages per packet, minimizing mean completion time.
+            let mut by_size = message_groups(&g.candidates);
+            by_size.sort_by_key(|m| m.iter().map(|c| c.remaining as u64).sum::<u64>());
+            if let Some(p) =
+                fill_packet(ctx, g.dst, &flatten(by_size), ctx.config.agg_chunk_limit, false, "reorder-sjf")
+            {
+                if p.chunk_count() >= 1 {
+                    out.push(p);
+                }
+            }
+            // Variant 2: most urgent class first (control before bulk),
+            // then oldest first within a class.
+            let mut by_urgency = message_groups(&g.candidates);
+            by_urgency.sort_by(|a, b| {
+                let ua = class_key(a[0].class);
+                let ub = class_key(b[0].class);
+                ub.partial_cmp(&ua)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a[0].submitted_at.cmp(&b[0].submitted_at))
+            });
+            if let Some(p) = fill_packet(
+                ctx,
+                g.dst,
+                &flatten(by_urgency),
+                ctx.config.agg_chunk_limit,
+                false,
+                "reorder-urgent",
+            ) {
+                if p.chunk_count() >= 1 {
+                    out.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn class_key(c: TrafficClass) -> f64 {
+    c.urgency_weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::plan::{DstGroup, PlanBody};
+    use crate::strategy::testutil::{cand, ctx_fixture};
+    use nicdrv::{calib, CostModel};
+    use simnet::{NetworkParams, NodeId};
+
+    #[test]
+    fn sjf_orders_small_messages_first() {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![
+                cand(0, 0, 0, 0, 5000, false, TrafficClass::DEFAULT, 10),
+                cand(1, 0, 0, 0, 40, false, TrafficClass::DEFAULT, 5),
+            ],
+            rndv: vec![],
+        }];
+        let mut ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        ctx.packet_limit = 2000;
+        let mut out = vec![];
+        ReorderVariants::new().propose(&ctx, &mut out);
+        let sjf = out.iter().find(|p| p.strategy == "reorder-sjf").unwrap();
+        match &sjf.body {
+            PlanBody::Data { chunks, .. } => {
+                // Small message's chunk comes first.
+                assert_eq!(chunks[0].flow, FlowId(1));
+                assert_eq!(chunks[0].len, 40);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn urgent_variant_puts_control_first() {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![
+                cand(0, 0, 0, 0, 64, false, TrafficClass::BULK, 10),
+                cand(1, 0, 0, 0, 16, false, TrafficClass::CONTROL, 5),
+            ],
+            rndv: vec![],
+        }];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let mut out = vec![];
+        ReorderVariants::new().propose(&ctx, &mut out);
+        let urgent = out.iter().find(|p| p.strategy == "reorder-urgent").unwrap();
+        match &urgent.body {
+            PlanBody::Data { chunks, .. } => assert_eq!(chunks[0].flow, FlowId(1)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn within_message_chunk_order_is_preserved() {
+        // Two chunks of the same message (frag 0 express, frag 1 body) must
+        // stay in order whatever the permutation.
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![
+                cand(0, 0, 0, 0, 8, true, TrafficClass::DEFAULT, 0),
+                cand(0, 0, 1, 0, 64, false, TrafficClass::DEFAULT, 0),
+                cand(1, 0, 0, 0, 4, false, TrafficClass::CONTROL, 0),
+            ],
+            rndv: vec![],
+        }];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let mut out = vec![];
+        ReorderVariants::new().propose(&ctx, &mut out);
+        for p in &out {
+            if let PlanBody::Data { chunks, .. } = &p.body {
+                let pos0 = chunks.iter().position(|c| c.flow == FlowId(0) && c.frag == 0);
+                let pos1 = chunks.iter().position(|c| c.flow == FlowId(0) && c.frag == 1);
+                if let (Some(a), Some(b)) = (pos0, pos1) {
+                    assert!(a < b, "express chunk must precede body in {}", p.strategy);
+                }
+            }
+        }
+    }
+}

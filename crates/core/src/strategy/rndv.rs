@@ -1,0 +1,101 @@
+//! Rendezvous promotion: large fragments negotiate before data moves.
+//!
+//! §1 lists "eager, rendez-vous and remote memory access protocols" among
+//! the mechanisms the library must select between. Fragments at or above
+//! the rendezvous threshold are withheld from eager transmission; this
+//! strategy proposes the (tiny, urgent) rendezvous-request packets that
+//! unblock them. The receiver grants immediately in this implementation —
+//! the protocol cost modelled is the extra round trip, which is exactly the
+//! trade-off that makes the eager/rndv crossover (experiment E9).
+
+use crate::plan::{PlanBody, TransferPlan};
+use crate::strategy::{OptContext, Strategy};
+
+/// Cap on rendezvous requests proposed per destination per activation,
+/// keeping the proposal set small under bursty large-message load.
+const MAX_REQS_PER_DST: usize = 4;
+
+/// Rendezvous request emission strategy.
+#[derive(Debug, Default)]
+pub struct RendezvousPromotion;
+
+impl RendezvousPromotion {
+    /// Construct.
+    pub fn new() -> Self {
+        RendezvousPromotion
+    }
+}
+
+impl Strategy for RendezvousPromotion {
+    fn name(&self) -> &'static str {
+        "rndv"
+    }
+
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        for g in ctx.groups {
+            for r in g.rndv.iter().take(MAX_REQS_PER_DST) {
+                out.push(TransferPlan {
+                    channel: ctx.channel,
+                    dst: g.dst,
+                    body: PlanBody::RndvRequest { flow: r.flow, seq: r.seq, frag: r.frag },
+                    strategy: self.name(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::ids::{FlowId, TrafficClass};
+    use crate::plan::{DstGroup, RndvCandidate};
+    use crate::strategy::testutil::ctx_fixture;
+    use nicdrv::{calib, CostModel};
+    use simnet::{NetworkParams, NodeId, SimTime};
+
+    fn rndv_cand(flow: u32, frag_len: u32) -> RndvCandidate {
+        RndvCandidate {
+            flow: FlowId(flow),
+            seq: 0,
+            frag: 0,
+            frag_len,
+            class: TrafficClass::BULK,
+            submitted_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn proposes_requests_for_waiting_fragments() {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![],
+            rndv: vec![rndv_cand(0, 1 << 20), rndv_cand(1, 1 << 18)],
+        }];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let mut out = vec![];
+        RendezvousPromotion::new().propose(&ctx, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0].body, PlanBody::RndvRequest { .. }));
+    }
+
+    #[test]
+    fn caps_requests_per_destination() {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![],
+            rndv: (0..10).map(|i| rndv_cand(i, 1 << 20)).collect(),
+        }];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let mut out = vec![];
+        RendezvousPromotion::new().propose(&ctx, &mut out);
+        assert_eq!(out.len(), MAX_REQS_PER_DST);
+    }
+}

@@ -1,0 +1,115 @@
+//! Bulk chunking: stream the largest pending fragment in MTU-sized pieces.
+//!
+//! This single strategy yields two of the paper's §2 behaviours:
+//!
+//! * **large-transfer pipelining** — a fragment bigger than one packet is
+//!   cut into maximal chunks, keeping the NIC continuously busy;
+//! * **dynamic load balancing over multiple NICs** — every *idle* rail's
+//!   activation proposes taking the *next* chunk of the same fragment, so
+//!   several rails (even of different technologies) pull from one transfer
+//!   in proportion to how fast each drains — work-stealing style balancing
+//!   with no explicit ratio computation.
+
+use crate::plan::TransferPlan;
+use crate::strategy::{fill_packet, OptContext, Strategy};
+
+/// Largest-fragment streaming strategy.
+#[derive(Debug, Default)]
+pub struct BulkChunking;
+
+impl BulkChunking {
+    /// Construct.
+    pub fn new() -> Self {
+        BulkChunking
+    }
+}
+
+impl Strategy for BulkChunking {
+    fn name(&self) -> &'static str {
+        "bulk-chunk"
+    }
+
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        for g in ctx.groups {
+            // Largest remaining candidate that is the *first* pending chunk
+            // of its message (a later fragment would need its predecessors
+            // in the same packet); ties broken by age then identity for
+            // determinism.
+            let biggest = g
+                .candidates
+                .iter()
+                .filter(|c| {
+                    !g.candidates
+                        .iter()
+                        .any(|o| o.flow == c.flow && o.seq == c.seq && o.frag < c.frag)
+                })
+                .max_by_key(|c| (c.remaining, std::cmp::Reverse(c.submitted_at), c.flow, c.seq));
+            let Some(c) = biggest else { continue };
+            // Only worth a dedicated proposal when the fragment dominates a
+            // packet; small ones are better served by aggregation.
+            if (c.remaining as u64) < ctx.payload_budget(1) / 2 {
+                continue;
+            }
+            if let Some(plan) = fill_packet(ctx, g.dst, std::slice::from_ref(c), 1, false, self.name())
+            {
+                out.push(plan);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::ids::TrafficClass;
+    use crate::plan::DstGroup;
+    use crate::strategy::testutil::{cand, ctx_fixture};
+    use nicdrv::{calib, CostModel};
+    use simnet::{NetworkParams, NodeId};
+
+    #[test]
+    fn takes_a_full_packet_of_the_biggest_fragment() {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![
+                cand(0, 0, 0, 0, 100, false, TrafficClass::DEFAULT, 0),
+                cand(1, 0, 0, 4096, 1 << 20, false, TrafficClass::BULK, 0),
+            ],
+            rndv: vec![],
+        }];
+        let mut ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        ctx.packet_limit = 8192;
+        let mut out = vec![];
+        BulkChunking::new().propose(&ctx, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].chunk_count(), 1);
+        // Took a budget-limited chunk of the big fragment at its frontier.
+        assert_eq!(out[0].payload_bytes(), ctx.payload_budget(1));
+        match &out[0].body {
+            crate::plan::PlanBody::Data { chunks, .. } => {
+                assert_eq!(chunks[0].offset, 4096);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn silent_when_only_small_fragments_pend() {
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let groups = vec![DstGroup {
+            dst: NodeId(1),
+            candidates: vec![cand(0, 0, 0, 0, 64, false, TrafficClass::DEFAULT, 0)],
+            rndv: vec![],
+        }];
+        let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
+        let mut out = vec![];
+        BulkChunking::new().propose(&ctx, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! # madware — synthetic middleware stacks and workloads
+//!
+//! The paper's motivation is that applications run "complex conglomerates
+//! of multiple communication middlewares such as CORBA, JAVA RMI or DSM"
+//! (§1), multiplying concurrent flows. This crate provides those stacks in
+//! synthetic but protocol-shaped form, all implemented against the engine's
+//! [`madeleine::AppDriver`] API so they run unchanged on the optimizing
+//! engine and on the legacy baseline:
+//!
+//! * [`apps::TrafficApp`] — generic multi-flow generator (arrival process ×
+//!   size distribution × traffic class), the experiment workhorse;
+//! * [`mpi::MpiStencil`] — regular halo exchanges (the workload the old
+//!   Madeleine already handled well);
+//! * [`rpc`] — request/response with RTT matching;
+//! * [`dsm`] — latency-critical page faults answered by bulk pages;
+//! * [`corba`] — marshalled multi-fragment invocations;
+//! * [`rma`] — one-sided put/get windows over the PUT_GET traffic class;
+//! * [`coll`] — tree collectives (allreduce/broadcast/barrier shapes);
+//! * [`ga`] — Global-Arrays-style strided distributed arrays over [`rma`];
+//! * [`verify`] — deterministic payload patterns: every workload checks the
+//!   bytes it receives, so experiments double as correctness tests;
+//! * [`scenario`] — composed clusters (multi-middleware node pair, N eager
+//!   flows) used by the experiment harness;
+//! * [`trace`] — workload record & replay for apples-to-apples engine
+//!   comparisons.
+//!
+//! ```
+//! use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+//! use madware::apps::{FlowSpec, TrafficApp};
+//! use madware::workload::{Arrival, SizeDist};
+//! use madeleine::ids::TrafficClass;
+//! use simnet::{NodeId, SimDuration, Technology};
+//!
+//! // Two flows of verified traffic through the optimizing engine.
+//! let spec = FlowSpec {
+//!     dst: NodeId(1),
+//!     class: TrafficClass::DEFAULT,
+//!     arrival: Arrival::Poisson(SimDuration::from_micros(5)),
+//!     sizes: SizeDist::Uniform(32, 256),
+//!     express_header: 8,
+//!     stop_after: Some(20),
+//!     start_after: SimDuration::ZERO,
+//! };
+//! let (app, _tx) = TrafficApp::new("demo", vec![spec.clone(), spec], 1, 0);
+//! let (sink, rx) = TrafficApp::new("sink", vec![], 1, 1);
+//! let mut cluster = Cluster::build(
+//!     &ClusterSpec { nodes: 2, rails: vec![Technology::MyrinetMx],
+//!                    engine: EngineKind::optimizing(), trace: None },
+//!     vec![Some(Box::new(app)), Some(Box::new(sink))],
+//! );
+//! cluster.drain();
+//! assert_eq!(rx.borrow().received, 40);
+//! assert!(rx.borrow().integrity.all_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod coll;
+pub mod corba;
+pub mod dsm;
+pub mod ga;
+pub mod mpi;
+pub mod rma;
+pub mod rpc;
+pub mod scenario;
+pub mod trace;
+pub mod verify;
+pub mod workload;
+
+pub use apps::{stats_handle, AppStats, FlowSpec, StatsHandle, TrafficApp};
+pub use verify::{check_message, pattern, IntegrityChecker};
+pub use workload::{rng_for, Arrival, SizeDist};

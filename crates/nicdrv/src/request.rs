@@ -1,0 +1,146 @@
+//! Driver-level transfer requests and errors.
+
+use bytes::Bytes;
+use simnet::{NicId, SimDuration, SubmitError, VChannel};
+
+/// Injection-mode selection for a transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ModeSel {
+    /// Let the driver pick the cheaper mode from its cost model.
+    #[default]
+    Auto,
+    /// Force programmed I/O (fails if unsupported or too large).
+    Pio,
+    /// Force DMA (fails if unsupported or too many gather entries).
+    Dma,
+}
+
+/// A transfer request submitted to a [`crate::Driver`].
+///
+/// Unlike the raw simulator request, a driver request is validated against
+/// the driver's [`crate::DriverCapabilities`] — the contract that keeps the
+/// optimizer honest.
+#[derive(Clone, Debug)]
+pub struct TransferRequest {
+    /// Destination NIC.
+    pub dst_nic: NicId,
+    /// Virtual channel at the destination.
+    pub vchan: VChannel,
+    /// Protocol discriminator carried to the receiver.
+    pub kind: u16,
+    /// Completion cookie echoed in `on_tx_done`.
+    pub cookie: u64,
+    /// Injection mode selection.
+    pub mode: ModeSel,
+    /// Extra host preparation time (e.g. an aggregation memcpy) to charge.
+    pub host_prep: SimDuration,
+    /// Payload gather list.
+    pub segments: Vec<Bytes>,
+}
+
+impl TransferRequest {
+    /// Total payload bytes.
+    pub fn len(&self) -> u64 {
+        self.segments.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// True if the request carries no payload bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Why the driver refused a transfer request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverError {
+    /// Gather list longer than the hardware supports.
+    TooManySegments {
+        /// Segments in the request.
+        got: usize,
+        /// Hardware gather limit.
+        max: usize,
+    },
+    /// Request exceeds the driver's maximum packet size.
+    TooLarge {
+        /// Requested bytes.
+        len: u64,
+        /// Driver limit.
+        max: u64,
+    },
+    /// PIO was forced but the message exceeds the PIO size limit.
+    PioTooLarge {
+        /// Requested bytes.
+        len: u64,
+        /// PIO limit.
+        max: u64,
+    },
+    /// The forced mode is not supported by this driver.
+    ModeUnsupported(&'static str),
+    /// Virtual channel index out of range.
+    VChannelOutOfRange {
+        /// Requested channel.
+        got: u8,
+        /// Number of channels exposed.
+        max: u8,
+    },
+    /// The underlying NIC rejected the submission (queue full, MTU...).
+    Nic(SubmitError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::TooManySegments { got, max } => {
+                write!(f, "gather list of {got} segments exceeds hardware limit {max}")
+            }
+            DriverError::TooLarge { len, max } => {
+                write!(f, "request of {len} bytes exceeds driver limit {max}")
+            }
+            DriverError::PioTooLarge { len, max } => {
+                write!(f, "PIO request of {len} bytes exceeds PIO limit {max}")
+            }
+            DriverError::ModeUnsupported(m) => write!(f, "mode {m} not supported by driver"),
+            DriverError::VChannelOutOfRange { got, max } => {
+                write!(f, "virtual channel {got} out of range (NIC exposes {max})")
+            }
+            DriverError::Nic(e) => write!(f, "NIC rejected submission: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<SubmitError> for DriverError {
+    fn from(e: SubmitError) -> Self {
+        DriverError::Nic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_len_sums_segments() {
+        let r = TransferRequest {
+            dst_nic: NicId(0),
+            vchan: 0,
+            kind: 0,
+            cookie: 0,
+            mode: ModeSel::Auto,
+            host_prep: SimDuration::ZERO,
+            segments: vec![Bytes::from_static(b"ab"), Bytes::from_static(b"cde")],
+        };
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DriverError::TooManySegments { got: 20, max: 8 };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains('8'));
+        let e: DriverError = SubmitError::QueueFull.into();
+        assert!(matches!(e, DriverError::Nic(SubmitError::QueueFull)));
+    }
+}

@@ -1,0 +1,802 @@
+//! The simulation engine: world state, event dispatch, and the [`Endpoint`]
+//! trait through which a communication library (the optimizer under study)
+//! plugs into the simulated cluster.
+//!
+//! # Model
+//!
+//! A [`Simulation`] hosts *nodes*; each node owns one [`Endpoint`] (the
+//! software stack) and any number of NICs attached to *networks*. All
+//! interaction is via callbacks driven by the event queue:
+//!
+//! * [`Endpoint::on_start`] — once, at t = 0;
+//! * [`Endpoint::on_tx_done`] — a transmit the endpoint submitted completed;
+//! * [`Endpoint::on_nic_idle`] — a NIC's transmit engine **drained**: the
+//!   activation signal for the paper's optimizer (§3);
+//! * [`Endpoint::on_packet_rx`] — a packet was delivered at this node;
+//! * [`Endpoint::on_timer`] — a timer the endpoint armed expired (used for
+//!   Nagle-style delayed flushes and workload generation).
+//!
+//! Within a callback the endpoint acts through [`SimCtx`]: submit transmits,
+//! arm/cancel timers, query NIC state. All effects are scheduled through the
+//! event queue, so runs are deterministic and endpoints never observe
+//! partially-applied state.
+
+use std::collections::HashSet;
+
+use crate::event::{EventKind, EventQueue, TimerId};
+use crate::link::NetworkParams;
+use crate::nic::NicState;
+use crate::packet::{SubmitError, TxRequest, WirePacket};
+use crate::rng::SplitMix64;
+use crate::time::{transfer_time, SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+
+/// Identifies a node (a host in the cluster).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies a NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NicId(pub u32);
+
+/// Identifies a network fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetworkId(pub u32);
+
+/// The software stack running on a node. All methods have empty defaults so
+/// simple endpoints implement only what they need.
+#[allow(unused_variables)]
+pub trait Endpoint {
+    /// Called once before the first event is processed.
+    fn on_start(&mut self, ctx: &mut SimCtx<'_>) {}
+    /// A transmit submitted by this endpoint finished injection; `cookie`
+    /// is the value from the [`TxRequest`].
+    fn on_tx_done(&mut self, ctx: &mut SimCtx<'_>, nic: NicId, cookie: u64) {}
+    /// The NIC's transmit engine drained (busy → idle transition).
+    fn on_nic_idle(&mut self, ctx: &mut SimCtx<'_>, nic: NicId) {}
+    /// A packet arrived and completed receive processing at this node.
+    fn on_packet_rx(&mut self, ctx: &mut SimCtx<'_>, nic: NicId, pkt: WirePacket) {}
+    /// A timer armed via [`SimCtx::set_timer`] expired.
+    fn on_timer(&mut self, ctx: &mut SimCtx<'_>, timer: TimerId, tag: u64) {}
+}
+
+/// A network fabric instance: parameters plus its private jitter/drop RNG.
+#[derive(Debug)]
+struct NetworkState {
+    params: NetworkParams,
+    rng: SplitMix64,
+}
+
+/// A node: the set of NICs it hosts.
+#[derive(Debug, Default)]
+struct NodeState {
+    nics: Vec<NicId>,
+}
+
+/// Mutable world state shared by the engine and endpoint callbacks.
+#[derive(Debug)]
+pub(crate) struct World {
+    networks: Vec<NetworkState>,
+    nics: Vec<NicState>,
+    nodes: Vec<NodeState>,
+    next_timer: u64,
+    cancelled_timers: HashSet<TimerId>,
+    pub(crate) trace: Trace,
+}
+
+impl World {
+    fn new() -> Self {
+        World {
+            networks: Vec::new(),
+            nics: Vec::new(),
+            nodes: Vec::new(),
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    fn params_of(&self, nic: NicId) -> &NetworkParams {
+        &self.networks[self.nics[nic.0 as usize].network.0 as usize].params
+    }
+
+    /// Validate, enqueue and (if the engine is idle) start a transmit.
+    fn submit(
+        &mut self,
+        now: SimTime,
+        queue: &mut EventQueue,
+        nic_id: NicId,
+        req: TxRequest,
+    ) -> Result<(), SubmitError> {
+        let nic_idx = nic_id.0 as usize;
+        if nic_idx >= self.nics.len() {
+            return Err(SubmitError::NoSuchNic);
+        }
+        let dst_idx = req.dst_nic.0 as usize;
+        if dst_idx >= self.nics.len() {
+            return Err(SubmitError::NoSuchNic);
+        }
+        if self.nics[dst_idx].network != self.nics[nic_idx].network {
+            return Err(SubmitError::Unreachable);
+        }
+        let net = self.nics[nic_idx].network.0 as usize;
+        let (mtu, depth) = {
+            let p = &self.networks[net].params;
+            (p.mtu, p.tx_queue_depth)
+        };
+        let bytes = req.payload_len();
+        let cookie = req.cookie;
+        self.nics[nic_idx].enqueue_tx(req, mtu, depth)?;
+        self.trace
+            .push(now, TraceEvent::TxSubmitted { nic: nic_id, bytes, cookie });
+        if !self.nics[nic_idx].tx_busy {
+            self.start_tx(now, queue, nic_id);
+        }
+        Ok(())
+    }
+
+    /// Begin injecting the packet at the head of the tx queue.
+    fn start_tx(&mut self, now: SimTime, queue: &mut EventQueue, nic_id: NicId) {
+        let nic_idx = nic_id.0 as usize;
+        let net = self.nics[nic_idx].network.0 as usize;
+        let busy = {
+            let head = self.nics[nic_idx]
+                .tx_queue
+                .front()
+                .expect("start_tx on empty queue");
+            let p = &self.networks[net].params;
+            let fixed = p.fixed_tx_cost(head.mode, head.payload.len());
+            let wire_bytes = head.payload_len() + p.per_packet_overhead_bytes;
+            head.host_prep + fixed + transfer_time(wire_bytes, p.effective_bandwidth(head.mode))
+        };
+        let nic = &mut self.nics[nic_idx];
+        nic.tx_busy = true;
+        nic.tx_util.set_busy(now);
+        queue.push(now + busy, EventKind::TxEngineDone { nic: nic_id });
+    }
+
+    fn set_timer(
+        &mut self,
+        now: SimTime,
+        queue: &mut EventQueue,
+        node: NodeId,
+        delay: SimDuration,
+        tag: u64,
+    ) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        queue.push(now + delay, EventKind::Timer { node, timer: id, tag });
+        id
+    }
+}
+
+/// The endpoint's handle onto the simulation during a callback.
+pub struct SimCtx<'a> {
+    now: SimTime,
+    node: NodeId,
+    queue: &'a mut EventQueue,
+    world: &'a mut World,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this callback belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Submit a transmit request on a local NIC.
+    pub fn submit(&mut self, nic: NicId, req: TxRequest) -> Result<(), SubmitError> {
+        self.world.submit(self.now, self.queue, nic, req)
+    }
+
+    /// NIC state (read-only).
+    pub fn nic(&self, nic: NicId) -> &NicState {
+        &self.world.nics[nic.0 as usize]
+    }
+
+    /// Parameters of the network a NIC is attached to.
+    pub fn params_of(&self, nic: NicId) -> &NetworkParams {
+        self.world.params_of(nic)
+    }
+
+    /// Free slots in a NIC's hardware transmit queue.
+    pub fn tx_queue_free(&self, nic: NicId) -> usize {
+        let depth = self.params_of(nic).tx_queue_depth;
+        self.nic(nic).tx_queue_free(depth)
+    }
+
+    /// NICs hosted by a node.
+    pub fn node_nics(&self, node: NodeId) -> &[NicId] {
+        &self.world.nodes[node.0 as usize].nics
+    }
+
+    /// Arm a one-shot timer; `tag` is echoed in [`Endpoint::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        self.world
+            .set_timer(self.now, self.queue, self.node, delay, tag)
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.world.cancelled_timers.insert(id);
+    }
+}
+
+/// A deterministic discrete-event simulation of a cluster.
+pub struct Simulation {
+    time: SimTime,
+    queue: EventQueue,
+    world: World,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Empty simulation at t = 0.
+    pub fn new() -> Self {
+        Simulation {
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            world: World::new(),
+            endpoints: Vec::new(),
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Add a network fabric; returns its id.
+    pub fn add_network(&mut self, params: NetworkParams) -> NetworkId {
+        let id = NetworkId(self.world.networks.len() as u32);
+        // Seed each network's RNG from its id so topology construction order
+        // does not perturb unrelated networks' jitter streams.
+        let rng = SplitMix64::new(0xC0FF_EE00 ^ id.0 as u64);
+        self.world.networks.push(NetworkState { params, rng });
+        id
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.world.nodes.len() as u32);
+        self.world.nodes.push(NodeState::default());
+        self.endpoints.push(None);
+        id
+    }
+
+    /// Attach a NIC on `network` to `node`; returns the NIC id.
+    pub fn add_nic(&mut self, node: NodeId, network: NetworkId) -> NicId {
+        assert!(
+            (network.0 as usize) < self.world.networks.len(),
+            "unknown network"
+        );
+        let id = NicId(self.world.nics.len() as u32);
+        self.world.nics.push(NicState::new(id, node, network));
+        self.world.nodes[node.0 as usize].nics.push(id);
+        id
+    }
+
+    /// Install the software stack for a node (replaces any previous one).
+    pub fn set_endpoint(&mut self, node: NodeId, ep: Box<dyn Endpoint>) {
+        self.endpoints[node.0 as usize] = Some(ep);
+    }
+
+    /// Enable activity tracing, retaining the most recent `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.world.trace = Trace::with_capacity(capacity);
+    }
+
+    /// The activity trace.
+    pub fn trace(&self) -> &Trace {
+        &self.world.trace
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// NIC state (stats, queue occupancy, utilization).
+    pub fn nic(&self, nic: NicId) -> &NicState {
+        &self.world.nics[nic.0 as usize]
+    }
+
+    /// All NIC ids of a node.
+    pub fn node_nics(&self, node: NodeId) -> &[NicId] {
+        &self.world.nodes[node.0 as usize].nics
+    }
+
+    /// Parameters of a network.
+    pub fn network_params(&self, net: NetworkId) -> &NetworkParams {
+        &self.world.networks[net.0 as usize].params
+    }
+
+    /// Run external code as if it were a callback on `node` (used by
+    /// drivers of the simulation — tests, workload bootstrap — to submit
+    /// transmits or arm timers from outside the event loop).
+    pub fn inject<R>(&mut self, node: NodeId, f: impl FnOnce(&mut SimCtx<'_>) -> R) -> R {
+        let mut ctx = SimCtx {
+            now: self.time,
+            node,
+            queue: &mut self.queue,
+            world: &mut self.world,
+        };
+        f(&mut ctx)
+    }
+
+    /// Borrow a node's endpoint for inspection (e.g. collecting results
+    /// after a run). Panics if the node has no endpoint installed.
+    pub fn endpoint(&self, node: NodeId) -> &dyn Endpoint {
+        self.endpoints[node.0 as usize]
+            .as_deref()
+            .expect("node has no endpoint")
+    }
+
+    /// Mutably borrow a node's endpoint (outside the event loop).
+    pub fn endpoint_mut(&mut self, node: NodeId) -> &mut dyn Endpoint {
+        self.endpoints[node.0 as usize]
+            .as_deref_mut()
+            .expect("node has no endpoint")
+    }
+
+    /// Process events until the queue is exhausted or `limit` is reached,
+    /// whichever first; returns the final virtual time.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        self.start_if_needed();
+        while let Some(at) = self.queue.peek_time() {
+            if at > limit {
+                self.time = limit;
+                return self.time;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.at >= self.time, "time went backwards");
+            // Cancelled timers are discarded without advancing the clock,
+            // so a dormant (cancelled) timeout cannot inflate the
+            // quiescence time of an otherwise-finished simulation.
+            if let EventKind::Timer { timer, .. } = &ev.kind {
+                if self.world.cancelled_timers.remove(timer) {
+                    continue;
+                }
+            }
+            self.time = ev.at;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        self.time
+    }
+
+    /// Process all events up to and including `deadline`; the clock is then
+    /// advanced to `deadline` even if the queue still holds later events.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.run_until_quiescent(deadline);
+        if self.time < deadline {
+            self.time = deadline;
+        }
+        self.time
+    }
+
+    /// True when no events remain.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.endpoints.len() {
+            self.with_endpoint(NodeId(i as u32), |ep, ctx| ep.on_start(ctx));
+        }
+    }
+
+    fn with_endpoint(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Endpoint, &mut SimCtx<'_>),
+    ) {
+        let slot = match self.endpoints.get_mut(node.0 as usize) {
+            Some(s) => s,
+            None => return,
+        };
+        let mut ep = match slot.take() {
+            Some(e) => e,
+            None => return,
+        };
+        let mut ctx = SimCtx {
+            now: self.time,
+            node,
+            queue: &mut self.queue,
+            world: &mut self.world,
+        };
+        f(ep.as_mut(), &mut ctx);
+        self.endpoints[node.0 as usize] = Some(ep);
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::TxEngineDone { nic } => self.tx_engine_done(nic),
+            EventKind::Arrival { nic, packet } => self.arrival(nic, *packet),
+            EventKind::RxEngineDone { nic } => self.rx_engine_done(nic),
+            EventKind::Timer { node, timer, tag } => {
+                if self.world.cancelled_timers.remove(&timer) {
+                    return;
+                }
+                self.world.trace.push(self.time, TraceEvent::TimerFired { node, tag });
+                self.with_endpoint(node, |ep, ctx| ep.on_timer(ctx, timer, tag));
+            }
+        }
+    }
+
+    fn tx_engine_done(&mut self, nic_id: NicId) {
+        let now = self.time;
+        let nic_idx = nic_id.0 as usize;
+        let (req, node, net_idx) = {
+            let nic = &mut self.world.nics[nic_idx];
+            let req = nic.tx_queue.pop_front().expect("tx done on empty queue");
+            (req, nic.node, nic.network.0 as usize)
+        };
+        let cookie = req.cookie;
+        let payload_len = req.payload_len();
+        let seg_count = req.payload.len();
+        let (latency, jitter, overhead, dropped) = {
+            let net = &mut self.world.networks[net_idx];
+            let jitter = if net.params.jitter.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(net.rng.next_below(net.params.jitter.as_nanos()))
+            };
+            let dropped = net.params.drop_rate > 0.0 && net.rng.next_bool(net.params.drop_rate);
+            (net.params.wire_latency, jitter, net.params.per_packet_overhead_bytes, dropped)
+        };
+
+        // Account the completed transmit.
+        {
+            let nic = &mut self.world.nics[nic_idx];
+            nic.stats.tx_packets += 1;
+            nic.stats.tx_payload_bytes += payload_len;
+            nic.stats.tx_wire_bytes += payload_len + overhead;
+            nic.stats.tx_segments += seg_count as u64;
+        }
+
+        // Launch the packet onto the wire (unless fault injection drops it).
+        if dropped {
+            self.world.nics[nic_idx].stats.wire_drops += 1;
+            self.world
+                .trace
+                .push(now, TraceEvent::WireDrop { nic: nic_id, cookie });
+        } else {
+            let seq = {
+                let nic = &mut self.world.nics[nic_idx];
+                let s = nic.next_seq;
+                nic.next_seq += 1;
+                s
+            };
+            let dst_nic = req.dst_nic;
+            let dst_node = self.world.nics[dst_nic.0 as usize].node;
+            let packet = WirePacket {
+                src: node,
+                dst: dst_node,
+                src_nic: nic_id,
+                dst_nic,
+                vchan: req.vchan,
+                kind: req.kind,
+                cookie,
+                seq,
+                payload: req.payload,
+            };
+            self.queue.push(
+                now + latency + jitter,
+                EventKind::Arrival { nic: dst_nic, packet: Box::new(packet) },
+            );
+        }
+
+        // Keep the engine busy if more work is queued; otherwise note
+        // idleness (announced after the completion callback).
+        let has_more = !self.world.nics[nic_idx].tx_queue.is_empty();
+        if has_more {
+            self.world.start_tx(now, &mut self.queue, nic_id);
+        } else {
+            let nic = &mut self.world.nics[nic_idx];
+            nic.tx_busy = false;
+            nic.tx_util.set_idle(now);
+        }
+
+        self.world
+            .trace
+            .push(now, TraceEvent::TxDone { nic: nic_id, cookie });
+        self.with_endpoint(node, |ep, ctx| ep.on_tx_done(ctx, nic_id, cookie));
+
+        // The completion handler may have refilled the queue; only announce
+        // idle if the engine is genuinely drained.
+        if self.world.nics[nic_idx].is_tx_idle() {
+            self.world.nics[nic_idx].stats.idle_transitions += 1;
+            self.world.trace.push(now, TraceEvent::NicIdle { nic: nic_id });
+            self.with_endpoint(node, |ep, ctx| ep.on_nic_idle(ctx, nic_id));
+        }
+    }
+
+    fn arrival(&mut self, nic_id: NicId, packet: WirePacket) {
+        let now = self.time;
+        let nic_idx = nic_id.0 as usize;
+        let net_idx = self.world.nics[nic_idx].network.0 as usize;
+        let rx_cost = {
+            let p = &self.world.networks[net_idx].params;
+            p.rx_setup + transfer_time(packet.payload_len(), p.rx_bandwidth)
+        };
+        let nic = &mut self.world.nics[nic_idx];
+        nic.rx_queue.push_back(packet);
+        if !nic.rx_busy {
+            nic.rx_busy = true;
+            self.queue.push(now + rx_cost, EventKind::RxEngineDone { nic: nic_id });
+        }
+    }
+
+    fn rx_engine_done(&mut self, nic_id: NicId) {
+        let now = self.time;
+        let nic_idx = nic_id.0 as usize;
+        let (pkt, node) = {
+            let nic = &mut self.world.nics[nic_idx];
+            let pkt = nic.rx_queue.pop_front().expect("rx done on empty queue");
+            nic.stats.rx_packets += 1;
+            nic.stats.rx_payload_bytes += pkt.payload_len();
+            (pkt, nic.node)
+        };
+        // Schedule processing of the next queued packet before delivering, so
+        // the rx engine models a pipeline rather than stalling on the stack.
+        let next_cost = {
+            let nic = &self.world.nics[nic_idx];
+            nic.rx_queue.front().map(|next| {
+                let p = &self.world.networks[nic.network.0 as usize].params;
+                p.rx_setup + transfer_time(next.payload_len(), p.rx_bandwidth)
+            })
+        };
+        match next_cost {
+            Some(cost) => {
+                self.queue.push(now + cost, EventKind::RxEngineDone { nic: nic_id });
+            }
+            None => self.world.nics[nic_idx].rx_busy = false,
+        }
+        self.world.trace.push(
+            now,
+            TraceEvent::RxDelivered { nic: nic_id, bytes: pkt.payload_len(), kind: pkt.kind },
+        );
+        self.with_endpoint(node, |ep, ctx| ep.on_packet_rx(ctx, nic_id, pkt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TxMode;
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Two-node fixture on a synthetic network.
+    fn two_nodes() -> (Simulation, NodeId, NodeId, NicId, NicId) {
+        let mut sim = Simulation::new();
+        let net = sim.add_network(NetworkParams::synthetic());
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let na = sim.add_nic(a, net);
+        let nb = sim.add_nic(b, net);
+        (sim, a, b, na, nb)
+    }
+
+    type RxLog = Rc<RefCell<Vec<(u16, Vec<u8>)>>>;
+
+    #[derive(Default)]
+    struct Recorder {
+        rx: RxLog,
+        tx_done: Rc<RefCell<Vec<u64>>>,
+        idles: Rc<RefCell<u32>>,
+    }
+
+    impl Endpoint for Recorder {
+        fn on_tx_done(&mut self, _ctx: &mut SimCtx<'_>, _nic: NicId, cookie: u64) {
+            self.tx_done.borrow_mut().push(cookie);
+        }
+        fn on_nic_idle(&mut self, _ctx: &mut SimCtx<'_>, _nic: NicId) {
+            *self.idles.borrow_mut() += 1;
+        }
+        fn on_packet_rx(&mut self, _ctx: &mut SimCtx<'_>, _nic: NicId, pkt: WirePacket) {
+            self.rx.borrow_mut().push((pkt.kind, pkt.contiguous()));
+        }
+    }
+
+    fn req_to(dst: NicId, kind: u16, cookie: u64, data: &[u8]) -> TxRequest {
+        TxRequest {
+            dst_nic: dst,
+            vchan: 0,
+            kind,
+            cookie,
+            mode: TxMode::Pio,
+            host_prep: SimDuration::ZERO,
+            payload: vec![Bytes::copy_from_slice(data)],
+        }
+    }
+
+    #[test]
+    fn packet_delivered_with_content_intact() {
+        let (mut sim, a, b, na, nb) = two_nodes();
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        let rec = Recorder { rx: rx.clone(), ..Default::default() };
+        sim.set_endpoint(b, Box::new(rec));
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 42, 7, b"hello")).unwrap());
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        let got = rx.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 42);
+        assert_eq!(got[0].1, b"hello");
+        assert_eq!(sim.nic(na).stats.tx_packets, 1);
+        assert_eq!(sim.nic(nb).stats.rx_packets, 1);
+    }
+
+    #[test]
+    fn latency_matches_analytic_model() {
+        let (mut sim, a, b, na, nb) = two_nodes();
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { rx: rx.clone(), ..Default::default() }));
+        let len: u64 = 1000;
+        sim.inject(a, |ctx| {
+            ctx.submit(na, req_to(nb, 0, 0, &vec![0u8; len as usize])).unwrap()
+        });
+        let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        // PIO: 100ns setup + (1000+16)B at 0.5GB/s = 2032ns inject,
+        // + 1µs wire latency, + rx 200ns setup + 1000B at 2GB/s = 500ns.
+        let expect = 100 + 2032 + 1000 + 200 + 500;
+        assert_eq!(end.as_nanos(), expect);
+    }
+
+    #[test]
+    fn idle_fires_once_after_queue_drains() {
+        let (mut sim, a, _b, na, nb) = two_nodes();
+        let idles = Rc::new(RefCell::new(0));
+        sim.set_endpoint(a, Box::new(Recorder { idles: idles.clone(), ..Default::default() }));
+        sim.inject(a, |ctx| {
+            for i in 0..3 {
+                ctx.submit(na, req_to(nb, 0, i, b"x")).unwrap();
+            }
+        });
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        // Three back-to-back packets: the engine drains once.
+        assert_eq!(*idles.borrow(), 1);
+        assert_eq!(sim.nic(na).stats.idle_transitions, 1);
+    }
+
+    #[test]
+    fn tx_done_callbacks_in_submission_order() {
+        let (mut sim, a, _b, na, nb) = two_nodes();
+        let done = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(a, Box::new(Recorder { tx_done: done.clone(), ..Default::default() }));
+        sim.inject(a, |ctx| {
+            for i in 10..14 {
+                ctx.submit(na, req_to(nb, 0, i, b"abc")).unwrap();
+            }
+        });
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(*done.borrow(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let (mut sim, a, _b, na, nb) = two_nodes();
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        let results: Vec<Result<(), SubmitError>> = sim.inject(a, |ctx| {
+            (0..6).map(|i| ctx.submit(na, req_to(nb, 0, i, b"y"))).collect()
+        });
+        // Synthetic depth is 4.
+        assert!(results[..4].iter().all(|r| r.is_ok()));
+        assert_eq!(results[4], Err(SubmitError::QueueFull));
+        assert_eq!(results[5], Err(SubmitError::QueueFull));
+        assert_eq!(sim.nic(na).stats.queue_full_rejections, 2);
+    }
+
+    #[test]
+    fn cross_network_submit_rejected() {
+        let mut sim = Simulation::new();
+        let n1 = sim.add_network(NetworkParams::synthetic());
+        let n2 = sim.add_network(NetworkParams::synthetic());
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let na = sim.add_nic(a, n1);
+        let nb = sim.add_nic(b, n2);
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        let r = sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 0, 0, b"z")));
+        assert_eq!(r, Err(SubmitError::Unreachable));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerEp {
+            fired: Rc<RefCell<Vec<u64>>>,
+            cancel_me: Option<TimerId>,
+        }
+        impl Endpoint for TimerEp {
+            fn on_start(&mut self, ctx: &mut SimCtx<'_>) {
+                ctx.set_timer(SimDuration::from_nanos(100), 1);
+                let t = ctx.set_timer(SimDuration::from_nanos(200), 2);
+                ctx.set_timer(SimDuration::from_nanos(300), 3);
+                self.cancel_me = Some(t);
+            }
+            fn on_timer(&mut self, ctx: &mut SimCtx<'_>, _id: TimerId, tag: u64) {
+                self.fired.borrow_mut().push(tag);
+                if tag == 1 {
+                    if let Some(t) = self.cancel_me.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let n = sim.add_node();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(n, Box::new(TimerEp { fired: fired.clone(), cancel_me: None }));
+        sim.run_until_quiescent(SimTime::from_nanos(1_000_000));
+        assert_eq!(*fired.borrow(), vec![1, 3]);
+    }
+
+    #[test]
+    fn drop_rate_discards_packets() {
+        let mut sim = Simulation::new();
+        let mut p = NetworkParams::synthetic();
+        p.drop_rate = 1.0;
+        let net = sim.add_network(p);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let na = sim.add_nic(a, net);
+        let nb = sim.add_nic(b, net);
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(b, Box::new(Recorder { rx: rx.clone(), ..Default::default() }));
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 0, 0, b"doomed")).unwrap());
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert!(rx.borrow().is_empty());
+        assert_eq!(sim.nic(na).stats.wire_drops, 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let (mut sim, _a, _b, _na, _nb) = two_nodes();
+        let end = sim.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(end.as_nanos(), 5_000);
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let run = || {
+            let (mut sim, a, b, na, nb) = two_nodes();
+            let rx = Rc::new(RefCell::new(Vec::new()));
+            sim.set_endpoint(b, Box::new(Recorder { rx: rx.clone(), ..Default::default() }));
+            sim.set_endpoint(a, Box::new(Recorder::default()));
+            sim.inject(a, |ctx| {
+                for i in 0..4u8 {
+                    ctx.submit(na, req_to(nb, i as u16, i as u64, &[i; 33])).unwrap();
+                }
+            });
+            let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+            let received = rx.borrow().clone();
+            (end, received, sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

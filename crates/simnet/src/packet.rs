@@ -1,0 +1,176 @@
+//! Wire-level packet representation.
+//!
+//! Packets carry **real payload bytes** (as cheaply-cloneable [`bytes::Bytes`]
+//! segments) end to end. Higher layers verify delivered content against
+//! ground truth, so correctness of the optimizer's reorderings is established
+//! against actual data movement, not a model of it.
+
+use bytes::Bytes;
+
+use crate::engine::{NicId, NodeId};
+
+/// Identifies a virtual channel (multiplexing unit) within a NIC. Modern
+/// NICs expose several virtualized endpoints over one physical port (§1 of
+/// the paper); the scheduler treats them as pooled resources.
+pub type VChannel = u8;
+
+/// A packet as submitted to and delivered by a simulated NIC.
+///
+/// The `kind` and `cookie` fields are opaque to the simulator; the
+/// communication library uses them for protocol discrimination and
+/// completion matching.
+#[derive(Clone, Debug)]
+pub struct WirePacket {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// NIC the packet left from.
+    pub src_nic: NicId,
+    /// NIC the packet arrives at.
+    pub dst_nic: NicId,
+    /// Virtual channel within the destination NIC.
+    pub vchan: VChannel,
+    /// Library-defined packet discriminator (e.g. eager data vs rndv request).
+    pub kind: u16,
+    /// Library-defined cookie echoed in the sender's tx-completion callback.
+    pub cookie: u64,
+    /// Per-source-NIC monotone sequence number stamped by the simulator.
+    pub seq: u64,
+    /// Payload segments (gather list). Total length is the wire payload size.
+    pub payload: Vec<Bytes>,
+}
+
+impl WirePacket {
+    /// Total payload bytes across all segments.
+    pub fn payload_len(&self) -> u64 {
+        self.payload.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Number of gather segments.
+    pub fn segment_count(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Concatenate all segments into one contiguous buffer (test helper;
+    /// allocates).
+    pub fn contiguous(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_len() as usize);
+        for seg in &self.payload {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+}
+
+/// Host-side injection mode for a transmit request (§1: "PIO and DMA
+/// transfer modes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxMode {
+    /// Programmed I/O: the host CPU writes payload bytes directly into NIC
+    /// buffers. Low setup cost, low bandwidth; best for small packets.
+    Pio,
+    /// DMA: the host posts a descriptor (one per gather segment) and the NIC
+    /// pulls payload from host memory. Higher setup cost, full bandwidth.
+    Dma,
+}
+
+/// A transmit request handed to a simulated NIC.
+#[derive(Clone, Debug)]
+pub struct TxRequest {
+    /// Destination NIC (must be on the same network).
+    pub dst_nic: NicId,
+    /// Virtual channel at the destination.
+    pub vchan: VChannel,
+    /// Library-defined packet discriminator.
+    pub kind: u16,
+    /// Cookie echoed back in `on_tx_done`.
+    pub cookie: u64,
+    /// Injection mode.
+    pub mode: TxMode,
+    /// Extra host-side preparation time charged before injection begins
+    /// (e.g. a by-copy aggregation memcpy performed by the library).
+    pub host_prep: crate::time::SimDuration,
+    /// Payload gather list.
+    pub payload: Vec<Bytes>,
+}
+
+impl TxRequest {
+    /// Total payload bytes.
+    pub fn payload_len(&self) -> u64 {
+        self.payload.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
+/// Why a transmit submission was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The NIC's hardware transmit queue is full; resubmit on a later
+    /// idle/completion callback.
+    QueueFull,
+    /// Payload exceeds the network MTU.
+    PacketTooLarge {
+        /// Requested payload length.
+        len: u64,
+        /// The network's MTU.
+        mtu: u64,
+    },
+    /// Destination NIC is not attached to the same network as the source.
+    Unreachable,
+    /// The referenced NIC id does not exist.
+    NoSuchNic,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "NIC transmit queue full"),
+            SubmitError::PacketTooLarge { len, mtu } => {
+                write!(f, "packet of {len} bytes exceeds MTU {mtu}")
+            }
+            SubmitError::Unreachable => write!(f, "destination NIC on a different network"),
+            SubmitError::NoSuchNic => write!(f, "no such NIC"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(segs: &[&[u8]]) -> WirePacket {
+        WirePacket {
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_nic: NicId(0),
+            dst_nic: NicId(1),
+            vchan: 0,
+            kind: 7,
+            cookie: 99,
+            seq: 1,
+            payload: segs.iter().map(|s| Bytes::copy_from_slice(s)).collect(),
+        }
+    }
+
+    #[test]
+    fn payload_len_sums_segments() {
+        let p = pkt(&[b"abc", b"", b"defg"]);
+        assert_eq!(p.payload_len(), 7);
+        assert_eq!(p.segment_count(), 3);
+    }
+
+    #[test]
+    fn contiguous_preserves_order() {
+        let p = pkt(&[b"abc", b"defg"]);
+        assert_eq!(p.contiguous(), b"abcdefg");
+    }
+
+    #[test]
+    fn submit_error_messages() {
+        let e = SubmitError::PacketTooLarge { len: 10, mtu: 4 };
+        assert!(e.to_string().contains("exceeds MTU"));
+        assert!(SubmitError::QueueFull.to_string().contains("queue full"));
+    }
+}

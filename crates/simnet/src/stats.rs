@@ -1,0 +1,384 @@
+//! Measurement primitives: counters, running statistics, log-scaled latency
+//! histograms and time-weighted utilization tracking.
+//!
+//! These are used both by the simulator core (NIC busy/idle accounting) and by
+//! the experiment harness (latency distributions, throughput series).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Running scalar statistics (count / sum / min / max / mean / variance) using
+/// Welford's online algorithm, so the harness can report stable variance
+/// without storing samples.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Merge another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (0 if empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 if < 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Log2-bucketed histogram for durations, covering 1 ns .. ~584 s in 64
+/// buckets. Approximate quantiles are exact to within one power of two, which
+/// is enough to compare scheduling policies whose effects span decades.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    summary: Summary,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Record one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = 63u32.saturating_sub(ns.max(1).leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.summary.record_duration(d);
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Scalar summary over the same samples.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) as a duration. Returns the upper
+    /// bound of the bucket containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        let total = self.count();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return SimDuration::from_nanos(upper);
+            }
+        }
+        SimDuration::from_nanos(u64::MAX)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.summary.merge(&other.summary);
+    }
+}
+
+/// Tracks the fraction of virtual time a binary resource (e.g. a NIC transmit
+/// engine) spends busy, with exact time weighting.
+#[derive(Clone, Debug, Default)]
+pub struct Utilization {
+    busy_since: Option<SimTime>,
+    accumulated_busy: SimDuration,
+    start: SimTime,
+}
+
+impl Utilization {
+    /// Start tracking at `now` (resource initially idle).
+    pub fn new(now: SimTime) -> Self {
+        Utilization {
+            busy_since: None,
+            accumulated_busy: SimDuration::ZERO,
+            start: now,
+        }
+    }
+
+    /// Resource became busy at `now`. Idempotent if already busy.
+    pub fn set_busy(&mut self, now: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+        }
+    }
+
+    /// Resource became idle at `now`. Idempotent if already idle.
+    pub fn set_idle(&mut self, now: SimTime) {
+        if let Some(since) = self.busy_since.take() {
+            self.accumulated_busy += now.since(since);
+        }
+    }
+
+    /// Whether the resource is currently accounted busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Total busy time up to `now`.
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        let mut t = self.accumulated_busy;
+        if let Some(since) = self.busy_since {
+            t += now.since(since);
+        }
+        t
+    }
+
+    /// Busy fraction of the interval [start, now]; 0 for an empty interval.
+    pub fn busy_fraction(&self, now: SimTime) -> f64 {
+        let span = now.since(self.start).as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        self.busy_time(now).as_nanos() as f64 / span as f64
+    }
+}
+
+/// Simple throughput accumulator: bytes and packet count over the run.
+#[derive(Clone, Debug, Default)]
+pub struct Throughput {
+    /// Total bytes recorded.
+    pub bytes: u64,
+    /// Total packets recorded.
+    pub packets: u64,
+}
+
+impl Throughput {
+    /// Record one wire packet of `bytes` payload+framing bytes.
+    pub fn record(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.packets += 1;
+    }
+
+    /// Mean MB/s over `elapsed` (decimal MB). 0 for an empty interval.
+    pub fn mb_per_sec(&self, elapsed: SimDuration) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / s
+    }
+
+    /// Mean packets per second. 0 for an empty interval.
+    pub fn packets_per_sec(&self, elapsed: SimDuration) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.packets as f64 / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut all = Summary::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).as_nanos();
+        // Median sample is 500 µs; bucket upper bound must be >= that and
+        // within one power of two.
+        assert!(p50 >= 500_000, "p50={p50}");
+        assert!(p50 < 2 * 1_048_576 * 1000, "p50={p50}");
+        let p100 = h.quantile(1.0).as_nanos();
+        assert!(p100 >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut u = Utilization::new(SimTime::ZERO);
+        u.set_busy(SimTime::from_nanos(0));
+        u.set_idle(SimTime::from_nanos(250));
+        u.set_busy(SimTime::from_nanos(750));
+        // At t=1000: busy 250 + 250 = 500 of 1000.
+        assert!((u.busy_fraction(SimTime::from_nanos(1000)) - 0.5).abs() < 1e-12);
+        assert!(u.is_busy());
+    }
+
+    #[test]
+    fn utilization_idempotent_transitions() {
+        let mut u = Utilization::new(SimTime::ZERO);
+        u.set_busy(SimTime::from_nanos(10));
+        u.set_busy(SimTime::from_nanos(20)); // ignored, already busy
+        u.set_idle(SimTime::from_nanos(30));
+        u.set_idle(SimTime::from_nanos(40)); // ignored, already idle
+        assert_eq!(u.busy_time(SimTime::from_nanos(100)).as_nanos(), 20);
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut t = Throughput::default();
+        t.record(1_000_000);
+        t.record(1_000_000);
+        let d = SimDuration::from_secs(2);
+        assert!((t.mb_per_sec(d) - 1.0).abs() < 1e-9);
+        assert!((t.packets_per_sec(d) - 1.0).abs() < 1e-9);
+        assert_eq!(t.mb_per_sec(SimDuration::ZERO), 0.0);
+    }
+}

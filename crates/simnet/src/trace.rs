@@ -1,0 +1,166 @@
+//! Bounded in-memory trace of simulator activity, for debugging and for
+//! behavioural assertions in tests (e.g. "the optimizer was activated only
+//! on NIC-idle events" — the Figure 1 test).
+//!
+//! Tracing is off by default; enabling it costs one enum push per traced
+//! action.
+
+use crate::engine::{NicId, NodeId};
+use crate::time::SimTime;
+
+/// One traced simulator action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings are given on the variants
+pub enum TraceEvent {
+    /// A transmit request was accepted into a NIC's hardware queue.
+    TxSubmitted { nic: NicId, bytes: u64, cookie: u64 },
+    /// The tx engine finished a packet.
+    TxDone { nic: NicId, cookie: u64 },
+    /// The tx engine drained and the NIC reported idle.
+    NicIdle { nic: NicId },
+    /// A packet was delivered to the destination endpoint.
+    RxDelivered { nic: NicId, bytes: u64, kind: u16 },
+    /// A packet was dropped on the wire (fault injection).
+    WireDrop { nic: NicId, cookie: u64 },
+    /// A timer fired on a node.
+    TimerFired { node: NodeId, tag: u64 },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Virtual time of the action.
+    pub at: SimTime,
+    /// The action.
+    pub event: TraceEvent,
+}
+
+/// Bounded trace buffer. When full, the oldest records are discarded (it is
+/// a ring), so long runs can keep tracing the recent window.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    head: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            records: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace retaining the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity: capacity.max(1),
+            records: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        let rec = TraceRecord { at, event };
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records in chronological order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (newer, older) = self.records.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records discarded due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Count retained records matching a predicate.
+    pub fn count_matching(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.iter().filter(|r| pred(&r.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(SimTime::ZERO, TraceEvent::NicIdle { nic: NicId(0) });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5u64 {
+            t.push(
+                SimTime::from_nanos(i),
+                TraceEvent::TimerFired { node: NodeId(0), tag: i },
+            );
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let tags: Vec<u64> = t
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::TimerFired { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut t = Trace::with_capacity(10);
+        t.push(SimTime::ZERO, TraceEvent::NicIdle { nic: NicId(1) });
+        t.push(SimTime::ZERO, TraceEvent::NicIdle { nic: NicId(2) });
+        t.push(SimTime::ZERO, TraceEvent::TxDone { nic: NicId(1), cookie: 0 });
+        assert_eq!(t.count_matching(|e| matches!(e, TraceEvent::NicIdle { .. })), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! MPI-style collectives over the engine: iterated tree allreduce across a
+//! growing cluster, on both engines.
+//!
+//! Collectives are waves of small, latency-coupled messages — several per
+//! node per round, flowing up and down a binary tree. Every rank verifies
+//! the reduced sums each iteration, so this doubles as an N-node
+//! correctness demonstration.
+//!
+//! ```text
+//! cargo run --release -p madeleine --example allreduce
+//! ```
+
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madware::coll::allreduce_ranks;
+use simnet::Technology;
+
+fn run(size: u32, engine: EngineKind) -> (f64, u64) {
+    let iterations = 20;
+    let (apps, handles) = allreduce_ranks(size, 256, iterations);
+    let spec = ClusterSpec {
+        nodes: size as usize,
+        rails: vec![Technology::MyrinetMx],
+        engine,
+        trace: None,
+    };
+    let mut c = Cluster::build(&spec, apps);
+    c.drain();
+    let mut packets = 0;
+    for (i, h) in handles.iter().enumerate() {
+        let s = h.borrow();
+        assert_eq!(s.iterations_done, iterations, "rank {i}");
+        assert_eq!(s.wrong_results, 0, "rank {i} produced wrong sums");
+        packets += c.handle(i).metrics().packets_sent;
+    }
+    let mean = handles[0].borrow().iteration_us.mean();
+    (mean, packets)
+}
+
+fn main() {
+    println!("iterated allreduce of 256 x u64 (20 iterations), binary tree, MX rail");
+    println!("{:>6} {:>22} {:>22}", "ranks", "optimizer mean(us)", "legacy mean(us)");
+    for size in [2u32, 4, 8, 16] {
+        let (opt_us, _) = run(size, EngineKind::optimizing());
+        let (leg_us, _) = run(size, EngineKind::legacy());
+        println!("{size:>6} {opt_us:>22.1} {leg_us:>22.1}");
+    }
+    println!("\nevery rank verified every iteration's element-wise sums — all correct.");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: two nodes on a simulated Myrinet/MX rail, a handful of
+//! messages through the optimizing engine, and a look at what the
+//! scheduler did.
+//!
+//! ```text
+//! cargo run --release -p madeleine --example quickstart
+//! ```
+
+use madeleine::harness::{Cluster, ClusterSpec};
+use madeleine::ids::TrafficClass;
+use madeleine::message::MessageBuilder;
+
+fn main() {
+    // A ready-made two-node MX cluster running the optimizing engine.
+    let mut cluster = Cluster::build(&ClusterSpec::mx_pair(), vec![]);
+    let (src, dst) = (cluster.nodes[0], cluster.nodes[1]);
+    let sender = cluster.handle(0).clone();
+
+    // Open three independent flows (imagine three middlewares) and submit
+    // a burst of structured messages: an express header the receiver needs
+    // first, then a payload the engine is free to reorder and merge.
+    let flows: Vec<_> = (0..3)
+        .map(|_| sender.open_flow(dst, TrafficClass::DEFAULT))
+        .collect();
+    cluster.sim.inject(src, |ctx| {
+        for round in 0u8..10 {
+            for (i, &flow) in flows.iter().enumerate() {
+                let parts = MessageBuilder::new()
+                    .pack_express(&[i as u8, round]) // header: who/what
+                    .pack_cheaper(&[round; 200])     // the data
+                    .build_parts();
+                sender.send(ctx, flow, parts);
+            }
+        }
+    });
+
+    // Run the virtual cluster until all traffic drains.
+    let end = cluster.drain();
+
+    let tx = cluster.handle(0).metrics();
+    let rx = cluster.handle(1).metrics();
+    println!("delivered {} messages in {} (virtual time)", rx.delivered_msgs, end);
+    println!(
+        "the optimizer sent {} wire packets for {} submitted messages",
+        tx.packets_sent, tx.submitted_msgs
+    );
+    println!(
+        "cross-flow aggregation: {:.1} chunks per packet on average",
+        tx.aggregation_ratio()
+    );
+    println!(
+        "optimizer activations: {} on NIC-idle, {} at submit time",
+        tx.activations_idle, tx.activations_submit
+    );
+
+    // Messages arrive whole, in per-flow order, headers first.
+    let delivered = cluster.handle(1).take_delivered();
+    assert_eq!(delivered.len(), 30);
+    for msg in &delivered {
+        assert_eq!(msg.fragments.len(), 2);
+        assert_eq!(msg.fragments[1].1.len(), 200);
+    }
+    println!("all 30 messages reassembled intact — done.");
+}

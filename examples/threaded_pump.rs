@@ -1,0 +1,99 @@
+//! A real-thread progression pump.
+//!
+//! §4 calls the engine "portable, multithreaded": in the real NewMadeleine
+//! a progression thread polls the NICs while application threads merely
+//! enqueue. This example reproduces that split with OS threads: the
+//! virtual cluster (and its optimizer) lives on a dedicated pump thread;
+//! application threads hand it submissions through a lock-free channel and
+//! read results from shared state — they never touch the network layer.
+//!
+//! ```text
+//! cargo run --release -p madeleine --example threaded_pump
+//! ```
+
+use crossbeam::channel;
+use madeleine::harness::{Cluster, ClusterSpec};
+use madeleine::ids::TrafficClass;
+use madeleine::message::MessageBuilder;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+/// A submission from an application thread.
+struct Submission {
+    flow_idx: usize,
+    payload: Vec<u8>,
+}
+
+fn main() {
+    let (tx, rx) = channel::unbounded::<Submission>();
+    let delivered_log = Arc::new(Mutex::new(Vec::<(u32, usize)>::new()));
+    let log_for_pump = delivered_log.clone();
+
+    // The pump thread owns the whole simulated cluster (it is not Send-able
+    // piecemeal — engines hold node-local state — so it is built here).
+    let pump = thread::spawn(move || {
+        let mut cluster = Cluster::build(&ClusterSpec::mx_pair(), vec![]);
+        let dst = cluster.nodes[1];
+        let src = cluster.nodes[0];
+        let sender = cluster.handle(0).clone();
+        let flows: Vec<_> = (0..4)
+            .map(|_| sender.open_flow(dst, TrafficClass::DEFAULT))
+            .collect();
+
+        // Pump loop: drain the submission channel, advance the engine.
+        let mut total = 0usize;
+        while let Ok(sub) = rx.recv() {
+            // Batch whatever else is already queued — exactly the backlog
+            // accumulation the paper's scheduler exploits.
+            let mut batch = vec![sub];
+            while let Ok(next) = rx.try_recv() {
+                batch.push(next);
+            }
+            total += batch.len();
+            cluster.sim.inject(src, |ctx| {
+                for s in &batch {
+                    let parts = MessageBuilder::new()
+                        .pack_express(&(s.flow_idx as u32).to_le_bytes())
+                        .pack_cheaper(&s.payload)
+                        .build_parts();
+                    sender.send(ctx, flows[s.flow_idx], parts);
+                }
+            });
+            cluster.drain();
+            for msg in cluster.handle(1).take_delivered() {
+                log_for_pump.lock().push((msg.flow.0, msg.total_len() as usize));
+            }
+        }
+        let m = sender.metrics();
+        (total, m.packets_sent, m.aggregation_ratio())
+    });
+
+    // Four "application" threads enqueue concurrently and return to work.
+    let apps: Vec<_> = (0..4)
+        .map(|flow_idx| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..25usize {
+                    tx.send(Submission {
+                        flow_idx,
+                        payload: vec![(flow_idx * 37 + i) as u8; 64 + 16 * (i % 5)],
+                    })
+                    .expect("pump alive");
+                }
+            })
+        })
+        .collect();
+    for a in apps {
+        a.join().expect("app thread");
+    }
+    drop(tx); // closing the channel stops the pump
+
+    let (submitted, packets, agg) = pump.join().expect("pump thread");
+    let delivered = delivered_log.lock();
+    println!("4 application threads submitted {submitted} messages");
+    println!("pump delivered {} messages in {packets} wire packets", delivered.len());
+    println!("aggregation ratio {agg:.2} (batches formed whenever apps outpaced the pump)");
+    assert_eq!(delivered.len(), 100);
+    println!("all messages accounted for — the pump owns all network state.");
+}

@@ -1,0 +1,112 @@
+//! Integration: the behavioural content of **Figure 1** — the three-layer
+//! architecture and its activation discipline.
+//!
+//! * the application layer only enqueues (submission never transmits by
+//!   itself while the NIC is busy);
+//! * the optimizing layer runs on NIC-idle events and keeps the NIC
+//!   "adequately busy with adequately scheduled communication requests";
+//! * the transfer layer is the only place packets are produced.
+
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madeleine::ids::TrafficClass;
+use madeleine::message::MessageBuilder;
+use madware::pattern;
+use simnet::{SimDuration, Technology};
+
+fn spec() -> ClusterSpec {
+    ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx],
+        engine: EngineKind::optimizing(),
+        trace: Some(1 << 14),
+    }
+}
+
+#[test]
+fn submissions_during_busy_periods_only_extend_the_backlog() {
+    let mut c = Cluster::build(&spec(), vec![]);
+    let h = c.handle(0).clone();
+    let (src, dst) = (c.nodes[0], c.nodes[1]);
+    let f = h.open_flow(dst, TrafficClass::DEFAULT);
+    // First submission: NIC idle -> submit-time activation transmits.
+    c.sim.inject(src, |ctx| {
+        h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, 0, 0, 4096)).build_parts());
+    });
+    let busy_packets = c.handle(0).metrics().packets_sent;
+    assert!(busy_packets >= 1);
+    // While the NIC is busy (no events processed yet beyond submission),
+    // more submissions must not produce more packets.
+    c.sim.inject(src, |ctx| {
+        for i in 1..10u32 {
+            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 64)).build_parts());
+        }
+    });
+    let before_run = c.handle(0).metrics();
+    // Queue depth is 8; the first burst may have filled hardware slots at
+    // submit-activations, but backlog must remain.
+    assert!(before_run.packets_sent < 10);
+    assert!(h.backlog_bytes() > 0, "backlog should be accumulating");
+    c.drain();
+    assert_eq!(c.handle(1).delivered_count(), 10);
+}
+
+#[test]
+fn nic_idle_activations_produce_the_work() {
+    let mut c = Cluster::build(&spec(), vec![]);
+    let h = c.handle(0).clone();
+    let (src, dst) = (c.nodes[0], c.nodes[1]);
+    let flows: Vec<_> = (0..4).map(|_| h.open_flow(dst, TrafficClass::DEFAULT)).collect();
+    c.sim.inject(src, |ctx| {
+        for i in 0..50u32 {
+            for f in &flows {
+                h.send(ctx, *f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 96)).build_parts());
+            }
+        }
+    });
+    c.drain();
+    let m = c.handle(0).metrics();
+    // One submit-time activation (the first send found an idle NIC); all
+    // further optimization is idle-driven, and each idle activation
+    // refills the whole hardware queue with aggregated packets — a few
+    // activations move the entire 200-message burst.
+    assert!(m.activations_idle >= 2, "idle activations {}", m.activations_idle);
+    assert!(
+        m.activations_idle >= m.activations_submit,
+        "idle {} vs submit {}",
+        m.activations_idle,
+        m.activations_submit
+    );
+    assert!(
+        m.packets_sent as f64 / m.activations_idle as f64 > 2.0,
+        "each idle activation should produce several packets"
+    );
+    // And the NIC was kept "adequately busy": its busy fraction during the
+    // transfer is high.
+    let nic = c.nics[0][0];
+    let busy = c.sim.nic(nic).tx_busy_fraction(c.sim.now());
+    assert!(busy > 0.65, "NIC busy fraction {busy}");
+}
+
+#[test]
+fn layers_are_observable_in_metrics() {
+    let mut c = Cluster::build(&spec(), vec![]);
+    let h = c.handle(0).clone();
+    let (src, dst) = (c.nodes[0], c.nodes[1]);
+    let f = h.open_flow(dst, TrafficClass::DEFAULT);
+    c.sim.inject(src, |ctx| {
+        for i in 0..20u32 {
+            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 128)).build_parts());
+        }
+    });
+    c.drain();
+    let m = c.handle(0).metrics();
+    // Collect layer accepted everything...
+    assert_eq!(m.submitted_msgs, 20);
+    // ...the optimizing layer evaluated candidate plans...
+    assert!(m.plans_evaluated > 0);
+    assert!(m.plans_submitted > 0);
+    // ...and the transfer layer shipped them.
+    assert!(m.packets_sent > 0);
+    assert_eq!(c.handle(1).metrics().delivered_msgs, 20);
+    let _ = SimDuration::ZERO;
+}
