@@ -23,7 +23,12 @@ fn backlog(msgs: usize, flows: usize) -> CollectLayer {
             .pack_express(&(i as u32).to_le_bytes())
             .pack_cheaper(&vec![i as u8; 64 + (i % 7) * 100])
             .build_parts();
-        c.submit(fl[i % flows], parts, SimTime::from_nanos(i as u64 * 100), 1 << 30);
+        c.submit(
+            fl[i % flows],
+            parts,
+            SimTime::from_nanos(i as u64 * 100),
+            1 << 30,
+        );
     }
     c
 }
@@ -38,11 +43,8 @@ fn bench_select(c: &mut Criterion) {
         let registry = StrategyRegistry::standard(&cfg);
         group.bench_with_input(BenchmarkId::new("backlog", msgs), &msgs, |b, _| {
             b.iter(|| {
-                let groups = collect.collect_candidates(
-                    ChannelId(0),
-                    cfg.lookahead_window,
-                    |_, _| true,
-                );
+                let groups =
+                    collect.collect_candidates(ChannelId(0), cfg.lookahead_window, |_, _| true);
                 let ctx = OptContext {
                     now: SimTime::from_nanos(1_000_000),
                     channel: ChannelId(0),
@@ -53,7 +55,13 @@ fn bench_select(c: &mut Criterion) {
                     packet_limit: 32 << 10,
                     rail_count: 1,
                 };
-                black_box(select_plan(&registry, &ctx, &collect, 32 << 10, cfg.rearrange_budget))
+                black_box(select_plan(
+                    &registry,
+                    &ctx,
+                    &collect,
+                    32 << 10,
+                    cfg.rearrange_budget,
+                ))
             })
         });
     }

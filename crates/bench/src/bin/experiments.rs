@@ -23,7 +23,10 @@ fn main() {
         return;
     }
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        experiments::all().iter().map(|(id, _)| id.to_string()).collect()
+        experiments::all()
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect()
     } else {
         args
     };

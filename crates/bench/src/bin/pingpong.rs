@@ -31,7 +31,12 @@ impl AppDriver for Ping {
         let f = api.open_flow(self.peer, TrafficClass::DEFAULT);
         self.flow = Some(f);
         self.sent_at = api.now();
-        api.send(f, MessageBuilder::new().pack_cheaper(&vec![1u8; self.size]).build_parts());
+        api.send(
+            f,
+            MessageBuilder::new()
+                .pack_cheaper(&vec![1u8; self.size])
+                .build_parts(),
+        );
     }
     fn on_message(&mut self, api: &mut dyn CommApi, _msg: &DeliveredMessage) {
         self.rtts_us
@@ -42,7 +47,9 @@ impl AppDriver for Ping {
             self.sent_at = api.now();
             api.send(
                 self.flow.expect("started"),
-                MessageBuilder::new().pack_cheaper(&vec![1u8; self.size]).build_parts(),
+                MessageBuilder::new()
+                    .pack_cheaper(&vec![1u8; self.size])
+                    .build_parts(),
             );
         }
     }
@@ -70,8 +77,17 @@ impl AppDriver for Pong {
 }
 
 fn pingpong(tech: Technology, legacy: bool, size: usize, reps: u32) -> (f64, f64) {
-    let engine = if legacy { EngineKind::legacy() } else { EngineKind::optimizing() };
-    let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
+    let engine = if legacy {
+        EngineKind::legacy()
+    } else {
+        EngineKind::optimizing()
+    };
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![tech],
+        engine,
+        trace: None,
+    };
     let rtts = Rc::new(RefCell::new(Vec::new()));
     let ping = Ping {
         peer: NodeId(1),
@@ -82,7 +98,10 @@ fn pingpong(tech: Technology, legacy: bool, size: usize, reps: u32) -> (f64, f64
         sent_at: simnet::SimTime::ZERO,
         rtts_us: rtts.clone(),
     };
-    let pong = Pong { peer: NodeId(0), flow: None };
+    let pong = Pong {
+        peer: NodeId(0),
+        flow: None,
+    };
     let mut c = Cluster::build(&spec, vec![Some(Box::new(ping)), Some(Box::new(pong))]);
     c.drain();
     let rtts = rtts.borrow();
@@ -98,11 +117,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let legacy = args.iter().any(|a| a == "--legacy");
     let tech = match args.iter().position(|a| a == "--tech") {
-        Some(i) => parse_tech(args.get(i + 1).map(String::as_str).unwrap_or(""))
-            .unwrap_or_else(|| {
+        Some(i) => {
+            parse_tech(args.get(i + 1).map(String::as_str).unwrap_or("")).unwrap_or_else(|| {
                 eprintln!("unknown technology");
                 std::process::exit(2);
-            }),
+            })
+        }
         None => Technology::MyrinetMx,
     };
     let max_size: usize = match args.iter().position(|a| a == "--max-size") {

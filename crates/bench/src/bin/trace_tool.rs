@@ -26,24 +26,32 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sample") => {
-            let Some(path) = args.get(1) else { fail("sample needs an output path") };
+            let Some(path) = args.get(1) else {
+                fail("sample needs an output path")
+            };
             let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
             let t = tracecli::sample(seed);
             std::fs::write(path, t.to_text()).unwrap_or_else(|e| fail(&e.to_string()));
             println!("wrote {} messages to {path}", t.len());
         }
         Some("info") => {
-            let Some(path) = args.get(1) else { fail("info needs a trace file") };
+            let Some(path) = args.get(1) else {
+                fail("info needs a trace file")
+            };
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
             let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
             print!("{}", tracecli::info(&t));
         }
         Some("replay") => {
-            let Some(path) = args.get(1) else { fail("replay needs a trace file") };
+            let Some(path) = args.get(1) else {
+                fail("replay needs a trace file")
+            };
             let legacy = args.iter().any(|a| a == "--legacy");
             let tech = match args.iter().position(|a| a == "--tech") {
                 Some(i) => {
-                    let name = args.get(i + 1).unwrap_or_else(|| fail("--tech needs a value"));
+                    let name = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| fail("--tech needs a value"));
                     tracecli::parse_tech(name)
                         .unwrap_or_else(|| fail(&format!("unknown technology '{name}'")))
                 }
@@ -54,10 +62,14 @@ fn main() {
             print!("{}", tracecli::replay(t, legacy, tech));
         }
         Some("compare") => {
-            let Some(path) = args.get(1) else { fail("compare needs a trace file") };
+            let Some(path) = args.get(1) else {
+                fail("compare needs a trace file")
+            };
             let tech = match args.iter().position(|a| a == "--tech") {
                 Some(i) => {
-                    let name = args.get(i + 1).unwrap_or_else(|| fail("--tech needs a value"));
+                    let name = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| fail("--tech needs a value"));
                     tracecli::parse_tech(name)
                         .unwrap_or_else(|| fail(&format!("unknown technology '{name}'")))
                 }

@@ -38,7 +38,10 @@ pub fn measured(force_copy: bool, size: usize) -> (f64, u64, u64) {
         rndv_threshold: Some(u64::MAX),
         ..EngineConfig::default()
     };
-    let engine = EngineKind::Optimizing { config, policy: PolicyKind::Pooled };
+    let engine = EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    };
     let (mut cluster, _tx, _rx) = eager_flows(
         engine,
         Technology::MyrinetMx,
@@ -50,7 +53,11 @@ pub fn measured(force_copy: bool, size: usize) -> (f64, u64, u64) {
     );
     let end = cluster.drain();
     let m = cluster.handle(0).metrics();
-    (end.as_micros_f64(), m.gathered_packets, m.linearized_packets)
+    (
+        end.as_micros_f64(),
+        m.gathered_packets,
+        m.linearized_packets,
+    )
 }
 
 /// Run the experiment.
@@ -75,7 +82,13 @@ pub fn run() -> Report {
 
     let mut t2 = Table::new(
         "measured: 8 flows x 150 msgs on MX, auto vs forced copy",
-        &["msg size", "mode", "makespan(us)", "gathered pkts", "copied pkts"],
+        &[
+            "msg size",
+            "mode",
+            "makespan(us)",
+            "gathered pkts",
+            "copied pkts",
+        ],
     );
     for &size in &[512usize, 4096] {
         let (auto_us, gathered, linearized) = measured(false, size);
@@ -99,12 +112,14 @@ pub fn run() -> Report {
     Report {
         id: "E10",
         title: "by-copy aggregation vs gather/scatter requests",
-        claim: "aggregate at the cost of additional processing, or use a gather/scatter request (§1)",
+        claim:
+            "aggregate at the cost of additional processing, or use a gather/scatter request (§1)",
         tables: vec![t, t2],
         notes: vec![
             "small chunks favour the memcpy (per-segment descriptor costs \
              dominate); large chunks favour zero-copy gather (memcpy bytes \
-             dominate); the optimizer's scoring picks per packet".into(),
+             dominate); the optimizer's scoring picks per packet"
+                .into(),
         ],
     }
 }
@@ -132,7 +147,10 @@ mod tests {
     #[test]
     fn auto_picks_gather_for_large_chunks() {
         let (_, gathered, linearized) = measured(false, 4096);
-        assert!(gathered > linearized, "gathered {gathered} vs copied {linearized}");
+        assert!(
+            gathered > linearized,
+            "gathered {gathered} vs copied {linearized}"
+        );
     }
 
     #[test]
@@ -140,7 +158,10 @@ mod tests {
         for &size in &[512usize, 4096] {
             let (auto_us, ..) = measured(false, size);
             let (copy_us, ..) = measured(true, size);
-            assert!(auto_us <= copy_us * 1.05, "auto {auto_us} vs copy {copy_us} at {size}");
+            assert!(
+                auto_us <= copy_us * 1.05,
+                "auto {auto_us} vs copy {copy_us} at {size}"
+            );
         }
     }
 }

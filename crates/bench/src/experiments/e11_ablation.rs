@@ -59,14 +59,20 @@ pub fn run_config(config: EngineConfig) -> AblationPoint {
     let spec = ClusterSpec {
         nodes: 2,
         rails: vec![Technology::MyrinetMx; 2],
-        engine: EngineKind::Optimizing { config, policy: PolicyKind::Pooled },
+        engine: EngineKind::Optimizing {
+            config,
+            policy: PolicyKind::Pooled,
+        },
         trace: None,
     };
     let (app, _) = TrafficApp::new("mixed", workload(), 61, 0);
     let (sink, rx) = TrafficApp::new("sink", vec![], 61, 1);
     let mut c = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
     let end = c.drain();
-    assert!(rx.borrow().integrity.all_ok(), "payload corruption in ablation");
+    assert!(
+        rx.borrow().integrity.all_ok(),
+        "payload corruption in ablation"
+    );
     let m = c.handle(0).metrics();
     let rxm = c.handle(1).metrics();
     AblationPoint {
@@ -84,16 +90,52 @@ pub fn run_config(config: EngineConfig) -> AblationPoint {
 pub fn run() -> Report {
     let configs: Vec<(&str, EngineConfig)> = vec![
         ("full engine", EngineConfig::default()),
-        ("no aggregation", EngineConfig { enable_aggregation: false, ..EngineConfig::default() }),
-        ("no reorder", EngineConfig { enable_reorder: false, ..EngineConfig::default() }),
-        ("no bulk-chunking", EngineConfig { enable_split: false, ..EngineConfig::default() }),
-        ("no gather (copy only)", EngineConfig { enable_gather: false, ..EngineConfig::default() }),
-        ("no rendezvous", EngineConfig { enable_rndv: false, ..EngineConfig::default() }),
+        (
+            "no aggregation",
+            EngineConfig {
+                enable_aggregation: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "no reorder",
+            EngineConfig {
+                enable_reorder: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "no bulk-chunking",
+            EngineConfig {
+                enable_split: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "no gather (copy only)",
+            EngineConfig {
+                enable_gather: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "no rendezvous",
+            EngineConfig {
+                enable_rndv: false,
+                ..EngineConfig::default()
+            },
+        ),
         ("fifo only", EngineConfig::fifo_only()),
     ];
     let mut t = Table::new(
         "6 small flows + 1 bulk stream, 2 MX rails; one strategy family disabled at a time",
-        &["configuration", "makespan(us)", "small lat(us)", "chunks/pkt", "pkts"],
+        &[
+            "configuration",
+            "makespan(us)",
+            "small lat(us)",
+            "chunks/pkt",
+            "pkts",
+        ],
     );
     for (name, cfg) in configs {
         let p = run_config(cfg);
@@ -111,7 +153,10 @@ pub fn run() -> Report {
         &["agg chunk limit", "makespan(us)", "chunks/pkt", "pkts"],
     );
     for &limit in &[2usize, 4, 8, 16, 32] {
-        let p = run_config(EngineConfig { agg_chunk_limit: limit, ..EngineConfig::default() });
+        let p = run_config(EngineConfig {
+            agg_chunk_limit: limit,
+            ..EngineConfig::default()
+        });
         t3.row(vec![
             limit.to_string(),
             fmt_f(p.makespan_us),
@@ -151,8 +196,10 @@ mod tests {
     #[test]
     fn disabling_aggregation_hurts() {
         let full = run_config(EngineConfig::default());
-        let no_agg =
-            run_config(EngineConfig { enable_aggregation: false, ..EngineConfig::default() });
+        let no_agg = run_config(EngineConfig {
+            enable_aggregation: false,
+            ..EngineConfig::default()
+        });
         assert!(full.agg > no_agg.agg);
         assert!(
             full.small_lat_us < no_agg.small_lat_us * 1.05,

@@ -41,7 +41,11 @@ pub fn run_cell(engine: EngineKind, flows: usize, size: usize, msgs: u64, seed: 
     let end = cluster.drain();
     let m = cluster.handle(0).metrics();
     let rxm = cluster.handle(1).metrics();
-    assert_eq!(rxm.delivered_msgs, flows as u64 * msgs, "all messages delivered");
+    assert_eq!(
+        rxm.delivered_msgs,
+        flows as u64 * msgs,
+        "all messages delivered"
+    );
     let rx_stats = rx.borrow();
     Cell {
         makespan_us: end.as_micros_f64(),
@@ -60,7 +64,11 @@ pub fn run() -> Report {
     let mut peak: f64 = 0.0;
     for &size in &[8usize, 64, 512, 4096] {
         let mut t = Table::new(
-            format!("eager segments of {} (x{} msgs/flow, MX rail)", fmt_bytes(size as u64), msgs),
+            format!(
+                "eager segments of {} (x{} msgs/flow, MX rail)",
+                fmt_bytes(size as u64),
+                msgs
+            ),
             &[
                 "flows",
                 "opt makespan(us)",

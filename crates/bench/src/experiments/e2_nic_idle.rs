@@ -95,7 +95,11 @@ mod tests {
         // activations dominate the submit-triggered ones.
         assert!(m.packets_sent < m.submitted_msgs / 2);
         assert!(m.activations_idle > m.activations_submit);
-        assert!(m.backlog_depth.mean() > 4.0, "backlog {}", m.backlog_depth.mean());
+        assert!(
+            m.backlog_depth.mean() > 4.0,
+            "backlog {}",
+            m.backlog_depth.mean()
+        );
     }
 
     #[test]
@@ -114,6 +118,10 @@ mod tests {
         // No queueing: one packet per message (each message is two chunks,
         // an express header plus its body — still a single packet).
         assert_eq!(m.packets_sent, m.submitted_msgs);
-        assert!((m.aggregation_ratio() - 2.0).abs() < 0.05, "{}", m.aggregation_ratio());
+        assert!(
+            (m.aggregation_ratio() - 2.0).abs() < 0.05,
+            "{}",
+            m.aggregation_ratio()
+        );
     }
 }

@@ -28,9 +28,11 @@ pub struct NaglePoint {
 
 /// Run one Nagle configuration under sparse multi-flow traffic.
 pub fn run_point(delay_us: u64) -> NaglePoint {
-    let config = EngineConfig::default()
-        .with_nagle(SimDuration::from_micros(delay_us));
-    let engine = EngineKind::Optimizing { config, policy: PolicyKind::Pooled };
+    let config = EngineConfig::default().with_nagle(SimDuration::from_micros(delay_us));
+    let engine = EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    };
     let (mut cluster, _tx, _rx) = eager_flows(
         engine,
         Technology::MyrinetMx,
@@ -55,7 +57,13 @@ pub fn run_point(delay_us: u64) -> NaglePoint {
 pub fn run() -> Report {
     let mut t = Table::new(
         "6 flows x 150 msgs of 32B, mean gap 15us (sparse), MX rail",
-        &["nagle(us)", "mean lat(us)", "chunks/pkt", "pkts", "timer acts"],
+        &[
+            "nagle(us)",
+            "mean lat(us)",
+            "chunks/pkt",
+            "pkts",
+            "timer acts",
+        ],
     );
     for &d in &[0u64, 1, 2, 4, 8, 16, 32] {
         let p = run_point(d);

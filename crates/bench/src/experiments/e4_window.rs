@@ -25,7 +25,10 @@ pub struct WindowPoint {
 /// Run one window size under heavy multi-flow load.
 pub fn run_point(window: usize) -> WindowPoint {
     let config = EngineConfig::default().with_window(window);
-    let engine = EngineKind::Optimizing { config, policy: PolicyKind::Pooled };
+    let engine = EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    };
     let (mut cluster, _tx, _rx) = eager_flows(
         engine,
         Technology::MyrinetMx,
@@ -65,7 +68,8 @@ pub fn run() -> Report {
     Report {
         id: "E4",
         title: "lookahead window size sweep",
-        claim: "experiment with different packet lookahead window sizes (§4, announced future work)",
+        claim:
+            "experiment with different packet lookahead window sizes (§4, announced future work)",
         tables: vec![t],
         notes: vec![format!(
             "window=1 degenerates to per-packet sending ({} us); gains saturate \
@@ -91,7 +95,10 @@ mod tests {
         let w1 = run_point(1);
         let w32 = run_point(32);
         let w256 = run_point(256);
-        assert!(w32.makespan_us < w1.makespan_us * 0.8, "window should speed things up");
+        assert!(
+            w32.makespan_us < w1.makespan_us * 0.8,
+            "window should speed things up"
+        );
         // Saturation: 256 is within a few percent of 32.
         let rel = (w256.makespan_us - w32.makespan_us).abs() / w32.makespan_us;
         assert!(rel < 0.25, "saturation expected, rel diff {rel}");

@@ -31,7 +31,10 @@ pub struct BudgetPoint {
 /// Run one budget level.
 pub fn run_point(budget: usize) -> BudgetPoint {
     let config = EngineConfig::default().with_budget(budget);
-    let engine = EngineKind::Optimizing { config, policy: PolicyKind::Pooled };
+    let engine = EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    };
     let (mut cluster, _tx, _rx) = eager_flows(
         engine,
         Technology::MyrinetMx,
@@ -55,7 +58,13 @@ pub fn run_point(budget: usize) -> BudgetPoint {
 pub fn run() -> Report {
     let mut t = Table::new(
         "12 flows x 120 msgs of 96B, heavy load, MX rail",
-        &["budget", "makespan(us)", "plans scored", "plans/act", "chunks/pkt"],
+        &[
+            "budget",
+            "makespan(us)",
+            "plans scored",
+            "plans/act",
+            "chunks/pkt",
+        ],
     );
     for &b in &[1usize, 2, 4, 8, 16, 64, 256, 1024] {
         let p = run_point(b);

@@ -58,8 +58,15 @@ fn workload() -> Vec<FlowSpec> {
 
 /// Run the mixed workload under a policy; `pin` separates the classes.
 pub fn run_point(pin: bool, collapse_vchans: bool) -> ClassPoint {
-    let config = EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() };
-    let policy = if pin { PolicyKind::ClassPinned } else { PolicyKind::Pooled };
+    let config = EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    };
+    let policy = if pin {
+        PolicyKind::ClassPinned
+    } else {
+        PolicyKind::Pooled
+    };
     let spec = ClusterSpec {
         nodes: 2,
         rails: vec![Technology::MyrinetMx, Technology::MyrinetMx],
@@ -103,7 +110,10 @@ pub fn run() -> Report {
         "bulk (16KiB x 400) + control (16B x 400) over 2 MX rails",
         &["policy", "ctrl mean(us)", "ctrl p99(us)", "bulk MB/s"],
     );
-    for (name, p) in [("pooled (shared)", &pooled), ("class-pinned rails", &pinned)] {
+    for (name, p) in [
+        ("pooled (shared)", &pooled),
+        ("class-pinned rails", &pinned),
+    ] {
         t.row(vec![
             name.to_string(),
             fmt_f(p.ctrl_mean_us),
@@ -116,13 +126,20 @@ pub fn run() -> Report {
         "receiver demultiplexing: packets per virtual channel (rail vchans)",
         &["classmap", "per-vchan packet counts"],
     );
-    t2.row(vec!["per-class channels".into(), format!("{:?}", pooled.vchan_packets)]);
-    t2.row(vec!["collapsed (1 channel)".into(), format!("{:?}", collapsed.vchan_packets)]);
+    t2.row(vec![
+        "per-class channels".into(),
+        format!("{:?}", pooled.vchan_packets),
+    ]);
+    t2.row(vec![
+        "collapsed (1 channel)".into(),
+        format!("{:?}", collapsed.vchan_packets),
+    ]);
 
     Report {
         id: "E6",
         title: "traffic classes: dedicated channels for control vs bulk",
-        claim: "assign resources to traffic classes and help the receiver sort incoming packets (§2)",
+        claim:
+            "assign resources to traffic classes and help the receiver sort incoming packets (§2)",
         tables: vec![t, t2],
         notes: vec![format!(
             "class pinning cuts control p99 latency {}x while bulk keeps one \

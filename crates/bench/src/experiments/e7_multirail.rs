@@ -30,7 +30,12 @@ pub struct RailPoint {
 
 /// Stream `msgs` x 24 KiB messages over the given rails with one flow.
 pub fn run_point(engine: EngineKind, rails: Vec<Technology>, msgs: u64) -> RailPoint {
-    let spec = ClusterSpec { nodes: 2, rails, engine, trace: None };
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails,
+        engine,
+        trace: None,
+    };
     let flow = FlowSpec {
         dst: NodeId(1),
         class: TrafficClass::BULK,
@@ -50,19 +55,32 @@ pub fn run_point(engine: EngineKind, rails: Vec<Technology>, msgs: u64) -> RailP
         .map(|&nic| cluster.sim.nic(nic).stats.tx_payload_bytes)
         .collect();
     let intact = rx.borrow().integrity.all_ok();
-    RailPoint { mbps: bytes as f64 / 1e6 / end.as_secs_f64(), per_nic_bytes, intact }
+    RailPoint {
+        mbps: bytes as f64 / 1e6 / end.as_secs_f64(),
+        per_nic_bytes,
+        intact,
+    }
 }
 
 fn opt() -> EngineKind {
     // Disable rendezvous so the stream is a continuous eager chunk supply
     // (rendezvous handshakes would serialize on the request rail and make
     // the comparison about protocol, not balancing).
-    let config = EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() };
-    EngineKind::Optimizing { config, policy: PolicyKind::Pooled }
+    let config = EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    };
+    EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    }
 }
 
 fn leg() -> EngineKind {
-    let config = EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() };
+    let config = EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    };
     EngineKind::Legacy { config }
 }
 
@@ -86,7 +104,11 @@ pub fn run() -> Report {
         ]);
     }
 
-    let hetero = run_point(opt(), vec![Technology::MyrinetMx, Technology::QuadricsElan], msgs);
+    let hetero = run_point(
+        opt(),
+        vec![Technology::MyrinetMx, Technology::QuadricsElan],
+        msgs,
+    );
     let mx_only = run_point(opt(), vec![Technology::MyrinetMx], msgs);
     let elan_only = run_point(opt(), vec![Technology::QuadricsElan], msgs);
     let mut t2 = Table::new(
@@ -115,7 +137,8 @@ pub fn run() -> Report {
     Report {
         id: "E7",
         title: "multi-rail load balancing, homogeneous and heterogeneous",
-        claim: "dynamic load balancing on multiple NICs, or even NICs from multiple technologies (§2)",
+        claim:
+            "dynamic load balancing on multiple NICs, or even NICs from multiple technologies (§2)",
         tables: vec![t, t2],
         notes: vec![
             "the legacy engine chains a flow to one NIC; the pooled optimizer's \
@@ -137,15 +160,27 @@ mod tests {
         let o2 = run_point(opt(), vec![Technology::MyrinetMx; 2], msgs);
         let l2 = run_point(leg(), vec![Technology::MyrinetMx; 2], msgs);
         assert!(o1.intact && o2.intact && l2.intact);
-        assert!(o2.mbps > 1.6 * o1.mbps, "2 rails: {} vs 1 rail {}", o2.mbps, o1.mbps);
+        assert!(
+            o2.mbps > 1.6 * o1.mbps,
+            "2 rails: {} vs 1 rail {}",
+            o2.mbps,
+            o1.mbps
+        );
         // Legacy: single flow -> one rail only.
-        assert_eq!(l2.per_nic_bytes[1], 0, "legacy must not use the second rail");
+        assert_eq!(
+            l2.per_nic_bytes[1], 0,
+            "legacy must not use the second rail"
+        );
         assert!(o2.mbps > 1.5 * l2.mbps);
     }
 
     #[test]
     fn heterogeneous_shares_track_rail_speeds() {
-        let h = run_point(opt(), vec![Technology::MyrinetMx, Technology::QuadricsElan], 150);
+        let h = run_point(
+            opt(),
+            vec![Technology::MyrinetMx, Technology::QuadricsElan],
+            150,
+        );
         assert!(h.intact);
         let (mx, elan) = (h.per_nic_bytes[0] as f64, h.per_nic_bytes[1] as f64);
         assert!(mx > 0.0 && elan > 0.0, "both rails used");

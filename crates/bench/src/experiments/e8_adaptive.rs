@@ -63,7 +63,11 @@ pub fn run_point(adaptive: bool) -> AdaptivePoint {
         adaptive_epoch: SimDuration::from_micros(200),
         ..EngineConfig::default()
     };
-    let policy = if adaptive { PolicyKind::Adaptive } else { PolicyKind::ClassPinned };
+    let policy = if adaptive {
+        PolicyKind::Adaptive
+    } else {
+        PolicyKind::ClassPinned
+    };
     let spec = ClusterSpec {
         nodes: 2,
         rails: vec![Technology::MyrinetMx; 4],

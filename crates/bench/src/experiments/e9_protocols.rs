@@ -33,7 +33,11 @@ pub fn measure(tech: Technology, size: usize) -> (f64, bool) {
     let src = cluster.nodes[0];
     cluster.sim.inject(src, |ctx| {
         let body = pattern(flow.0, 0, 0, size);
-        h.send(ctx, flow, MessageBuilder::new().pack_cheaper(&body).build_parts());
+        h.send(
+            ctx,
+            flow,
+            MessageBuilder::new().pack_cheaper(&body).build_parts(),
+        );
     });
     cluster.drain();
     let m = cluster.handle(1).metrics();
@@ -78,7 +82,12 @@ pub fn run() -> Report {
                 TxMode::Dma => "DMA",
             };
             let proto = if rndv { "rndv" } else { "eager" };
-            t.row(vec![fmt_bytes(s as u64), fmt_f(lat), mode.into(), proto.into()]);
+            t.row(vec![
+                fmt_bytes(s as u64),
+                fmt_f(lat),
+                mode.into(),
+                proto.into(),
+            ]);
         }
         tables.push(t);
         notes.push(format!(
@@ -95,7 +104,8 @@ pub fn run() -> Report {
     Report {
         id: "E9",
         title: "PIO/DMA and eager/rendezvous selection across technologies",
-        claim: "select how to send a given packet the best way: PIO vs DMA, eager vs rendez-vous (§1)",
+        claim:
+            "select how to send a given packet the best way: PIO vs DMA, eager vs rendez-vous (§1)",
         tables,
         notes,
     }
@@ -116,8 +126,14 @@ mod tests {
     #[test]
     fn rndv_engages_above_threshold() {
         let caps = calib::capabilities(Technology::MyrinetMx);
-        let (_, below) = measure(Technology::MyrinetMx, (caps.rndv_threshold_hint / 2) as usize);
-        let (_, above) = measure(Technology::MyrinetMx, (caps.rndv_threshold_hint * 2) as usize);
+        let (_, below) = measure(
+            Technology::MyrinetMx,
+            (caps.rndv_threshold_hint / 2) as usize,
+        );
+        let (_, above) = measure(
+            Technology::MyrinetMx,
+            (caps.rndv_threshold_hint * 2) as usize,
+        );
         assert!(!below);
         assert!(above);
     }

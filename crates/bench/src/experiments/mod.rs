@@ -1,5 +1,7 @@
 //! The numbered experiments (see `DESIGN.md` §3 for the index).
 
+pub mod e10_gather;
+pub mod e11_ablation;
 pub mod e1_aggregation;
 pub mod e2_nic_idle;
 pub mod e3_nagle;
@@ -9,8 +11,6 @@ pub mod e6_classes;
 pub mod e7_multirail;
 pub mod e8_adaptive;
 pub mod e9_protocols;
-pub mod e10_gather;
-pub mod e11_ablation;
 
 use crate::Report;
 

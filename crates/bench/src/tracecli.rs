@@ -58,9 +58,18 @@ pub fn info(trace: &Trace) -> String {
 
 /// Replay a trace on a fresh two-node cluster; returns a result summary.
 pub fn replay(trace: Trace, legacy: bool, tech: Technology) -> String {
-    let engine = if legacy { EngineKind::legacy() } else { EngineKind::optimizing() };
+    let engine = if legacy {
+        EngineKind::legacy()
+    } else {
+        EngineKind::optimizing()
+    };
     let expected = trace.len() as u64;
-    let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![tech],
+        engine,
+        trace: None,
+    };
     let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(trace))), None]);
     let end = c.drain();
     let tx = c.handle(0).metrics();
@@ -83,8 +92,17 @@ pub fn replay(trace: Trace, legacy: bool, tech: Technology) -> String {
 /// Run the same trace on both engines and render a comparison table.
 pub fn compare(trace: Trace, tech: Technology) -> String {
     let run = |legacy: bool| {
-        let engine = if legacy { EngineKind::legacy() } else { EngineKind::optimizing() };
-        let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
+        let engine = if legacy {
+            EngineKind::legacy()
+        } else {
+            EngineKind::optimizing()
+        };
+        let spec = ClusterSpec {
+            nodes: 2,
+            rails: vec![tech],
+            engine,
+            trace: None,
+        };
         let mut c = Cluster::build(
             &spec,
             vec![Some(Box::new(ReplayApp::new(trace.clone()))), None],

@@ -6,7 +6,6 @@ use simnet::{NodeId, SimDuration, SimTime};
 use crate::ids::{FlowId, MsgId, TrafficClass};
 use crate::message::{DeliveredMessage, Fragment};
 
-
 /// Timer tags at or above this value are reserved for library internals
 /// (Nagle flushes, adaptive-policy epochs).
 pub const INTERNAL_TAG_BASE: u64 = 1 << 62;

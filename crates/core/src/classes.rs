@@ -47,7 +47,11 @@ impl ClassMap {
                 }
             })
             .collect();
-        ClassMap { vchannels, pool, assignment }
+        ClassMap {
+            vchannels,
+            pool,
+            assignment,
+        }
     }
 
     /// The control channel (rendezvous, acknowledgements).
@@ -128,8 +132,14 @@ mod tests {
     fn default_separates_classes_when_channels_allow() {
         let m = ClassMap::new(8);
         assert_eq!(m.control(), 0);
-        assert_ne!(m.vchan_for(TrafficClass::BULK), m.vchan_for(TrafficClass::CONTROL));
-        assert_ne!(m.vchan_for(TrafficClass::DEFAULT), m.vchan_for(TrafficClass::PUT_GET));
+        assert_ne!(
+            m.vchan_for(TrafficClass::BULK),
+            m.vchan_for(TrafficClass::CONTROL)
+        );
+        assert_ne!(
+            m.vchan_for(TrafficClass::DEFAULT),
+            m.vchan_for(TrafficClass::PUT_GET)
+        );
         // No class sits on the control channel.
         for k in 0..TrafficClass::COUNT as u8 {
             assert_ne!(m.vchan_for(TrafficClass(k)), 0);

@@ -168,7 +168,13 @@ impl CollectLayer {
     /// Open a new flow toward `dst` with the given class.
     pub fn open_flow(&mut self, dst: NodeId, class: TrafficClass) -> FlowId {
         let id = FlowId(self.flows.len() as u32);
-        self.flows.push(FlowState { id, dst, class, next_seq: 0, queue: VecDeque::new() });
+        self.flows.push(FlowState {
+            id,
+            dst,
+            class,
+            next_seq: 0,
+            queue: VecDeque::new(),
+        });
         id
     }
 
@@ -192,7 +198,10 @@ impl CollectLayer {
         rndv_threshold: u64,
     ) -> MsgId {
         let fs = &mut self.flows[flow.0 as usize];
-        let id = MsgId { flow, seq: MsgSeq(fs.next_seq) };
+        let id = MsgId {
+            flow,
+            seq: MsgSeq(fs.next_seq),
+        };
         fs.next_seq += 1;
         let frags = parts
             .into_iter()
@@ -220,6 +229,8 @@ impl CollectLayer {
             frags,
             pinned_rail: None,
         });
+        #[cfg(feature = "debug-invariants")]
+        self.debug_assert_invariants();
         id
     }
 
@@ -369,8 +380,13 @@ impl CollectLayer {
             chunk.flow,
             chunk.frag
         );
-        assert!(chunk.offset + chunk.len <= frag.len(), "chunk overruns fragment");
+        assert!(
+            chunk.offset + chunk.len <= frag.len(),
+            "chunk overruns fragment"
+        );
         frag.inflight += chunk.len;
+        #[cfg(feature = "debug-invariants")]
+        self.debug_assert_invariants();
     }
 
     /// Mark a committed chunk's transmission complete; removes the message
@@ -386,12 +402,54 @@ impl CollectLayer {
         if msg.pinned_rail.is_some() && msg.express_resolved() {
             msg.pinned_rail = None;
         }
-        if msg.is_complete() {
+        let completed = if msg.is_complete() {
             let fs = &mut self.flows[chunk.flow.0 as usize];
             fs.queue.retain(|m| m.id.seq.0 != chunk.seq);
             true
         } else {
             false
+        };
+        #[cfg(feature = "debug-invariants")]
+        self.debug_assert_invariants();
+        completed
+    }
+
+    /// Check the structural invariants every mutation must preserve:
+    /// per-flow queues sorted by sequence number, no fragment accounting
+    /// past its length, no committed bytes on rendezvous-gated fragments,
+    /// and no fully-sent message left in a queue. Compiled only with the
+    /// `debug-invariants` feature; callers wrap invocations in the same
+    /// `cfg` so release builds pay nothing.
+    #[cfg(feature = "debug-invariants")]
+    pub fn debug_assert_invariants(&self) {
+        for fs in &self.flows {
+            let mut prev_seq: Option<u32> = None;
+            for msg in &fs.queue {
+                assert_eq!(msg.id.flow, fs.id, "message filed under wrong flow");
+                assert_eq!(msg.dst, fs.dst, "message dst diverged from flow dst");
+                if let Some(p) = prev_seq {
+                    assert!(msg.id.seq.0 > p, "{}: queue out of sequence order", fs.id);
+                }
+                prev_seq = Some(msg.id.seq.0);
+                assert!(!msg.is_complete(), "fully-sent message still queued");
+                for f in &msg.frags {
+                    assert!(
+                        f.sent.checked_add(f.inflight).is_some_and(|c| c <= f.len()),
+                        "{}: fragment {} accounting exceeds length",
+                        fs.id,
+                        f.index
+                    );
+                    if matches!(f.rndv, RndvState::NeedRequest | RndvState::Requested) {
+                        assert_eq!(
+                            f.committed(),
+                            0,
+                            "{}: rendezvous-gated fragment {} has committed bytes",
+                            fs.id,
+                            f.index
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -484,10 +542,22 @@ mod tests {
 
         // Committed fragments disappear from the offer.
         c.commit_chunk(
-            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 },
+            &PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 8,
+            },
             ChannelId(0),
         );
-        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 });
+        c.complete_chunk(&PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 8,
+        });
         let groups = c.collect_candidates(ChannelId(0), 64, |_, _| true);
         let frags: Vec<_> = groups[0].candidates.iter().map(|c| c.frag).collect();
         assert_eq!(frags, vec![1, 2, 3]);
@@ -527,22 +597,52 @@ mod tests {
             1 << 20,
         );
         c.commit_chunk(
-            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 },
+            &PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 8,
+            },
             ChannelId(2),
         );
         // Other rails now see nothing from this message.
-        assert!(c.collect_candidates(ChannelId(0), 64, |_, _| true).is_empty());
-        assert_eq!(c.collect_candidates(ChannelId(2), 64, |_, _| true)[0].candidates.len(), 1);
+        assert!(c
+            .collect_candidates(ChannelId(0), 64, |_, _| true)
+            .is_empty());
+        assert_eq!(
+            c.collect_candidates(ChannelId(2), 64, |_, _| true)[0]
+                .candidates
+                .len(),
+            1
+        );
         // Once the express fragment completes, the pin is lifted.
-        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 8 });
-        assert_eq!(c.collect_candidates(ChannelId(0), 64, |_, _| true)[0].candidates.len(), 1);
+        c.complete_chunk(&PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 8,
+        });
+        assert_eq!(
+            c.collect_candidates(ChannelId(0), 64, |_, _| true)[0]
+                .candidates
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn completion_removes_finished_messages() {
         let (mut c, f) = layer_with_flow();
         c.submit(f, parts(&[(32, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
-        let ch = PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 32 };
+        let ch = PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 32,
+        };
         c.commit_chunk(&ch, ChannelId(0));
         assert_eq!(c.backlog_bytes(), 0); // committed, not yet sent
         assert!(!c.is_empty());
@@ -553,9 +653,20 @@ mod tests {
     #[test]
     fn partial_chunking_advances_offsets() {
         let (mut c, f) = layer_with_flow();
-        c.submit(f, parts(&[(100, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        c.submit(
+            f,
+            parts(&[(100, PackMode::Cheaper)]),
+            SimTime::ZERO,
+            1 << 20,
+        );
         c.commit_chunk(
-            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 40 },
+            &PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 40,
+            },
             ChannelId(0),
         );
         let g = c.collect_candidates(ChannelId(0), 64, |_, _| true);
@@ -563,12 +674,30 @@ mod tests {
         assert_eq!(g[0].candidates[0].remaining, 60);
         // Out-of-order completion keeps counters consistent.
         c.commit_chunk(
-            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 40, len: 60 },
+            &PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 40,
+                len: 60,
+            },
             ChannelId(0),
         );
-        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 40, len: 60 });
+        c.complete_chunk(&PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 40,
+            len: 60,
+        });
         assert!(!c.is_empty());
-        c.complete_chunk(&PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 40 });
+        c.complete_chunk(&PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 40,
+        });
         assert!(c.is_empty());
     }
 
@@ -576,9 +705,20 @@ mod tests {
     #[should_panic(expected = "non-contiguous")]
     fn non_contiguous_commit_panics() {
         let (mut c, f) = layer_with_flow();
-        c.submit(f, parts(&[(100, PackMode::Cheaper)]), SimTime::ZERO, 1 << 20);
+        c.submit(
+            f,
+            parts(&[(100, PackMode::Cheaper)]),
+            SimTime::ZERO,
+            1 << 20,
+        );
         c.commit_chunk(
-            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 50, len: 10 },
+            &PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 50,
+                len: 10,
+            },
             ChannelId(0),
         );
     }

@@ -132,7 +132,10 @@ mod tests {
         let c = EngineConfig::default();
         assert!(c.validate().is_ok());
         assert!(c.enable_aggregation && c.enable_reorder && c.enable_split);
-        assert!(c.nagle_delay.is_zero(), "paper default: send when available");
+        assert!(
+            c.nagle_delay.is_zero(),
+            "paper default: send when available"
+        );
     }
 
     #[test]
@@ -157,9 +160,15 @@ mod tests {
     fn validation_rejects_degenerate_values() {
         assert!(EngineConfig::default().with_window(0).validate().is_err());
         assert!(EngineConfig::default().with_budget(0).validate().is_err());
-        let c = EngineConfig { agg_chunk_limit: 0, ..EngineConfig::default() };
+        let c = EngineConfig {
+            agg_chunk_limit: 0,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = EngineConfig { urgency_weight: f64::NAN, ..EngineConfig::default() };
+        let c = EngineConfig {
+            urgency_weight: f64::NAN,
+            ..EngineConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -82,12 +82,21 @@ impl std::fmt::Display for PlanViolation {
             PlanViolation::UnknownChunk => write!(f, "chunk references unknown message"),
             PlanViolation::MixedDestinations => write!(f, "mixed destinations in one packet"),
             PlanViolation::WrongRail => write!(f, "message pinned to a different rail"),
-            PlanViolation::NonContiguous { flow, frag, expected, got } => write!(
+            PlanViolation::NonContiguous {
+                flow,
+                frag,
+                expected,
+                got,
+            } => write!(
                 f,
                 "non-contiguous chunk for {flow} frag {frag}: expected offset {expected}, got {got}"
             ),
             PlanViolation::Overrun => write!(f, "chunk overruns fragment"),
-            PlanViolation::ExpressOrder { flow, frag, open_express } => write!(
+            PlanViolation::ExpressOrder {
+                flow,
+                frag,
+                open_express,
+            } => write!(
                 f,
                 "{flow}: fragment {frag} scheduled before express fragment {open_express}"
             ),
@@ -191,7 +200,9 @@ pub fn validate_plan(
                         got: c.offset,
                     });
                 }
-                if c.offset + c.len > frag.len() {
+                // Widen before adding: a hostile `len` near `u32::MAX`
+                // must report Overrun, not overflow.
+                if u64::from(c.offset) + u64::from(c.len) > u64::from(frag.len()) {
                     return Err(PlanViolation::Overrun);
                 }
                 *already += c.len;
@@ -200,7 +211,10 @@ pub fn validate_plan(
             let total = payload + plan.framing();
             let limit = wire_mtu.min(caps.max_packet_bytes);
             if total > limit {
-                return Err(PlanViolation::OverSize { bytes: total, limit });
+                return Err(PlanViolation::OverSize {
+                    bytes: total,
+                    limit,
+                });
             }
             if !*linearize {
                 let segs = 1 + chunks.len();
@@ -263,7 +277,10 @@ mod tests {
         TransferPlan {
             channel: ChannelId(0),
             dst: NodeId(1),
-            body: PlanBody::Data { chunks, linearize: false },
+            body: PlanBody::Data {
+                chunks,
+                linearize: false,
+            },
             strategy: "test",
         }
     }
@@ -278,7 +295,13 @@ mod tests {
     #[test]
     fn valid_single_chunk_plan_passes() {
         let (c, f) = setup(&[(100, PackMode::Cheaper)]);
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 100 }]);
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 100,
+        }]);
         assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Ok(()));
     }
 
@@ -286,22 +309,55 @@ mod tests {
     fn express_jump_rejected_unless_covered_in_plan() {
         let (c, f) = setup(&[(10, PackMode::Express), (50, PackMode::Cheaper)]);
         // Scheduling the body without the header: violation.
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 1, offset: 0, len: 50 }]);
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 1,
+            offset: 0,
+            len: 50,
+        }]);
         assert!(matches!(
             validate_plan(&p, &c, &caps(), 1 << 20),
-            Err(PlanViolation::ExpressOrder { open_express: 0, .. })
+            Err(PlanViolation::ExpressOrder {
+                open_express: 0,
+                ..
+            })
         ));
         // Header earlier in the same packet: fine.
         let p = data_plan(vec![
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 10 },
-            PlannedChunk { flow: f, seq: 0, frag: 1, offset: 0, len: 50 },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 10,
+            },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 1,
+                offset: 0,
+                len: 50,
+            },
         ]);
         assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Ok(()));
         // Header *after* the body in the same packet: still a violation
         // (receivers process chunks in order).
         let p = data_plan(vec![
-            PlannedChunk { flow: f, seq: 0, frag: 1, offset: 0, len: 50 },
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 10 },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 1,
+                offset: 0,
+                len: 50,
+            },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 10,
+            },
         ]);
         assert!(validate_plan(&p, &c, &caps(), 1 << 20).is_err());
     }
@@ -310,8 +366,20 @@ mod tests {
     fn partial_express_coverage_does_not_unlock() {
         let (c, f) = setup(&[(10, PackMode::Express), (50, PackMode::Cheaper)]);
         let p = data_plan(vec![
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 5 },
-            PlannedChunk { flow: f, seq: 0, frag: 1, offset: 0, len: 50 },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 5,
+            },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 1,
+                offset: 0,
+                len: 50,
+            },
         ]);
         assert!(matches!(
             validate_plan(&p, &c, &caps(), 1 << 20),
@@ -322,26 +390,69 @@ mod tests {
     #[test]
     fn non_contiguous_and_overrun_rejected() {
         let (c, f) = setup(&[(100, PackMode::Cheaper)]);
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 0, offset: 10, len: 10 }]);
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 10,
+            len: 10,
+        }]);
         assert!(matches!(
             validate_plan(&p, &c, &caps(), 1 << 20),
-            Err(PlanViolation::NonContiguous { expected: 0, got: 10, .. })
+            Err(PlanViolation::NonContiguous {
+                expected: 0,
+                got: 10,
+                ..
+            })
         ));
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 200 }]);
-        assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Err(PlanViolation::Overrun));
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 200,
+        }]);
+        assert_eq!(
+            validate_plan(&p, &c, &caps(), 1 << 20),
+            Err(PlanViolation::Overrun)
+        );
     }
 
     #[test]
     fn split_chunks_within_one_plan_must_be_ordered() {
         let (c, f) = setup(&[(100, PackMode::Cheaper)]);
         let p = data_plan(vec![
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 40 },
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 40, len: 60 },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 40,
+            },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 40,
+                len: 60,
+            },
         ]);
         assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Ok(()));
         let p = data_plan(vec![
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 40, len: 60 },
-            PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 40 },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 40,
+                len: 60,
+            },
+            PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 40,
+            },
         ]);
         assert!(validate_plan(&p, &c, &caps(), 1 << 20).is_err());
     }
@@ -349,7 +460,13 @@ mod tests {
     #[test]
     fn oversize_rejected() {
         let (c, f) = setup(&[(2000, PackMode::Cheaper)]);
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 2000 }]);
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 2000,
+        }]);
         assert!(matches!(
             validate_plan(&p, &c, &caps(), 1000),
             Err(PlanViolation::OverSize { .. })
@@ -365,7 +482,13 @@ mod tests {
         let sizes: Vec<(usize, PackMode)> = (0..12).map(|_| (1024, PackMode::Cheaper)).collect();
         many.submit(f, parts(&sizes), SimTime::ZERO, 1 << 30);
         let chunks = (0..12)
-            .map(|i| PlannedChunk { flow: f, seq: 0, frag: i, offset: 0, len: 1024 })
+            .map(|i| PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: i,
+                offset: 0,
+                len: 1024,
+            })
             .collect();
         let p = data_plan(chunks);
         assert!(matches!(
@@ -385,13 +508,26 @@ mod tests {
         let mut c = CollectLayer::new();
         let f = c.open_flow(NodeId(1), TrafficClass::DEFAULT);
         c.submit(f, parts(&[(5000, PackMode::Cheaper)]), SimTime::ZERO, 1024);
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 100 }]);
-        assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Err(PlanViolation::RndvBlocked));
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 100,
+        }]);
+        assert_eq!(
+            validate_plan(&p, &c, &caps(), 1 << 20),
+            Err(PlanViolation::RndvBlocked)
+        );
         // And the rendezvous request plan is valid.
         let rp = TransferPlan {
             channel: ChannelId(0),
             dst: NodeId(1),
-            body: PlanBody::RndvRequest { flow: f, seq: 0, frag: 0 },
+            body: PlanBody::RndvRequest {
+                flow: f,
+                seq: 0,
+                frag: 0,
+            },
             strategy: "rndv",
         };
         assert_eq!(validate_plan(&rp, &c, &caps(), 1 << 20), Ok(()));
@@ -401,8 +537,17 @@ mod tests {
     fn empty_and_zero_plans_rejected() {
         let (c, f) = setup(&[(100, PackMode::Cheaper)]);
         let p = data_plan(vec![]);
-        assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Err(PlanViolation::EmptyPlan));
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 0 }]);
+        assert_eq!(
+            validate_plan(&p, &c, &caps(), 1 << 20),
+            Err(PlanViolation::EmptyPlan)
+        );
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len: 0,
+        }]);
         assert_eq!(
             validate_plan(&p, &c, &caps(), 1 << 20),
             Err(PlanViolation::ZeroLengthChunk)
@@ -413,10 +558,25 @@ mod tests {
     fn wrong_rail_rejected_for_pinned_message() {
         let (mut c, f) = setup(&[(10, PackMode::Express), (50, PackMode::Cheaper)]);
         c.commit_chunk(
-            &PlannedChunk { flow: f, seq: 0, frag: 0, offset: 0, len: 10 },
+            &PlannedChunk {
+                flow: f,
+                seq: 0,
+                frag: 0,
+                offset: 0,
+                len: 10,
+            },
             ChannelId(3),
         );
-        let p = data_plan(vec![PlannedChunk { flow: f, seq: 0, frag: 1, offset: 0, len: 50 }]);
-        assert_eq!(validate_plan(&p, &c, &caps(), 1 << 20), Err(PlanViolation::WrongRail));
+        let p = data_plan(vec![PlannedChunk {
+            flow: f,
+            seq: 0,
+            frag: 1,
+            offset: 0,
+            len: 50,
+        }]);
+        assert_eq!(
+            validate_plan(&p, &c, &caps(), 1 << 20),
+            Err(PlanViolation::WrongRail)
+        );
     }
 }

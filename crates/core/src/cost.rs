@@ -43,7 +43,10 @@ pub fn estimate_busy(plan: &TransferPlan, ctx: &OptContext<'_>) -> SimDuration {
             // A rendezvous request is a small linearized control packet.
             ctx.cost.injection_time(TxMode::Pio, plan.framing(), 1)
         }
-        PlanBody::Data { chunks: _, linearize } => {
+        PlanBody::Data {
+            chunks: _,
+            linearize,
+        } => {
             let bytes = plan.payload_bytes() + plan.framing();
             let segs = plan.segment_count();
             let pio = if ctx.caps.can_pio(bytes) {
@@ -81,9 +84,12 @@ pub fn score_plan(plan: &TransferPlan, ctx: &OptContext<'_>) -> ScoredPlan {
         PlanBody::Data { chunks, .. } => {
             let mut value = plan.payload_bytes() as f64;
             for c in chunks {
-                if let Some(cand) = ctx.groups.iter().flat_map(|g| g.candidates.iter()).find(|k| {
-                    k.flow == c.flow && k.seq == c.seq && k.frag == c.frag
-                }) {
+                if let Some(cand) = ctx
+                    .groups
+                    .iter()
+                    .flat_map(|g| g.candidates.iter())
+                    .find(|k| k.flow == c.flow && k.seq == c.seq && k.frag == c.frag)
+                {
                     let age_us = ctx.now.since(cand.submitted_at).as_nanos() as f64 / 1e3;
                     value += age_us * cand.class.urgency_weight() * ctx.config.urgency_weight;
                 }
@@ -103,7 +109,11 @@ pub fn score_plan(plan: &TransferPlan, ctx: &OptContext<'_>) -> ScoredPlan {
             frag_len / handshake_ns
         }
     };
-    ScoredPlan { plan: plan.clone(), score, est_busy }
+    ScoredPlan {
+        plan: plan.clone(),
+        score,
+        est_busy,
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +144,13 @@ mod tests {
     }
 
     fn pc(flow: u32, len: u32) -> PlannedChunk {
-        PlannedChunk { flow: FlowId(flow), seq: 0, frag: 0, offset: 0, len }
+        PlannedChunk {
+            flow: FlowId(flow),
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len,
+        }
     }
 
     #[test]
@@ -203,7 +219,10 @@ mod tests {
         let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
         let gather = estimate_busy(&data_plan(vec![pc(0, 4096), pc(1, 4096)], false), &ctx);
         let copied = estimate_busy(&data_plan(vec![pc(0, 4096), pc(1, 4096)], true), &ctx);
-        assert!(copied > gather, "copy {copied} should exceed gather {gather} at 4 KiB chunks");
+        assert!(
+            copied > gather,
+            "copy {copied} should exceed gather {gather} at 4 KiB chunks"
+        );
     }
 
     #[test]
@@ -225,7 +244,11 @@ mod tests {
         let req = TransferPlan {
             channel: ChannelId(0),
             dst: NodeId(1),
-            body: PlanBody::RndvRequest { flow: FlowId(0), seq: 0, frag: 0 },
+            body: PlanBody::RndvRequest {
+                flow: FlowId(0),
+                seq: 0,
+                frag: 0,
+            },
             strategy: "rndv",
         };
         let scored = score_plan(&req, &ctx);

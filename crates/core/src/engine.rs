@@ -25,9 +25,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use nicdrv::{Driver, ModeSel, SimDriver, TransferRequest};
-use simnet::{
-    Endpoint, NicId, NodeId, SimCtx, SimTime, Technology, TimerId, WirePacket,
-};
+use simnet::{Endpoint, NicId, NodeId, SimCtx, SimTime, Technology, TimerId, WirePacket};
 
 use crate::api::{AppDriver, CommApi, INTERNAL_TAG_BASE};
 use crate::classes::ClassMap;
@@ -39,11 +37,11 @@ use crate::message::{DeliveredMessage, Fragment};
 use crate::metrics::{Activation, EngineMetrics};
 use crate::optimizer::{select_plan, submit_action, SubmitAction};
 use crate::plan::{PlanBody, PlannedChunk, TransferPlan};
+use crate::policy::{PolicyKind, RailPolicy};
 use crate::proto::{
     decode_packet, decode_rndv, encode_packet, encode_rndv, make_header, ChunkHeader, WireChunk,
     KIND_DATA, KIND_RNDV_ACK, KIND_RNDV_REQ,
 };
-use crate::policy::{PolicyKind, RailPolicy};
 use crate::receiver::{Receiver, ReceiverStats};
 use crate::strategy::{OptContext, Strategy, StrategyRegistry};
 
@@ -133,12 +131,7 @@ impl EngineCore {
 
     /// Submit a packed message: enqueue into the collect layer and apply
     /// the submit-time activation policy. Returns immediately (§3).
-    pub fn send(
-        &mut self,
-        ctx: &mut SimCtx<'_>,
-        flow: FlowId,
-        parts: Vec<Fragment>,
-    ) -> MsgId {
+    pub fn send(&mut self, ctx: &mut SimCtx<'_>, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
         assert!(!parts.is_empty(), "message must have at least one fragment");
         let threshold = self.rndv_threshold_for(flow);
         self.metrics.submitted_msgs += 1;
@@ -151,9 +144,8 @@ impl EngineCore {
         let id = self.collect.submit(flow, parts, ctx.now(), threshold);
         let fs = self.collect.flow(flow);
         let (fid, class) = (fs.id, fs.class);
-        let any_idle = (0..self.rails.len()).any(|r| {
-            self.policy.eligible(fid, class, r) && self.rails[r].driver.is_idle(ctx)
-        });
+        let any_idle = (0..self.rails.len())
+            .any(|r| self.policy.eligible(fid, class, r) && self.rails[r].driver.is_idle(ctx));
         match submit_action(
             &self.config,
             any_idle,
@@ -230,14 +222,13 @@ impl EngineCore {
                     packet_limit: rail.wire_mtu.min(caps.max_packet_bytes),
                     rail_count: self.rails.len(),
                 };
-                let outcome = select_plan(
-                    &self.registry,
-                    &octx,
-                    &self.collect,
-                    rail.wire_mtu,
-                    budget,
-                );
-                (outcome.best.map(|s| s.plan), outcome.evaluated as u64, backlog)
+                let outcome =
+                    select_plan(&self.registry, &octx, &self.collect, rail.wire_mtu, budget);
+                (
+                    outcome.best.map(|s| s.plan),
+                    outcome.evaluated as u64,
+                    backlog,
+                )
             };
             if first_pass {
                 self.metrics.backlog_depth.record(backlog as f64);
@@ -254,6 +245,30 @@ impl EngineCore {
                 debug_assert!(false, "driver rejected validated plan: {e}");
                 break;
             }
+            #[cfg(feature = "debug-invariants")]
+            self.debug_assert_invariants();
+        }
+    }
+
+    /// Cross-check engine bookkeeping against the collect layer: every
+    /// in-flight chunk must reference a live message with enough in-flight
+    /// bytes to cover it. Compiled only with the `debug-invariants` feature.
+    #[cfg(feature = "debug-invariants")]
+    fn debug_assert_invariants(&self) {
+        self.collect.debug_assert_invariants();
+        for (cookie, chunks) in &self.inflight {
+            for c in chunks {
+                assert!(c.len > 0, "cookie {cookie}: zero-length in-flight chunk");
+                let msg = self
+                    .collect
+                    .find_msg(c.flow, c.seq)
+                    .unwrap_or_else(|| panic!("cookie {cookie}: in-flight chunk for dead message"));
+                let frag = &msg.frags[c.frag as usize];
+                assert!(
+                    frag.inflight >= c.len,
+                    "cookie {cookie}: fragment in-flight accounting below chunk length"
+                );
+            }
         }
     }
 
@@ -264,7 +279,10 @@ impl EngineCore {
         plan: TransferPlan,
     ) -> Result<(), EngineError> {
         match plan.body {
-            PlanBody::Data { ref chunks, linearize } => {
+            PlanBody::Data {
+                ref chunks,
+                linearize,
+            } => {
                 let mut wire_chunks = Vec::with_capacity(chunks.len());
                 for c in chunks {
                     let msg = self
@@ -285,7 +303,9 @@ impl EngineCore {
                             c.len,
                             msg.submitted_at,
                         ),
-                        data: frag.data.slice(c.offset as usize..(c.offset + c.len) as usize),
+                        data: frag
+                            .data
+                            .slice(c.offset as usize..(c.offset + c.len) as usize),
                     });
                 }
                 // A packet travels on one virtual channel; when chunks of
@@ -372,10 +392,7 @@ impl EngineCore {
         header: ChunkHeader,
     ) -> Result<(), EngineError> {
         let rail = &self.rails[rail_idx];
-        let dst_nic = *rail
-            .peers
-            .get(&dst)
-            .ok_or(EngineError::UnknownPeer(dst))?;
+        let dst_nic = *rail.peers.get(&dst).ok_or(EngineError::UnknownPeer(dst))?;
         if rail.driver.free_slots(ctx) == 0 {
             self.pending_ctrl.push_back((rail_idx, dst, kind, header));
             return Ok(());
@@ -422,7 +439,10 @@ impl EngineCore {
         if let Some(chunks) = self.inflight.remove(&cookie) {
             for c in &chunks {
                 if self.collect.complete_chunk(c) {
-                    done.push(MsgId { flow: c.flow, seq: crate::ids::MsgSeq(c.seq) });
+                    done.push(MsgId {
+                        flow: c.flow,
+                        seq: crate::ids::MsgSeq(c.seq),
+                    });
                 }
             }
         }
@@ -619,7 +639,12 @@ impl EngineBuilder {
         for (idx, (driver, wire_mtu)) in self.rails.into_iter().enumerate() {
             nic_to_rail.insert(driver.nic(), idx);
             let classmap = ClassMap::new(driver.capabilities().vchannels);
-            rails.push(Rail { driver, classmap, wire_mtu, peers: HashMap::new() });
+            rails.push(Rail {
+                driver,
+                classmap,
+                wire_mtu,
+                peers: HashMap::new(),
+            });
         }
         for (peer, nics) in self.peers {
             if nics.len() != rails.len() {
@@ -654,7 +679,13 @@ impl EngineBuilder {
             delivered: Vec::new(),
         }));
         let handle = EngineHandle { core: core.clone() };
-        Ok((MadEngine { core, app: self.app }, handle))
+        Ok((
+            MadEngine {
+                core,
+                app: self.app,
+            },
+            handle,
+        ))
     }
 }
 
@@ -672,7 +703,10 @@ impl MadEngine {
         if let Some(mut app) = self.app.take() {
             {
                 let mut core = self.core.borrow_mut();
-                let mut api = MadApi { core: &mut core, ctx };
+                let mut api = MadApi {
+                    core: &mut core,
+                    ctx,
+                };
                 f(app.as_mut(), &mut api);
             }
             self.app = Some(app);
@@ -822,7 +856,9 @@ impl EngineHandle {
 
     /// Reassign a class to a virtual channel on one rail.
     pub fn set_class_vchan(&self, rail: usize, class: TrafficClass, vchan: u8) -> bool {
-        self.core.borrow_mut().rails[rail].classmap.assign(class, vchan)
+        self.core.borrow_mut().rails[rail]
+            .classmap
+            .assign(class, vchan)
     }
 
     /// Names of registered strategies, in consultation order.
@@ -998,7 +1034,11 @@ mod tests {
         sim.set_endpoint(a, Box::new(engine));
         let f = handle.open_flow(NodeId(1), TrafficClass::DEFAULT);
         sim.inject(a, |ctx| {
-            handle.send(ctx, f, MessageBuilder::new().pack_cheaper(&[1; 64]).build_parts());
+            handle.send(
+                ctx,
+                f,
+                MessageBuilder::new().pack_cheaper(&[1; 64]).build_parts(),
+            );
         });
         let m = handle.metrics();
         assert_eq!(m.submitted_msgs, 1);

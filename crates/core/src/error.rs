@@ -68,6 +68,8 @@ mod tests {
         assert!(e.to_string().contains("decode"));
         let e: EngineError = DriverError::ModeUnsupported("DMA").into();
         assert!(e.to_string().contains("DMA"));
-        assert!(EngineError::UnknownPeer(NodeId(3)).to_string().contains('3'));
+        assert!(EngineError::UnknownPeer(NodeId(3))
+            .to_string()
+            .contains('3'));
     }
 }

@@ -2,7 +2,7 @@
 //! either engine, used by integration tests, examples and the experiment
 //! harness.
 
-use simnet::{NicId, NodeId, SimDuration, Simulation, SimTime, Technology};
+use simnet::{NicId, NodeId, SimDuration, SimTime, Simulation, Technology};
 
 use crate::api::AppDriver;
 use crate::config::EngineConfig;
@@ -34,12 +34,17 @@ pub enum EngineKind {
 impl EngineKind {
     /// Optimizing engine with defaults.
     pub fn optimizing() -> Self {
-        EngineKind::Optimizing { config: EngineConfig::default(), policy: PolicyKind::Pooled }
+        EngineKind::Optimizing {
+            config: EngineConfig::default(),
+            policy: PolicyKind::Pooled,
+        }
     }
 
     /// Legacy engine with defaults.
     pub fn legacy() -> Self {
-        EngineKind::Legacy { config: EngineConfig::default() }
+        EngineKind::Legacy {
+            config: EngineConfig::default(),
+        }
     }
 }
 
@@ -103,12 +108,7 @@ impl NodeHandle {
     }
 
     /// Submit a message (inside a [`Simulation::inject`] closure).
-    pub fn send(
-        &self,
-        ctx: &mut simnet::SimCtx<'_>,
-        flow: FlowId,
-        parts: Vec<Fragment>,
-    ) -> MsgId {
+    pub fn send(&self, ctx: &mut simnet::SimCtx<'_>, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
         match self {
             NodeHandle::Opt(h) => h.send(ctx, flow, parts),
             NodeHandle::Legacy(h) => h.send(ctx, flow, parts),
@@ -225,7 +225,12 @@ impl Cluster {
                 }
             }
         }
-        Cluster { sim, nodes, nics, handles }
+        Cluster {
+            sim,
+            nodes,
+            nics,
+            handles,
+        }
     }
 
     /// Run for a fixed span of virtual time.
@@ -258,7 +263,11 @@ mod tests {
         let ha = c.handle(0).clone();
         let f = ha.open_flow(b, TrafficClass::DEFAULT);
         c.sim.inject(a, |ctx| {
-            ha.send(ctx, f, MessageBuilder::new().pack_cheaper(b"payload").build_parts())
+            ha.send(
+                ctx,
+                f,
+                MessageBuilder::new().pack_cheaper(b"payload").build_parts(),
+            )
         });
         c.drain();
         assert_eq!(c.handle(1).delivered_count(), 1);
@@ -280,7 +289,11 @@ mod tests {
         let f = h0.open_flow(n2, TrafficClass::DEFAULT);
         let n0 = c.nodes[0];
         c.sim.inject(n0, |ctx| {
-            h0.send(ctx, f, MessageBuilder::new().pack_cheaper(&[3; 64]).build_parts())
+            h0.send(
+                ctx,
+                f,
+                MessageBuilder::new().pack_cheaper(&[3; 64]).build_parts(),
+            )
         });
         c.drain();
         assert_eq!(c.handle(2).delivered_count(), 1);

@@ -98,15 +98,27 @@ mod tests {
 
     #[test]
     fn msg_id_orders_by_flow_then_seq() {
-        let a = MsgId { flow: FlowId(1), seq: MsgSeq(5) };
-        let b = MsgId { flow: FlowId(1), seq: MsgSeq(6) };
-        let c = MsgId { flow: FlowId(2), seq: MsgSeq(0) };
+        let a = MsgId {
+            flow: FlowId(1),
+            seq: MsgSeq(5),
+        };
+        let b = MsgId {
+            flow: FlowId(1),
+            seq: MsgSeq(6),
+        };
+        let c = MsgId {
+            flow: FlowId(2),
+            seq: MsgSeq(0),
+        };
         assert!(a < b && b < c);
     }
 
     #[test]
     fn display_formats() {
-        let m = MsgId { flow: FlowId(3), seq: MsgSeq(7) };
+        let m = MsgId {
+            flow: FlowId(3),
+            seq: MsgSeq(7),
+        };
         assert_eq!(m.to_string(), "flow3#7");
     }
 }

@@ -102,7 +102,12 @@ impl LegacyCore {
         let id = FlowId(self.flows.len() as u32);
         let rail = self.next_rail_rr % self.rails.len();
         self.next_rail_rr += 1;
-        self.flows.push(LegacyFlow { dst, class, rail, next_seq: 0 });
+        self.flows.push(LegacyFlow {
+            dst,
+            class,
+            rail,
+            next_seq: 0,
+        });
         id
     }
 
@@ -114,11 +119,13 @@ impl LegacyCore {
         let seq = f.next_seq;
         f.next_seq += 1;
         let (dst, class, rail_idx) = (f.dst, f.class, f.rail);
-        let id = MsgId { flow, seq: MsgSeq(seq) };
+        let id = MsgId {
+            flow,
+            seq: MsgSeq(seq),
+        };
         let now = ctx.now();
         self.metrics.submitted_msgs += 1;
-        self.metrics.submitted_bytes +=
-            parts.iter().map(|p| p.data.len() as u64).sum::<u64>();
+        self.metrics.submitted_bytes += parts.iter().map(|p| p.data.len() as u64).sum::<u64>();
         self.metrics.record_activation(Activation::Submit);
 
         let threshold = self.rndv_threshold(rail_idx);
@@ -132,32 +139,32 @@ impl LegacyCore {
         let mut pending: Vec<WireChunk> = Vec::new();
         let mut pending_bytes = 0u64;
         let mut packets: Vec<PreparedPacket> = Vec::new();
-        let flush =
-            |pending: &mut Vec<WireChunk>, pending_bytes: &mut u64, packets: &mut Vec<PreparedPacket>| {
-                if pending.is_empty() {
-                    return;
-                }
-                let total = *pending_bytes + framing_bytes(pending.len());
-                let segs = 1 + pending.len();
-                let linearized = !(caps.can_pio(total) || caps.can_gather(segs));
-                let host_prep = if linearized {
-                    nicdrv::CostModel::from_params(&nicdrv::calib::params(caps.tech))
-                        .copy_time(total)
-                } else {
-                    simnet::SimDuration::ZERO
-                };
-                packets.push(PreparedPacket {
-                    dst,
-                    vchan,
-                    kind: KIND_DATA,
-                    segments: encode_packet(pending, linearized),
-                    chunk_count: pending.len(),
-                    linearized,
-                    host_prep,
-                });
-                pending.clear();
-                *pending_bytes = 0;
+        let flush = |pending: &mut Vec<WireChunk>,
+                     pending_bytes: &mut u64,
+                     packets: &mut Vec<PreparedPacket>| {
+            if pending.is_empty() {
+                return;
+            }
+            let total = *pending_bytes + framing_bytes(pending.len());
+            let segs = 1 + pending.len();
+            let linearized = !(caps.can_pio(total) || caps.can_gather(segs));
+            let host_prep = if linearized {
+                nicdrv::CostModel::from_params(&nicdrv::calib::params(caps.tech)).copy_time(total)
+            } else {
+                simnet::SimDuration::ZERO
             };
+            packets.push(PreparedPacket {
+                dst,
+                vchan,
+                kind: KIND_DATA,
+                segments: encode_packet(pending, linearized),
+                chunk_count: pending.len(),
+                linearized,
+                host_prep,
+            });
+            pending.clear();
+            *pending_bytes = 0;
+        };
 
         for frag in &parts {
             let header_base = |offset: u32, chunk_len: u32| {
@@ -196,8 +203,8 @@ impl LegacyCore {
             let mut offset = 0u32;
             let len = frag.data.len() as u32;
             loop {
-                let budget = packet_limit
-                    .saturating_sub(pending_bytes + framing_bytes(pending.len() + 1));
+                let budget =
+                    packet_limit.saturating_sub(pending_bytes + framing_bytes(pending.len() + 1));
                 let remaining = len - offset;
                 if (remaining > 0 && budget == 0) || pending.len() >= MAX_AGG_CHUNKS {
                     flush(&mut pending, &mut pending_bytes, &mut packets);
@@ -231,7 +238,9 @@ impl LegacyCore {
             if rail.driver.free_slots(ctx) == 0 {
                 break;
             }
-            let Some(pkt) = rail.queue.pop_front() else { break };
+            let Some(pkt) = rail.queue.pop_front() else {
+                break;
+            };
             let Some(&dst_nic) = rail.peers.get(&pkt.dst) else {
                 debug_assert!(false, "unknown peer {:?}", pkt.dst);
                 continue;
@@ -285,7 +294,8 @@ impl LegacyCore {
                     out.extend(self.receiver.on_chunk(pkt.src, ch, ctx.now()));
                 }
                 for d in &out {
-                    self.metrics.record_delivery(d.class, d.total_len(), d.latency);
+                    self.metrics
+                        .record_delivery(d.class, d.total_len(), d.latency);
                 }
                 if self.config.record_deliveries {
                     self.delivered.extend(out.iter().cloned());
@@ -461,7 +471,13 @@ impl LegacyBuilder {
             delivered: Vec::new(),
         }));
         let handle = LegacyHandle { core: core.clone() };
-        Ok((LegacyEngine { core, app: self.app }, handle))
+        Ok((
+            LegacyEngine {
+                core,
+                app: self.app,
+            },
+            handle,
+        ))
     }
 }
 
@@ -514,7 +530,10 @@ impl LegacyEngine {
         if let Some(mut app) = self.app.take() {
             {
                 let mut core = self.core.borrow_mut();
-                let mut api = LegacyApi { core: &mut core, ctx };
+                let mut api = LegacyApi {
+                    core: &mut core,
+                    ctx,
+                };
                 f(app.as_mut(), &mut api);
             }
             self.app = Some(app);
@@ -700,7 +719,11 @@ mod tests {
         let f = ha.open_flow(b, TrafficClass::BULK);
         let big = vec![0x5Au8; 200_000];
         sim.inject(a, |ctx| {
-            ha.send(ctx, f, MessageBuilder::new().pack_cheaper(&big).build_parts())
+            ha.send(
+                ctx,
+                f,
+                MessageBuilder::new().pack_cheaper(&big).build_parts(),
+            )
         });
         sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         let m = ha.metrics();
@@ -733,8 +756,16 @@ mod tests {
         let f0 = ha.open_flow(b, TrafficClass::DEFAULT);
         let f1 = ha.open_flow(b, TrafficClass::DEFAULT);
         sim.inject(a, |ctx| {
-            ha.send(ctx, f0, MessageBuilder::new().pack_cheaper(&[0; 8]).build_parts());
-            ha.send(ctx, f1, MessageBuilder::new().pack_cheaper(&[1; 8]).build_parts());
+            ha.send(
+                ctx,
+                f0,
+                MessageBuilder::new().pack_cheaper(&[0; 8]).build_parts(),
+            );
+            ha.send(
+                ctx,
+                f1,
+                MessageBuilder::new().pack_cheaper(&[1; 8]).build_parts(),
+            );
         });
         sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         // One packet left via each NIC: one-to-one mapping.

@@ -95,7 +95,9 @@ pub struct MessageBuilder {
 impl MessageBuilder {
     /// Start an empty message.
     pub fn new() -> Self {
-        MessageBuilder { fragments: Vec::new() }
+        MessageBuilder {
+            fragments: Vec::new(),
+        }
     }
 
     /// Append a fragment with an explicit mode (copies the slice).
@@ -127,7 +129,11 @@ impl MessageBuilder {
         );
         let index = self.fragments.len();
         assert!(index <= FragIndex::MAX as usize, "too many fragments");
-        self.fragments.push(Fragment { index: index as FragIndex, mode, data });
+        self.fragments.push(Fragment {
+            index: index as FragIndex,
+            mode,
+            data,
+        });
     }
 
     /// Number of fragments packed so far.
@@ -206,7 +212,10 @@ mod tests {
     #[test]
     fn message_totals() {
         let msg = Message {
-            id: MsgId { flow: FlowId(0), seq: MsgSeq(0) },
+            id: MsgId {
+                flow: FlowId(0),
+                seq: MsgSeq(0),
+            },
             dst: NodeId(1),
             class: TrafficClass::DEFAULT,
             fragments: MessageBuilder::new()

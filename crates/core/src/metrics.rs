@@ -87,7 +87,9 @@ impl Default for EngineMetrics {
             delivered_msgs: 0,
             delivered_bytes: 0,
             latency: LatencyHistogram::new(),
-            latency_by_class: (0..TrafficClass::COUNT).map(|_| LatencyHistogram::new()).collect(),
+            latency_by_class: (0..TrafficClass::COUNT)
+                .map(|_| LatencyHistogram::new())
+                .collect(),
             packets_sent: 0,
             chunks_sent: 0,
             agg_histogram: [0; AGG_BUCKETS],
@@ -204,7 +206,10 @@ mod tests {
         m.record_delivery(TrafficClass::BULK, 1 << 20, SimDuration::from_millis(2));
         assert_eq!(m.delivered_msgs, 2);
         assert_eq!(m.latency.count(), 2);
-        assert_eq!(m.latency_by_class[TrafficClass::CONTROL.0 as usize].count(), 1);
+        assert_eq!(
+            m.latency_by_class[TrafficClass::CONTROL.0 as usize].count(),
+            1
+        );
         assert_eq!(m.latency_by_class[TrafficClass::BULK.0 as usize].count(), 1);
     }
 

@@ -59,7 +59,12 @@ pub fn select_plan(
             _ => best = Some(scored),
         }
     }
-    SelectionOutcome { best, evaluated, rejected, skipped }
+    SelectionOutcome {
+        best,
+        evaluated,
+        rejected,
+        skipped,
+    }
 }
 
 /// What to do when the application submits a message and at least one
@@ -142,7 +147,10 @@ mod tests {
         let c = backlog(6, 64);
         let out = run_selection(&c, 256);
         let best = out.best.expect("a plan must be selected");
-        assert!(best.plan.chunk_count() >= 2, "expected aggregation, got {best:?}");
+        assert!(
+            best.plan.chunk_count() >= 2,
+            "expected aggregation, got {best:?}"
+        );
         assert!(out.evaluated >= 2);
         assert_eq!(out.rejected, 0);
     }
@@ -176,7 +184,10 @@ mod tests {
     fn submit_action_logic() {
         let mut cfg = EngineConfig::default();
         // Paper default: no delay -> optimize immediately when idle.
-        assert_eq!(submit_action(&cfg, true, 10, false), SubmitAction::OptimizeNow);
+        assert_eq!(
+            submit_action(&cfg, true, 10, false),
+            SubmitAction::OptimizeNow
+        );
         assert_eq!(submit_action(&cfg, false, 10, false), SubmitAction::Wait);
         // Nagle enabled: small backlog arms the timer once.
         cfg.nagle_delay = SimDuration::from_micros(5);
@@ -187,6 +198,9 @@ mod tests {
         );
         assert_eq!(submit_action(&cfg, true, 10, true), SubmitAction::Wait);
         // Large backlog bypasses the delay.
-        assert_eq!(submit_action(&cfg, true, 4096, false), SubmitAction::OptimizeNow);
+        assert_eq!(
+            submit_action(&cfg, true, 4096, false),
+            SubmitAction::OptimizeNow
+        );
     }
 }

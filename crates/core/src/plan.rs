@@ -154,7 +154,11 @@ pub struct DstGroup {
 impl DstGroup {
     /// Empty group for a destination.
     pub fn new(dst: NodeId) -> Self {
-        DstGroup { dst, candidates: Vec::new(), rndv: Vec::new() }
+        DstGroup {
+            dst,
+            candidates: Vec::new(),
+            rndv: Vec::new(),
+        }
     }
 
     /// Total schedulable payload bytes in this group.
@@ -169,7 +173,13 @@ mod tests {
     use crate::proto::{CHUNK_HEADER_BYTES, PACKET_PREFIX_BYTES};
 
     fn chunk(len: u32) -> PlannedChunk {
-        PlannedChunk { flow: FlowId(0), seq: 0, frag: 0, offset: 0, len }
+        PlannedChunk {
+            flow: FlowId(0),
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len,
+        }
     }
 
     fn data_plan(chunks: Vec<PlannedChunk>, linearize: bool) -> TransferPlan {
@@ -197,7 +207,11 @@ mod tests {
         let p = TransferPlan {
             channel: ChannelId(1),
             dst: NodeId(2),
-            body: PlanBody::RndvRequest { flow: FlowId(3), seq: 4, frag: 5 },
+            body: PlanBody::RndvRequest {
+                flow: FlowId(3),
+                seq: 4,
+                frag: 5,
+            },
             strategy: "rndv",
         };
         assert_eq!(p.payload_bytes(), 0);

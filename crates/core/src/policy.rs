@@ -147,7 +147,9 @@ impl RailPolicy {
         // Hand out rails round-robin in class order; overlap if we ran out.
         let mut next_rail = 0usize;
         for (class_idx, count, _) in &shares {
-            self.eligibility[*class_idx].iter_mut().for_each(|e| *e = false);
+            self.eligibility[*class_idx]
+                .iter_mut()
+                .for_each(|e| *e = false);
             for _ in 0..*count {
                 self.eligibility[*class_idx][next_rail % self.rails] = true;
                 next_rail += 1;
@@ -208,7 +210,10 @@ mod tests {
         assert_eq!(p.eligible_rails(FlowId(0), TrafficClass::CONTROL), vec![0]);
         // Unpin restores everything.
         p.pin_class(TrafficClass::BULK, &[]);
-        assert_eq!(p.eligible_rails(FlowId(0), TrafficClass::BULK), vec![0, 1, 2]);
+        assert_eq!(
+            p.eligible_rails(FlowId(0), TrafficClass::BULK),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

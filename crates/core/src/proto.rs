@@ -84,8 +84,10 @@ impl ChunkHeader {
         if b.len() < CHUNK_HEADER_BYTES as usize {
             return Err(ProtoError::Truncated);
         }
-        let u32le = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
-        let u16le = |o: usize| u16::from_le_bytes(b[o..o + 2].try_into().unwrap());
+        let u32le =
+            |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().expect("fixed-width field"));
+        let u16le =
+            |o: usize| u16::from_le_bytes(b[o..o + 2].try_into().expect("fixed-width field"));
         Ok(ChunkHeader {
             flow: FlowId(u32le(0)),
             msg_seq: u32le(4),
@@ -96,7 +98,7 @@ impl ChunkHeader {
             frag_len: u32le(14),
             offset: u32le(18),
             chunk_len: u32le(22),
-            submit_ns: u64::from_le_bytes(b[26..34].try_into().unwrap()),
+            submit_ns: u64::from_le_bytes(b[26..34].try_into().expect("fixed-width field")),
         })
     }
 }
@@ -148,7 +150,10 @@ impl std::error::Error for ProtoError {}
 /// contiguous segment (the caller charges the copy time via the cost
 /// model's `copy_time`).
 pub fn encode_packet(chunks: &[WireChunk], linearize: bool) -> Vec<Bytes> {
-    assert!(chunks.len() <= u16::MAX as usize, "too many chunks in packet");
+    assert!(
+        chunks.len() <= u16::MAX as usize,
+        "too many chunks in packet"
+    );
     let hdr_len = PACKET_PREFIX_BYTES as usize + CHUNK_HEADER_BYTES as usize * chunks.len();
     let mut hdr = BytesMut::with_capacity(hdr_len);
     hdr.put_u16_le(chunks.len() as u16);
@@ -179,7 +184,7 @@ pub fn decode_packet(pkt: &WirePacket) -> Result<Vec<DecodedChunk>, ProtoError> 
     if flat.len() < PACKET_PREFIX_BYTES as usize {
         return Err(ProtoError::Truncated);
     }
-    let count = u16::from_le_bytes(flat[0..2].try_into().unwrap()) as usize;
+    let count = u16::from_le_bytes(flat[0..2].try_into().expect("fixed-width field")) as usize;
     let hdr_end = PACKET_PREFIX_BYTES as usize + CHUNK_HEADER_BYTES as usize * count;
     if flat.len() < hdr_end {
         return Err(ProtoError::Truncated);
@@ -196,7 +201,10 @@ pub fn decode_packet(pkt: &WirePacket) -> Result<Vec<DecodedChunk>, ProtoError> 
         if end > flat.len() {
             return Err(ProtoError::Truncated);
         }
-        out.push(DecodedChunk { header: h, data: flat.slice(cursor..end) });
+        out.push(DecodedChunk {
+            header: h,
+            data: flat.slice(cursor..end),
+        });
         cursor = end;
     }
     if cursor != flat.len() {
@@ -209,7 +217,13 @@ pub fn decode_packet(pkt: &WirePacket) -> Result<Vec<DecodedChunk>, ProtoError> 
 pub fn encode_rndv(header: ChunkHeader) -> Vec<Bytes> {
     let mut h = header;
     h.chunk_len = 0;
-    encode_packet(&[WireChunk { header: h, data: Bytes::new() }], true)
+    encode_packet(
+        &[WireChunk {
+            header: h,
+            data: Bytes::new(),
+        }],
+        true,
+    )
 }
 
 /// Decode a rendezvous request/grant.

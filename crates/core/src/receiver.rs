@@ -32,7 +32,12 @@ struct FragmentAssembly {
 
 impl FragmentAssembly {
     fn new(total: u32, express: bool) -> Self {
-        FragmentAssembly { express, total, buf: vec![0; total as usize], ranges: Vec::new() }
+        FragmentAssembly {
+            express,
+            total,
+            buf: vec![0; total as usize],
+            ranges: Vec::new(),
+        }
     }
 
     /// Insert a chunk; returns false on overlap (duplicate delivery — a
@@ -146,11 +151,14 @@ impl Receiver {
             self.stats.overlaps += 1;
             return Vec::new();
         }
-        let asm = fx.pending.entry(h.msg_seq).or_insert_with(|| MessageAssembly {
-            class: h.class,
-            submit_ns: h.submit_ns,
-            frags: (0..h.frag_count as usize).map(|_| None).collect(),
-        });
+        let asm = fx
+            .pending
+            .entry(h.msg_seq)
+            .or_insert_with(|| MessageAssembly {
+                class: h.class,
+                submit_ns: h.submit_ns,
+                frags: (0..h.frag_count as usize).map(|_| None).collect(),
+            });
         let fi = h.frag_index as usize;
         if fi >= asm.frags.len() {
             self.stats.overlaps += 1;
@@ -158,24 +166,20 @@ impl Receiver {
         }
         // Express check: every express fragment before this one should
         // already be complete when any of our bytes arrive.
-        let violation = asm.frags[..fi]
-            .iter()
-            .any(|f| match f {
-                Some(fa) => fa.express && !fa.complete(),
-                None => false, // unseen fragment: we cannot know its mode yet
-            })
-            || (fi > 0 && asm.frags[..fi].iter().any(Option::is_none) && {
-                // An earlier fragment entirely unseen: if it turns out to be
-                // express this was a violation; we cannot tell yet, so count
-                // only definite cases above. This branch intentionally
-                // evaluates to false.
-                false
-            });
+        let violation = asm.frags[..fi].iter().any(|f| match f {
+            Some(fa) => fa.express && !fa.complete(),
+            None => false, // unseen fragment: we cannot know its mode yet
+        }) || (fi > 0 && asm.frags[..fi].iter().any(Option::is_none) && {
+            // An earlier fragment entirely unseen: if it turns out to be
+            // express this was a violation; we cannot tell yet, so count
+            // only definite cases above. This branch intentionally
+            // evaluates to false.
+            false
+        });
         if violation {
             self.stats.express_violations += 1;
         }
-        let fa = asm.frags[fi]
-            .get_or_insert_with(|| FragmentAssembly::new(h.frag_len, h.express));
+        let fa = asm.frags[fi].get_or_insert_with(|| FragmentAssembly::new(h.frag_len, h.express));
         if !fa.insert(h.offset, &chunk.data) {
             self.stats.overlaps += 1;
             return Vec::new();
@@ -197,20 +201,25 @@ impl Receiver {
             let seq = fx.next_deliver;
             let asm = fx.pending.remove(&seq).expect("checked present");
             fx.next_deliver += 1;
-            let latency = SimDuration::from_nanos(
-                now.as_nanos().saturating_sub(asm.submit_ns),
-            );
+            let latency = SimDuration::from_nanos(now.as_nanos().saturating_sub(asm.submit_ns));
             out.push(DeliveredMessage {
                 src,
                 flow: h.flow,
-                id: MsgId { flow: h.flow, seq: MsgSeq(seq) },
+                id: MsgId {
+                    flow: h.flow,
+                    seq: MsgSeq(seq),
+                },
                 class: asm.class,
                 fragments: asm
                     .frags
                     .into_iter()
                     .map(|f| {
                         let f = f.expect("complete message has all fragments");
-                        let mode = if f.express { PackMode::Express } else { PackMode::Cheaper };
+                        let mode = if f.express {
+                            PackMode::Express
+                        } else {
+                            PackMode::Cheaper
+                        };
                         (mode, Bytes::from(f.buf))
                     })
                     .collect(),
@@ -288,7 +297,9 @@ mod tests {
     #[test]
     fn multi_fragment_message_waits_for_all() {
         let mut r = Receiver::new();
-        assert!(r.on_chunk(SRC, &chunk(0, 0, 0, 2, true, 3, 0, b"hdr"), NOW).is_empty());
+        assert!(r
+            .on_chunk(SRC, &chunk(0, 0, 0, 2, true, 3, 0, b"hdr"), NOW)
+            .is_empty());
         let out = r.on_chunk(SRC, &chunk(0, 0, 1, 2, false, 4, 0, b"body"), NOW);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].fragments.len(), 2);
@@ -299,7 +310,9 @@ mod tests {
     #[test]
     fn out_of_order_chunks_within_fragment_reassemble() {
         let mut r = Receiver::new();
-        assert!(r.on_chunk(SRC, &chunk(0, 0, 0, 1, false, 8, 4, b"WXYZ"), NOW).is_empty());
+        assert!(r
+            .on_chunk(SRC, &chunk(0, 0, 0, 1, false, 8, 4, b"WXYZ"), NOW)
+            .is_empty());
         let out = r.on_chunk(SRC, &chunk(0, 0, 0, 1, false, 8, 0, b"abcd"), NOW);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].contiguous(), b"abcdWXYZ");
@@ -309,7 +322,9 @@ mod tests {
     fn flow_order_enforced_even_if_later_message_completes_first() {
         let mut r = Receiver::new();
         // Message 1 completes first...
-        assert!(r.on_chunk(SRC, &chunk(0, 1, 0, 1, false, 2, 0, b"m1"), NOW).is_empty());
+        assert!(r
+            .on_chunk(SRC, &chunk(0, 1, 0, 1, false, 2, 0, b"m1"), NOW)
+            .is_empty());
         assert_eq!(r.held_messages(), 1);
         // ...but is only delivered after message 0.
         let out = r.on_chunk(SRC, &chunk(0, 0, 0, 1, false, 2, 0, b"m0"), NOW);
@@ -321,11 +336,20 @@ mod tests {
     #[test]
     fn flows_are_independent() {
         let mut r = Receiver::new();
-        assert_eq!(r.on_chunk(SRC, &chunk(1, 0, 0, 1, false, 1, 0, b"a"), NOW).len(), 1);
-        assert_eq!(r.on_chunk(SRC, &chunk(2, 0, 0, 1, false, 1, 0, b"b"), NOW).len(), 1);
+        assert_eq!(
+            r.on_chunk(SRC, &chunk(1, 0, 0, 1, false, 1, 0, b"a"), NOW)
+                .len(),
+            1
+        );
+        assert_eq!(
+            r.on_chunk(SRC, &chunk(2, 0, 0, 1, false, 1, 0, b"b"), NOW)
+                .len(),
+            1
+        );
         // Same flow id from a different source is independent too.
         assert_eq!(
-            r.on_chunk(NodeId(9), &chunk(1, 0, 0, 1, false, 1, 0, b"c"), NOW).len(),
+            r.on_chunk(NodeId(9), &chunk(1, 0, 0, 1, false, 1, 0, b"c"), NOW)
+                .len(),
             1
         );
     }
@@ -334,7 +358,9 @@ mod tests {
     fn express_violation_detected() {
         let mut r = Receiver::new();
         // Express fragment 0 partially arrives, then fragment 1 shows up.
-        assert!(r.on_chunk(SRC, &chunk(0, 0, 0, 2, true, 8, 0, b"half"), NOW).is_empty());
+        assert!(r
+            .on_chunk(SRC, &chunk(0, 0, 0, 2, true, 8, 0, b"half"), NOW)
+            .is_empty());
         r.on_chunk(SRC, &chunk(0, 0, 1, 2, false, 2, 0, b"xx"), NOW);
         assert_eq!(r.stats.express_violations, 1);
     }

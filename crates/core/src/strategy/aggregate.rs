@@ -41,7 +41,10 @@ impl Strategy for EagerAggregation {
             let Some(plan) = full else { continue };
             let fell_back_to_copy = matches!(
                 plan.body,
-                crate::plan::PlanBody::Data { linearize: true, .. }
+                crate::plan::PlanBody::Data {
+                    linearize: true,
+                    ..
+                }
             );
             let chunks = plan.chunk_count();
             if chunks >= 2 {
@@ -53,9 +56,14 @@ impl Strategy for EagerAggregation {
             // gather-a-bit-less.
             let gather_cap = max_gather_chunks(ctx.caps);
             if fell_back_to_copy && gather_cap >= 2 && gather_cap < chunks {
-                if let Some(trimmed) =
-                    fill_packet(ctx, g.dst, &g.candidates, gather_cap, false, "aggregate-gather")
-                {
+                if let Some(trimmed) = fill_packet(
+                    ctx,
+                    g.dst,
+                    &g.candidates,
+                    gather_cap,
+                    false,
+                    "aggregate-gather",
+                ) {
                     if trimmed.chunk_count() >= 2 {
                         out.push(trimmed);
                     }

@@ -33,9 +33,14 @@ impl Strategy for CopyAggregation {
             if g.candidates.len() < 2 {
                 continue;
             }
-            if let Some(plan) =
-                fill_packet(ctx, g.dst, &g.candidates, ctx.config.agg_chunk_limit, true, self.name())
-            {
+            if let Some(plan) = fill_packet(
+                ctx,
+                g.dst,
+                &g.candidates,
+                ctx.config.agg_chunk_limit,
+                true,
+                self.name(),
+            ) {
                 if plan.chunk_count() >= 2 {
                     out.push(plan);
                 }

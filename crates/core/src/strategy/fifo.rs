@@ -35,7 +35,8 @@ impl Strategy for FifoFallback {
             .flat_map(|g| g.candidates.iter().map(move |c| (g.dst, c)))
             .min_by_key(|(_, c)| (c.submitted_at, c.flow, c.seq, c.frag));
         if let Some((dst, c)) = oldest {
-            if let Some(plan) = fill_packet(ctx, dst, std::slice::from_ref(c), 1, false, self.name())
+            if let Some(plan) =
+                fill_packet(ctx, dst, std::slice::from_ref(c), 1, false, self.name())
             {
                 out.push(plan);
             }
@@ -63,8 +64,16 @@ mod tests {
         let mut old = cand(1, 0, 0, 0, 64, false, TrafficClass::DEFAULT, 0);
         old.submitted_at = SimTime::from_nanos(100);
         let groups = vec![
-            DstGroup { dst: NodeId(1), candidates: vec![young], rndv: vec![] },
-            DstGroup { dst: NodeId(2), candidates: vec![old], rndv: vec![] },
+            DstGroup {
+                dst: NodeId(1),
+                candidates: vec![young],
+                rndv: vec![],
+            },
+            DstGroup {
+                dst: NodeId(2),
+                candidates: vec![old],
+                rndv: vec![],
+            },
         ];
         let ctx = ctx_fixture(&groups, &caps, &cost, &cfg);
         let mut out = vec![];

@@ -183,6 +183,12 @@ impl StrategyRegistry {
         self.items.iter().map(|s| s.name()).collect()
     }
 
+    /// Iterate the registered strategies in consultation order (used by
+    /// the static conformance analyzer to attribute findings).
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Strategy> + '_ {
+        self.items.iter().map(|b| b.as_ref())
+    }
+
     /// Collect proposals from every strategy.
     pub fn propose_all(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
         for s in &self.items {

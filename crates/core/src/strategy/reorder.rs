@@ -27,7 +27,10 @@ impl ReorderVariants {
 fn message_groups(cands: &[ChunkCandidate]) -> Vec<Vec<ChunkCandidate>> {
     let mut groups: Vec<(FlowId, u32, Vec<ChunkCandidate>)> = Vec::new();
     for c in cands {
-        match groups.iter_mut().find(|(f, s, _)| *f == c.flow && *s == c.seq) {
+        match groups
+            .iter_mut()
+            .find(|(f, s, _)| *f == c.flow && *s == c.seq)
+        {
             Some((_, _, v)) => v.push(*c),
             None => groups.push((c.flow, c.seq, vec![*c])),
         }
@@ -53,9 +56,14 @@ impl Strategy for ReorderVariants {
             // messages per packet, minimizing mean completion time.
             let mut by_size = message_groups(&g.candidates);
             by_size.sort_by_key(|m| m.iter().map(|c| c.remaining as u64).sum::<u64>());
-            if let Some(p) =
-                fill_packet(ctx, g.dst, &flatten(by_size), ctx.config.agg_chunk_limit, false, "reorder-sjf")
-            {
+            if let Some(p) = fill_packet(
+                ctx,
+                g.dst,
+                &flatten(by_size),
+                ctx.config.agg_chunk_limit,
+                false,
+                "reorder-sjf",
+            ) {
                 if p.chunk_count() >= 1 {
                     out.push(p);
                 }
@@ -171,8 +179,12 @@ mod tests {
         ReorderVariants::new().propose(&ctx, &mut out);
         for p in &out {
             if let PlanBody::Data { chunks, .. } = &p.body {
-                let pos0 = chunks.iter().position(|c| c.flow == FlowId(0) && c.frag == 0);
-                let pos1 = chunks.iter().position(|c| c.flow == FlowId(0) && c.frag == 1);
+                let pos0 = chunks
+                    .iter()
+                    .position(|c| c.flow == FlowId(0) && c.frag == 0);
+                let pos1 = chunks
+                    .iter()
+                    .position(|c| c.flow == FlowId(0) && c.frag == 1);
                 if let (Some(a), Some(b)) = (pos0, pos1) {
                     assert!(a < b, "express chunk must precede body in {}", p.strategy);
                 }

@@ -37,7 +37,11 @@ impl Strategy for RendezvousPromotion {
                 out.push(TransferPlan {
                     channel: ctx.channel,
                     dst: g.dst,
-                    body: PlanBody::RndvRequest { flow: r.flow, seq: r.seq, frag: r.frag },
+                    body: PlanBody::RndvRequest {
+                        flow: r.flow,
+                        seq: r.seq,
+                        frag: r.frag,
+                    },
                     strategy: self.name(),
                 });
             }

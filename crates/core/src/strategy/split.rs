@@ -43,14 +43,22 @@ impl Strategy for BulkChunking {
                         .iter()
                         .any(|o| o.flow == c.flow && o.seq == c.seq && o.frag < c.frag)
                 })
-                .max_by_key(|c| (c.remaining, std::cmp::Reverse(c.submitted_at), c.flow, c.seq));
+                .max_by_key(|c| {
+                    (
+                        c.remaining,
+                        std::cmp::Reverse(c.submitted_at),
+                        c.flow,
+                        c.seq,
+                    )
+                });
             let Some(c) = biggest else { continue };
             // Only worth a dedicated proposal when the fragment dominates a
             // packet; small ones are better served by aggregation.
             if (c.remaining as u64) < ctx.payload_budget(1) / 2 {
                 continue;
             }
-            if let Some(plan) = fill_packet(ctx, g.dst, std::slice::from_ref(c), 1, false, self.name())
+            if let Some(plan) =
+                fill_packet(ctx, g.dst, std::slice::from_ref(c), 1, false, self.name())
             {
                 out.push(plan);
             }

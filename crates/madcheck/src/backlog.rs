@@ -1,0 +1,264 @@
+//! Synthetic backlog descriptions and their materialization.
+//!
+//! A [`BacklogSpec`] is a small, plain-data description of a collect-layer
+//! state: which messages are queued, how they fragment, which fragments are
+//! express, how far the first fragment has already been committed, and
+//! where each rendezvous-eligible fragment sits in its handshake. Specs are
+//! what the corpus generator enumerates, what the analyzer replays, and
+//! what the minimizer shrinks — keeping counterexamples printable and
+//! replayable.
+
+use madeleine::collect::CollectLayer;
+use madeleine::ids::{ChannelId, TrafficClass};
+use madeleine::message::{MessageBuilder, PackMode};
+use madeleine::plan::PlannedChunk;
+use simnet::{NodeId, SimTime};
+
+/// The rail every spec is analyzed (and pre-committed) on.
+pub const ANALYZED_RAIL: ChannelId = ChannelId(0);
+
+/// Traffic classes a spec may reference, by index.
+pub const CLASSES: [TrafficClass; 4] = [
+    TrafficClass::DEFAULT,
+    TrafficClass::BULK,
+    TrafficClass::PUT_GET,
+    TrafficClass::CONTROL,
+];
+
+/// One fragment of a synthetic message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragSpec {
+    /// Payload length in bytes (clamped to at least 1 at build time).
+    pub len: u32,
+    /// Whether the fragment is express (ordering-constrained).
+    pub express: bool,
+}
+
+/// Where a rendezvous-eligible fragment sits in its handshake when the
+/// backlog snapshot is taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RndvPhase {
+    /// Still needs a request packet.
+    Pending,
+    /// Request sent, grant outstanding.
+    Requested,
+    /// Grant received; data may move.
+    Granted,
+}
+
+/// One queued message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsgSpec {
+    /// Destination selector (distinct values → distinct nodes).
+    pub dst: u8,
+    /// Index into [`CLASSES`] (taken modulo its length).
+    pub class: u8,
+    /// Fragments in pack order.
+    pub frags: Vec<FragSpec>,
+    /// Bytes of fragment 0 already committed on [`ANALYZED_RAIL`] when the
+    /// snapshot is taken (clamped to the fragment; skipped for
+    /// rendezvous-gated fragments, which may not have committed bytes).
+    pub precommit: u32,
+    /// Handshake phase applied to every rendezvous-eligible fragment of
+    /// this message.
+    pub rndv_phase: RndvPhase,
+}
+
+/// A complete backlog snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BacklogSpec {
+    /// Queued messages, each on its own flow.
+    pub msgs: Vec<MsgSpec>,
+    /// Eager→rendezvous switch point used at submission.
+    pub rndv_threshold: u64,
+}
+
+impl BacklogSpec {
+    /// Materialize the spec as a live collect layer. Deterministic: equal
+    /// specs produce equal layers.
+    pub fn build(&self) -> CollectLayer {
+        let mut collect = CollectLayer::new();
+        for (i, m) in self.msgs.iter().enumerate() {
+            let class = CLASSES[m.class as usize % CLASSES.len()];
+            let flow = collect.open_flow(NodeId(u32::from(m.dst) + 1), class);
+            let mut b = MessageBuilder::new();
+            for f in &m.frags {
+                let mode = if f.express {
+                    PackMode::Express
+                } else {
+                    PackMode::Cheaper
+                };
+                b = b.pack(&vec![0u8; f.len.max(1) as usize], mode);
+            }
+            // Staggered submission times keep age-based tie-breaks stable.
+            let submitted = SimTime::from_nanos(i as u64 * 1_000);
+            let id = collect.submit(flow, b.build_parts(), submitted, self.rndv_threshold);
+
+            // Advance rendezvous-eligible fragments to the requested phase.
+            let frag_count = self.msgs[i].frags.len();
+            for j in 0..frag_count {
+                let gated = {
+                    let msg = collect.find_msg(flow, id.seq.0).expect("just submitted");
+                    msg.frags[j].rndv_blocked()
+                };
+                if gated {
+                    match m.rndv_phase {
+                        RndvPhase::Pending => {}
+                        RndvPhase::Requested => {
+                            collect.mark_rndv_requested(flow, id.seq.0, j as u16);
+                        }
+                        RndvPhase::Granted => {
+                            collect.mark_rndv_requested(flow, id.seq.0, j as u16);
+                            collect.grant_rndv(flow, id.seq.0, j as u16);
+                        }
+                    }
+                }
+            }
+
+            // Pre-commit a prefix of fragment 0 to model a mid-transfer
+            // snapshot (gives strategies non-zero frontier offsets).
+            if m.precommit > 0 {
+                let (len, gated) = {
+                    let msg = collect.find_msg(flow, id.seq.0).expect("just submitted");
+                    (msg.frags[0].len(), msg.frags[0].rndv_blocked())
+                };
+                let take = m.precommit.min(len.saturating_sub(1));
+                if take > 0 && !gated {
+                    collect.commit_chunk(
+                        &PlannedChunk {
+                            flow,
+                            seq: id.seq.0,
+                            frag: 0,
+                            offset: 0,
+                            len: take,
+                        },
+                        ANALYZED_RAIL,
+                    );
+                }
+            }
+        }
+        collect
+    }
+
+    /// Total payload bytes across all messages (reporting aid).
+    pub fn payload_bytes(&self) -> u64 {
+        self.msgs
+            .iter()
+            .flat_map(|m| m.frags.iter())
+            .map(|f| u64::from(f.len.max(1)))
+            .sum()
+    }
+}
+
+impl std::fmt::Display for BacklogSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "rndv_threshold = {}", self.rndv_threshold)?;
+        for (i, m) in self.msgs.iter().enumerate() {
+            let class = CLASSES[m.class as usize % CLASSES.len()];
+            write!(f, "msg {i}: dst {} class {:?} frags [", m.dst, class)?;
+            for (j, fr) in m.frags.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(
+                    f,
+                    "{}B {}",
+                    fr.len.max(1),
+                    if fr.express { "express" } else { "cheaper" }
+                )?;
+            }
+            write!(f, "]")?;
+            if m.precommit > 0 {
+                write!(f, " precommit={}", m.precommit)?;
+            }
+            if !matches!(m.rndv_phase, RndvPhase::Pending) {
+                write!(f, " rndv={:?}", m.rndv_phase)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(frags: Vec<FragSpec>) -> MsgSpec {
+        MsgSpec {
+            dst: 0,
+            class: 0,
+            frags,
+            precommit: 0,
+            rndv_phase: RndvPhase::Pending,
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = BacklogSpec {
+            msgs: vec![msg(vec![
+                FragSpec {
+                    len: 64,
+                    express: true,
+                },
+                FragSpec {
+                    len: 300,
+                    express: false,
+                },
+            ])],
+            rndv_threshold: 1 << 20,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.backlog_bytes(), b.backlog_bytes());
+        assert_eq!(a.backlog_bytes(), 364);
+    }
+
+    #[test]
+    fn precommit_moves_candidate_frontier() {
+        let spec = BacklogSpec {
+            msgs: vec![MsgSpec {
+                dst: 0,
+                class: 0,
+                frags: vec![FragSpec {
+                    len: 100,
+                    express: false,
+                }],
+                precommit: 37,
+                rndv_phase: RndvPhase::Pending,
+            }],
+            rndv_threshold: 1 << 20,
+        };
+        let c = spec.build();
+        let groups = c.collect_candidates(ANALYZED_RAIL, 64, |_, _| true);
+        assert_eq!(groups[0].candidates[0].offset, 37);
+        assert_eq!(groups[0].candidates[0].remaining, 63);
+    }
+
+    #[test]
+    fn rndv_phases_materialize() {
+        let mk = |phase| BacklogSpec {
+            msgs: vec![MsgSpec {
+                dst: 0,
+                class: 1,
+                frags: vec![FragSpec {
+                    len: 1 << 16,
+                    express: false,
+                }],
+                precommit: 0,
+                rndv_phase: phase,
+            }],
+            rndv_threshold: 1 << 10,
+        };
+        let pending = mk(RndvPhase::Pending).build();
+        let groups = pending.collect_candidates(ANALYZED_RAIL, 64, |_, _| true);
+        assert_eq!(groups[0].rndv.len(), 1);
+        assert!(groups[0].candidates.is_empty());
+
+        let granted = mk(RndvPhase::Granted).build();
+        let groups = granted.collect_candidates(ANALYZED_RAIL, 64, |_, _| true);
+        assert!(groups[0].rndv.is_empty());
+        assert_eq!(groups[0].candidates.len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Deliberately broken strategies.
+//!
+//! These exist so the analyzer's failure path stays exercised: each one
+//! violates a different constraint class, and the test suite (plus
+//! `cargo xtask analyze --broken-fixture`) asserts madcheck catches it and
+//! produces a minimized counterexample. They are **never** registered by
+//! the engine.
+
+use madeleine::plan::{PlanBody, PlannedChunk, TransferPlan};
+use madeleine::strategy::{OptContext, Strategy};
+
+/// Proposes the first schedulable chunk with its offset shifted by one
+/// byte — breaks the contiguity constraint on every backlog that has any
+/// candidate at all.
+#[derive(Debug, Default)]
+pub struct SkewedOffset;
+
+impl Strategy for SkewedOffset {
+    fn name(&self) -> &'static str {
+        "fixture-skewed-offset"
+    }
+
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        let Some((dst, c)) = ctx
+            .groups
+            .iter()
+            .flat_map(|g| g.candidates.iter().map(move |cand| (g.dst, cand)))
+            .next()
+        else {
+            return;
+        };
+        out.push(TransferPlan {
+            channel: ctx.channel,
+            dst,
+            body: PlanBody::Data {
+                chunks: vec![PlannedChunk {
+                    flow: c.flow,
+                    seq: c.seq,
+                    frag: c.frag,
+                    offset: c.offset + 1,
+                    len: 1,
+                }],
+                linearize: false,
+            },
+            strategy: self.name(),
+        });
+    }
+}
+
+/// Stuffs every candidate into a single zero-copy packet, ignoring both
+/// the packet size budget and the hardware gather width — trips the
+/// oversize or gather-width constraint once the backlog is large enough.
+#[derive(Debug, Default)]
+pub struct GatherHog;
+
+impl Strategy for GatherHog {
+    fn name(&self) -> &'static str {
+        "fixture-gather-hog"
+    }
+
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        for g in ctx.groups {
+            if g.candidates.is_empty() {
+                continue;
+            }
+            let chunks: Vec<PlannedChunk> = g
+                .candidates
+                .iter()
+                .map(|c| PlannedChunk {
+                    flow: c.flow,
+                    seq: c.seq,
+                    frag: c.frag,
+                    offset: c.offset,
+                    len: c.remaining,
+                })
+                .collect();
+            out.push(TransferPlan {
+                channel: ctx.channel,
+                dst: g.dst,
+                body: PlanBody::Data {
+                    chunks,
+                    linearize: false,
+                },
+                strategy: self.name(),
+            });
+        }
+    }
+}
+
+/// Emits rendezvous requests for fragments that are perfectly happy going
+/// eagerly — the handshake round-trip is pure overhead, and the state
+/// machine rejects the request outright.
+#[derive(Debug, Default)]
+pub struct EagerRequester;
+
+impl Strategy for EagerRequester {
+    fn name(&self) -> &'static str {
+        "fixture-eager-requester"
+    }
+
+    fn propose(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        for g in ctx.groups {
+            if let Some(c) = g.candidates.first() {
+                out.push(TransferPlan {
+                    channel: ctx.channel,
+                    dst: g.dst,
+                    body: PlanBody::RndvRequest {
+                        flow: c.flow,
+                        seq: c.seq,
+                        frag: c.frag,
+                    },
+                    strategy: self.name(),
+                });
+            }
+        }
+    }
+}

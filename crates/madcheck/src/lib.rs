@@ -1,0 +1,42 @@
+//! Static conformance analysis for the strategy database.
+//!
+//! The optimizing engine is only sound if every rearrangement a strategy
+//! proposes respects the declared capabilities of the driver beneath it —
+//! the paper's "limiting factors — or constraints" (§3). At runtime that
+//! guarantee is enforced per-plan by `madeleine::constraints::validate_plan`,
+//! which means a buggy (or user-supplied) strategy is only caught when live
+//! traffic happens to hit the bad path. `madcheck` moves the check ahead of
+//! execution:
+//!
+//! * for each registered strategy × each driver capability profile
+//!   (mx/elan/ib/tcp/shm plus synthetic),
+//! * it enumerates a bounded space of synthetic backlogs — multiple flows,
+//!   express and rendezvous fragments, partial commits, several traffic
+//!   classes — drawn deterministically from a seeded generator,
+//! * runs every proposal through `validate_plan` **and** a second,
+//!   independent capability pass ([`capcheck`]: gather width, MTU and
+//!   driver packet limits, gather-segment alignment, rendezvous-threshold
+//!   policy),
+//! * and reports each violation with a *minimized* counterexample backlog.
+//!
+//! Nothing here touches the simulator clock or network: the analyzer builds
+//! [`madeleine::collect::CollectLayer`] states directly and inspects the
+//! plans strategies emit for them.
+//!
+//! Entry points: [`analyze`] for a whole registry, [`check_spec`] for one
+//! strategy × one backlog, [`minimize`] to shrink a failure. The
+//! deliberately broken strategies in [`fixtures`] exist so the analyzer's
+//! own failure path stays tested.
+
+pub mod analyzer;
+pub mod backlog;
+pub mod capcheck;
+pub mod corpus;
+pub mod fixtures;
+pub mod report;
+
+pub use analyzer::{analyze, check_plan, check_spec, minimize, AnalyzeOptions, Defect, Failure};
+pub use backlog::{BacklogSpec, FragSpec, MsgSpec, RndvPhase, ANALYZED_RAIL};
+pub use capcheck::{check_plan_caps, CapViolation};
+pub use corpus::corpus;
+pub use report::{Finding, Report};

@@ -1,0 +1,87 @@
+//! Findings and the human-readable conformance report.
+
+use simnet::Technology;
+
+use crate::analyzer::Defect;
+use crate::backlog::BacklogSpec;
+
+/// One conformance violation: a strategy, a capability profile, a defect,
+/// and the minimized backlog that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Offending strategy (plan provenance name).
+    pub strategy: &'static str,
+    /// Capability profile the violation occurred under.
+    pub tech: Technology,
+    /// Which checker rejected the plan, and why.
+    pub defect: Defect,
+    /// Debug rendering of the offending plan.
+    pub plan: String,
+    /// Minimized counterexample backlog; `spec.build()` reproduces the
+    /// collect-layer state.
+    pub spec: BacklogSpec,
+}
+
+/// Aggregate result of an analysis run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Violations, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Strategies analyzed.
+    pub strategies: usize,
+    /// Capability profiles swept.
+    pub profiles: usize,
+    /// Strategy × backlog cases replayed.
+    pub cases: usize,
+    /// Individual plans checked.
+    pub plans: usize,
+}
+
+impl Report {
+    /// Empty report for `strategies` strategies.
+    pub fn new(strategies: usize) -> Self {
+        Report {
+            findings: Vec::new(),
+            strategies,
+            profiles: 0,
+            cases: 0,
+            plans: 0,
+        }
+    }
+
+    /// True when every checked plan conformed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "madcheck: {} strategies x {} profiles, {} backlogs replayed, {} plans checked",
+            self.strategies, self.profiles, self.cases, self.plans
+        )?;
+        if self.is_clean() {
+            writeln!(f, "conformant: no strategy exceeded any driver capability")?;
+        } else {
+            for (i, finding) in self.findings.iter().enumerate() {
+                writeln!(f)?;
+                writeln!(
+                    f,
+                    "FINDING {}: strategy `{}` on {:?}",
+                    i + 1,
+                    finding.strategy,
+                    finding.tech
+                )?;
+                writeln!(f, "  defect: {}", finding.defect)?;
+                writeln!(f, "  plan:   {}", finding.plan)?;
+                writeln!(f, "  minimized counterexample backlog:")?;
+                for line in finding.spec.to_string().lines() {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -101,7 +101,12 @@ pub struct TrafficApp {
 
 impl TrafficApp {
     /// Build a traffic app; `seed`/`stream` select the RNG stream.
-    pub fn new(name: &'static str, specs: Vec<FlowSpec>, seed: u64, stream: u64) -> (Self, StatsHandle) {
+    pub fn new(
+        name: &'static str,
+        specs: Vec<FlowSpec>,
+        seed: u64,
+        stream: u64,
+    ) -> (Self, StatsHandle) {
         let stats = stats_handle();
         (
             TrafficApp {
@@ -157,7 +162,12 @@ impl AppDriver for TrafficApp {
     fn on_start(&mut self, api: &mut dyn CommApi) {
         for spec in self.specs.clone() {
             let flow = api.open_flow(spec.dst, spec.class);
-            self.flows.push(FlowRt { spec, flow, next_seq: 0, sent: 0 });
+            self.flows.push(FlowRt {
+                spec,
+                flow,
+                next_seq: 0,
+                sent: 0,
+            });
         }
         for idx in 0..self.flows.len() {
             let start = self.flows[idx].spec.start_after;
@@ -245,7 +255,10 @@ mod tests {
             0,
         );
         let (sink, rx_stats) = TrafficApp::new("sink", vec![], 42, 1);
-        let mut c = Cluster::build(&cluster_spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
+        let mut c = Cluster::build(
+            &cluster_spec,
+            vec![Some(Box::new(app)), Some(Box::new(sink))],
+        );
         c.drain();
         assert_eq!(tx_stats.borrow().sent, 50);
         let rx = rx_stats.borrow();
@@ -262,7 +275,10 @@ mod tests {
             vec![FlowSpec {
                 dst: NodeId(1),
                 class: TrafficClass::DEFAULT,
-                arrival: Arrival::Burst { count: 10, period: SimDuration::from_micros(100) },
+                arrival: Arrival::Burst {
+                    count: 10,
+                    period: SimDuration::from_micros(100),
+                },
                 sizes: SizeDist::Fixed(32),
                 express_header: 0,
                 stop_after: Some(30),
@@ -272,7 +288,10 @@ mod tests {
             0,
         );
         let (sink, rx_stats) = TrafficApp::new("sink", vec![], 7, 1);
-        let mut c = Cluster::build(&cluster_spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
+        let mut c = Cluster::build(
+            &cluster_spec,
+            vec![Some(Box::new(app)), Some(Box::new(sink))],
+        );
         c.drain();
         assert_eq!(tx_stats.borrow().sent, 30);
         assert_eq!(rx_stats.borrow().received, 30);
@@ -296,7 +315,10 @@ mod tests {
             .collect();
         let (app, _) = TrafficApp::new("multi", specs, 11, 0);
         let (sink, rx_stats) = TrafficApp::new("sink", vec![], 11, 1);
-        let mut c = Cluster::build(&cluster_spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
+        let mut c = Cluster::build(
+            &cluster_spec,
+            vec![Some(Box::new(app)), Some(Box::new(sink))],
+        );
         c.drain();
         let rx = rx_stats.borrow();
         assert_eq!(rx.received, 100);

@@ -208,9 +208,15 @@ impl AppDriver for AllreduceApp {
     }
 
     fn on_message(&mut self, api: &mut dyn CommApi, msg: &DeliveredMessage) {
-        let Some((_, hdr)) = msg.fragments.first() else { return };
-        let Some((kind, iter)) = decode(hdr) else { return };
-        let Some((_, body)) = msg.fragments.get(1) else { return };
+        let Some((_, hdr)) = msg.fragments.first() else {
+            return;
+        };
+        let Some((kind, iter)) = decode(hdr) else {
+            return;
+        };
+        let Some((_, body)) = msg.fragments.get(1) else {
+            return;
+        };
         match kind {
             KIND_REDUCE => {
                 // Per-flow ordering + the lockstep protocol guarantee the
@@ -284,7 +290,10 @@ mod tests {
                 // Last iteration (i=4): per-element sum = n(n-1)/2 + 4n.
                 let n = size as u64;
                 let want = n * (n - 1) / 2 + 4 * n;
-                assert!(s.last_result.iter().all(|&x| x == want), "size {size} rank {r}");
+                assert!(
+                    s.last_result.iter().all(|&x| x == want),
+                    "size {size} rank {r}"
+                );
             }
         }
     }

@@ -72,7 +72,10 @@ impl CorbaInvoker {
         let mut b = MessageBuilder::new().pack(&hdr, PackMode::Express);
         for arg in 0..n_args {
             let len = self.arg_sizes.sample(&mut self.rng);
-            b = b.pack(&pattern(flow.0, seq, (1 + arg) as u16, len), PackMode::Cheaper);
+            b = b.pack(
+                &pattern(flow.0, seq, (1 + arg) as u16, len),
+                PackMode::Cheaper,
+            );
         }
         let parts = b.build_parts();
         let bytes: u64 = parts.iter().map(|p| p.data.len() as u64).sum();
@@ -124,7 +127,12 @@ impl CorbaServant {
     /// Build a servant.
     pub fn new() -> (Self, StatsHandle) {
         let stats = stats_handle();
-        (CorbaServant { stats: stats.clone() }, stats)
+        (
+            CorbaServant {
+                stats: stats.clone(),
+            },
+            stats,
+        )
     }
 }
 
@@ -138,7 +146,9 @@ impl AppDriver for CorbaServant {
         // Sanity: header magic survived the optimizer.
         if let Some((_, hdr)) = msg.fragments.first() {
             if hdr.len() < 4 || &hdr[0..4] != b"GIOP" {
-                s.integrity.failures.push(format!("bad GIOP magic in {}", msg.id));
+                s.integrity
+                    .failures
+                    .push(format!("bad GIOP magic in {}", msg.id));
             }
         }
     }

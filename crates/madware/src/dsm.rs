@@ -129,7 +129,13 @@ impl DsmServer {
     /// Build a page server.
     pub fn new() -> (Self, StatsHandle) {
         let stats = stats_handle();
-        (DsmServer { reply_flows: HashMap::new(), stats: stats.clone() }, stats)
+        (
+            DsmServer {
+                reply_flows: HashMap::new(),
+                stats: stats.clone(),
+            },
+            stats,
+        )
     }
 }
 
@@ -141,7 +147,9 @@ impl AppDriver for DsmServer {
             s.bytes_received += msg.total_len();
             s.last_recv = api.now();
         }
-        let Some((_, hdr)) = msg.fragments.first() else { return };
+        let Some((_, hdr)) = msg.fragments.first() else {
+            return;
+        };
         if hdr.len() < 4 {
             return;
         }

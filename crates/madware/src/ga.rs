@@ -102,7 +102,10 @@ impl GlobalArray {
         data: &[Vec<u64>],
     ) -> PatchHandle {
         let w = data.first().map(Vec::len).unwrap_or(0) as u64;
-        assert!(row0 + data.len() as u64 <= self.spec.rows, "patch overruns rows");
+        assert!(
+            row0 + data.len() as u64 <= self.spec.rows,
+            "patch overruns rows"
+        );
         assert!(col0 + w <= self.spec.cols, "patch overruns cols");
         for (r, rowdata) in data.iter().enumerate() {
             assert_eq!(rowdata.len() as u64, w, "ragged patch");
@@ -116,7 +119,10 @@ impl GlobalArray {
                 &bytes,
             );
         }
-        Rc::new(RefCell::new(PatchOp { remaining: 0, rows: Vec::new() }))
+        Rc::new(RefCell::new(PatchOp {
+            remaining: 0,
+            rows: Vec::new(),
+        }))
     }
 
     /// One-sided read of an `h × w` patch at `(row0, col0)`. The returned
@@ -171,7 +177,12 @@ mod tests {
 
     #[test]
     fn geometry_block_distribution() {
-        let spec = ArraySpec { rows: 10, cols: 4, owners: 3, window: 1 };
+        let spec = ArraySpec {
+            rows: 10,
+            cols: 4,
+            owners: 3,
+            window: 1,
+        };
         assert_eq!(spec.block_rows(), 4);
         assert_eq!(spec.owner_of(0), 0);
         assert_eq!(spec.owner_of(3), 0);
@@ -228,10 +239,20 @@ mod tests {
 
     #[test]
     fn strided_patch_spanning_owners_roundtrips() {
-        let spec = ArraySpec { rows: 8, cols: 6, owners: 2, window: 3 };
+        let spec = ArraySpec {
+            rows: 8,
+            cols: 6,
+            owners: 2,
+            window: 3,
+        };
         let ok = Rc::new(RefCell::new(false));
         let (agent, _) = RmaAgent::new();
-        let client = GaClient { ga: GlobalArray::new(spec), agent, get: None, ok: ok.clone() };
+        let client = GaClient {
+            ga: GlobalArray::new(spec),
+            agent,
+            get: None,
+            ok: ok.clone(),
+        };
         let (owner0, s0) = RmaServer::new(vec![(3, spec.window_bytes())]);
         let (owner1, s1) = RmaServer::new(vec![(3, spec.window_bytes())]);
         let cluster_spec = ClusterSpec {
@@ -242,7 +263,11 @@ mod tests {
         };
         let mut c = Cluster::build(
             &cluster_spec,
-            vec![Some(Box::new(owner0)), Some(Box::new(owner1)), Some(Box::new(client))],
+            vec![
+                Some(Box::new(owner0)),
+                Some(Box::new(owner1)),
+                Some(Box::new(client)),
+            ],
         );
         c.drain();
         assert!(*ok.borrow(), "get did not complete or verify");

@@ -57,7 +57,10 @@ impl MpiStencil {
 
     fn exchange(&mut self, api: &mut dyn CommApi) {
         let iter_tag = (self.iter as u32).to_le_bytes();
-        for flow in [self.flow_left.expect("started"), self.flow_right.expect("started")] {
+        for flow in [
+            self.flow_left.expect("started"),
+            self.flow_right.expect("started"),
+        ] {
             let body = pattern(flow.0, self.seq, 1, self.halo_bytes);
             let parts = MessageBuilder::new()
                 .pack(&iter_tag, PackMode::Express)
@@ -124,8 +127,7 @@ mod tests {
         for rank in 0..n {
             let left = NodeId(((rank + n - 1) % n) as u32);
             let right = NodeId(((rank + 1) % n) as u32);
-            let (app, h) =
-                MpiStencil::new(left, right, 1024, SimDuration::from_micros(50), iters);
+            let (app, h) = MpiStencil::new(left, right, 1024, SimDuration::from_micros(50), iters);
             apps.push(Some(Box::new(app)));
             handles.push(h);
         }
@@ -135,7 +137,11 @@ mod tests {
             let s = h.borrow();
             assert_eq!(s.sent, 2 * iters, "rank {rank} sent");
             assert_eq!(s.received, 2 * iters, "rank {rank} received");
-            assert!(s.integrity.all_ok(), "rank {rank}: {:?}", s.integrity.failures);
+            assert!(
+                s.integrity.all_ok(),
+                "rank {rank}: {:?}",
+                s.integrity.failures
+            );
         }
     }
 }

@@ -117,7 +117,13 @@ impl RmaAgent {
     /// # Panics
     /// Panics if the id is already registered.
     pub fn register_window(&mut self, id: u32, len: usize) {
-        let prev = self.windows.insert(id, Window { id, data: vec![0; len] });
+        let prev = self.windows.insert(
+            id,
+            Window {
+                id,
+                data: vec![0; len],
+            },
+        );
         assert!(prev.is_none(), "window {id} already registered");
     }
 
@@ -172,7 +178,9 @@ impl RmaAgent {
         let hdr = encode_header(OP_GET_REQ, window, offset, len, req);
         api.send(
             flow,
-            MessageBuilder::new().pack(&hdr, PackMode::Express).build_parts(),
+            MessageBuilder::new()
+                .pack(&hdr, PackMode::Express)
+                .build_parts(),
         );
         self.pending_gets.insert(req, (api.now(), done));
         self.stats.borrow_mut().gets_issued += 1;
@@ -181,7 +189,9 @@ impl RmaAgent {
     /// Feed a delivered message to the agent. Returns `true` if it was an
     /// RMA message (consumed), `false` if the caller should handle it.
     pub fn on_message(&mut self, api: &mut dyn CommApi, msg: &DeliveredMessage) -> bool {
-        let Some((_, hdr)) = msg.fragments.first() else { return false };
+        let Some((_, hdr)) = msg.fragments.first() else {
+            return false;
+        };
         let Some((op, window, offset, len, req)) = decode_header(hdr) else {
             return false;
         };
@@ -257,7 +267,13 @@ impl RmaServer {
     /// Server exposing the given `(window id, len)` windows.
     pub fn new(windows: Vec<(u32, usize)>) -> (Self, RmaStatsHandle) {
         let (agent, stats) = RmaAgent::new();
-        (RmaServer { agent, window_specs: windows }, stats)
+        (
+            RmaServer {
+                agent,
+                window_specs: windows,
+            },
+            stats,
+        )
     }
 }
 
@@ -309,7 +325,10 @@ mod tests {
             }
         }
         fn on_message(&mut self, api: &mut dyn CommApi, msg: &DeliveredMessage) {
-            assert!(self.agent.on_message(api, msg), "unexpected non-RMA message");
+            assert!(
+                self.agent.on_message(api, msg),
+                "unexpected non-RMA message"
+            );
         }
     }
 
@@ -323,7 +342,11 @@ mod tests {
         };
         let got = Rc::new(RefCell::new(Vec::new()));
         let (client_agent, cstats) = RmaAgent::new();
-        let client = RmaClient { agent: client_agent, server: NodeId(1), got: got.clone() };
+        let client = RmaClient {
+            agent: client_agent,
+            server: NodeId(1),
+            got: got.clone(),
+        };
         let (server, sstats) = RmaServer::new(vec![(1, 1024)]);
         let mut c = Cluster::build(&spec, vec![Some(Box::new(client)), Some(Box::new(server))]);
         c.drain();
@@ -350,11 +373,17 @@ mod tests {
         }
         impl AppDriver for BadClient {
             fn on_start(&mut self, api: &mut dyn CommApi) {
-                self.agent.put(api, self.server, 1, 1020, &[1, 2, 3, 4, 5, 6, 7, 8]);
+                self.agent
+                    .put(api, self.server, 1, 1020, &[1, 2, 3, 4, 5, 6, 7, 8]);
                 self.agent.put(api, self.server, 99, 0, &[1]); // no such window
-                self.agent.get(api, self.server, 1, 2000, 64, Box::new(|_| {
-                    panic!("out-of-bounds get must not complete")
-                }));
+                self.agent.get(
+                    api,
+                    self.server,
+                    1,
+                    2000,
+                    64,
+                    Box::new(|_| panic!("out-of-bounds get must not complete")),
+                );
             }
             fn on_message(&mut self, api: &mut dyn CommApi, msg: &DeliveredMessage) {
                 self.agent.on_message(api, msg);
@@ -371,7 +400,10 @@ mod tests {
         let mut c = Cluster::build(
             &spec,
             vec![
-                Some(Box::new(BadClient { agent, server: NodeId(1) })),
+                Some(Box::new(BadClient {
+                    agent,
+                    server: NodeId(1),
+                })),
                 Some(Box::new(server)),
             ],
         );

@@ -130,11 +130,7 @@ impl AppDriver for RpcClient {
         s.bytes_received += msg.total_len();
         s.last_recv = api.now();
         s.integrity.check(msg);
-        if let Some((req_id, _)) = msg
-            .fragments
-            .first()
-            .and_then(|(_, d)| decode_header(d))
-        {
+        if let Some((req_id, _)) = msg.fragments.first().and_then(|(_, d)| decode_header(d)) {
             if let Some(at) = self.pending.remove(&req_id) {
                 s.rtt_us.record(api.now().since(at).as_micros_f64());
             }
@@ -231,10 +227,7 @@ mod tests {
             0,
         );
         let (server, sstats) = RpcServer::new(SizeDist::Fixed(512), 5, 1);
-        let mut c = Cluster::build(
-            &spec,
-            vec![Some(Box::new(client)), Some(Box::new(server))],
-        );
+        let mut c = Cluster::build(&spec, vec![Some(Box::new(client)), Some(Box::new(server))]);
         c.drain();
         let cs = cstats.borrow();
         let ss = sstats.borrow();

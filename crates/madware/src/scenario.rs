@@ -120,7 +120,11 @@ pub fn multi_middleware(
                 _ => self.corba.on_timer(api, tag / 3),
             }
         }
-        fn on_message(&mut self, api: &mut dyn madeleine::CommApi, msg: &madeleine::DeliveredMessage) {
+        fn on_message(
+            &mut self,
+            api: &mut dyn madeleine::CommApi,
+            msg: &madeleine::DeliveredMessage,
+        ) {
             match Mux::classify(msg) {
                 0 => self.rpc.on_message(api, msg),
                 1 => self.dsm.on_message(api, msg),
@@ -165,35 +169,90 @@ pub fn multi_middleware(
     }
     impl AppDriver for Shift {
         fn on_start(&mut self, api: &mut dyn madeleine::CommApi) {
-            let mut shim = ShiftApi { api, lane: self.lane, lanes: self.lanes };
+            let mut shim = ShiftApi {
+                api,
+                lane: self.lane,
+                lanes: self.lanes,
+            };
             self.inner.on_start(&mut shim);
         }
         fn on_timer(&mut self, api: &mut dyn madeleine::CommApi, tag: u64) {
-            let mut shim = ShiftApi { api, lane: self.lane, lanes: self.lanes };
+            let mut shim = ShiftApi {
+                api,
+                lane: self.lane,
+                lanes: self.lanes,
+            };
             self.inner.on_timer(&mut shim, tag);
         }
-        fn on_message(&mut self, api: &mut dyn madeleine::CommApi, msg: &madeleine::DeliveredMessage) {
-            let mut shim = ShiftApi { api, lane: self.lane, lanes: self.lanes };
+        fn on_message(
+            &mut self,
+            api: &mut dyn madeleine::CommApi,
+            msg: &madeleine::DeliveredMessage,
+        ) {
+            let mut shim = ShiftApi {
+                api,
+                lane: self.lane,
+                lanes: self.lanes,
+            };
             self.inner.on_message(&mut shim, msg);
         }
     }
 
     let clients = Mux {
-        rpc: Box::new(Shift { inner: Box::new(rpc_c), lane: 0, lanes: 3 }),
-        dsm: Box::new(Shift { inner: Box::new(dsm_c), lane: 1, lanes: 3 }),
-        corba: Box::new(Shift { inner: Box::new(corba_c), lane: 2, lanes: 3 }),
+        rpc: Box::new(Shift {
+            inner: Box::new(rpc_c),
+            lane: 0,
+            lanes: 3,
+        }),
+        dsm: Box::new(Shift {
+            inner: Box::new(dsm_c),
+            lane: 1,
+            lanes: 3,
+        }),
+        corba: Box::new(Shift {
+            inner: Box::new(corba_c),
+            lane: 2,
+            lanes: 3,
+        }),
     };
     let servers = Mux {
-        rpc: Box::new(Shift { inner: Box::new(rpc_s), lane: 0, lanes: 3 }),
-        dsm: Box::new(Shift { inner: Box::new(dsm_s), lane: 1, lanes: 3 }),
-        corba: Box::new(Shift { inner: Box::new(corba_s), lane: 2, lanes: 3 }),
+        rpc: Box::new(Shift {
+            inner: Box::new(rpc_s),
+            lane: 0,
+            lanes: 3,
+        }),
+        dsm: Box::new(Shift {
+            inner: Box::new(dsm_s),
+            lane: 1,
+            lanes: 3,
+        }),
+        corba: Box::new(Shift {
+            inner: Box::new(corba_s),
+            lane: 2,
+            lanes: 3,
+        }),
     };
 
-    let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
-    let cluster = Cluster::build(&spec, vec![Some(Box::new(clients)), Some(Box::new(servers))]);
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![tech],
+        engine,
+        trace: None,
+    };
+    let cluster = Cluster::build(
+        &spec,
+        vec![Some(Box::new(clients)), Some(Box::new(servers))],
+    );
     (
         cluster,
-        MultiMiddlewareHandles { rpc_client, rpc_server, dsm_client, dsm_server, corba, servant },
+        MultiMiddlewareHandles {
+            rpc_client,
+            rpc_server,
+            dsm_client,
+            dsm_server,
+            corba,
+            servant,
+        },
     )
 }
 
@@ -221,7 +280,12 @@ pub fn eager_flows(
         .collect();
     let (app, tx) = TrafficApp::new("eager", specs, seed, 0);
     let (sink, rx) = TrafficApp::new("sink", vec![], seed, 1);
-    let spec = ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None };
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![tech],
+        engine,
+        trace: None,
+    };
     let cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
     (cluster, tx, rx)
 }
@@ -232,8 +296,13 @@ mod tests {
 
     #[test]
     fn multi_middleware_scenario_runs_clean() {
-        let (mut cluster, h) =
-            multi_middleware(EngineKind::optimizing(), Technology::MyrinetMx, 25, Load::Light, 77);
+        let (mut cluster, h) = multi_middleware(
+            EngineKind::optimizing(),
+            Technology::MyrinetMx,
+            25,
+            Load::Light,
+            77,
+        );
         cluster.drain();
         assert_eq!(h.rpc_client.borrow().sent, 25);
         assert_eq!(h.rpc_client.borrow().received, 25, "all RPC replies");

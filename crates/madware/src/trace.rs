@@ -59,7 +59,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -106,7 +110,10 @@ impl Trace {
         let mut trace = Trace::default();
         for (i, line) in text.lines().enumerate() {
             let lineno = i + 1;
-            let err = |reason: &str| TraceParseError { line: lineno, reason: reason.into() };
+            let err = |reason: &str| TraceParseError {
+                line: lineno,
+                reason: reason.into(),
+            };
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -139,8 +146,7 @@ impl Trace {
                     let mut frags = Vec::new();
                     for tok in parts {
                         let (num, mode) = tok.split_at(tok.len() - 1);
-                        let len: usize =
-                            num.parse().map_err(|_| err("bad fragment length"))?;
+                        let len: usize = num.parse().map_err(|_| err("bad fragment length"))?;
                         let express = match mode {
                             "e" => true,
                             "c" => false,
@@ -151,7 +157,11 @@ impl Trace {
                     if frags.is_empty() {
                         return Err(err("message with no fragments"));
                     }
-                    trace.msgs.push(TraceMsg { at_ns, flow_idx, frags });
+                    trace.msgs.push(TraceMsg {
+                        at_ns,
+                        flow_idx,
+                        frags,
+                    });
                 }
                 Some(other) => {
                     return Err(err(&format!("unknown record '{other}'")));
@@ -179,7 +189,14 @@ impl Recorder {
     /// Wrap `inner`; the handle accumulates the trace as the app runs.
     pub fn new(inner: Box<dyn AppDriver>) -> (Self, TraceHandle) {
         let trace = TraceHandle::default();
-        (Recorder { inner, trace: trace.clone(), flow_map: Vec::new() }, trace)
+        (
+            Recorder {
+                inner,
+                trace: trace.clone(),
+                flow_map: Vec::new(),
+            },
+            trace,
+        )
     }
 }
 
@@ -229,18 +246,42 @@ impl CommApi for RecordingApi<'_> {
 
 impl AppDriver for Recorder {
     fn on_start(&mut self, api: &mut dyn CommApi) {
-        let Recorder { inner, trace, flow_map } = self;
-        let mut shim = RecordingApi { api, trace, flow_map };
+        let Recorder {
+            inner,
+            trace,
+            flow_map,
+        } = self;
+        let mut shim = RecordingApi {
+            api,
+            trace,
+            flow_map,
+        };
         inner.on_start(&mut shim);
     }
     fn on_timer(&mut self, api: &mut dyn CommApi, tag: u64) {
-        let Recorder { inner, trace, flow_map } = self;
-        let mut shim = RecordingApi { api, trace, flow_map };
+        let Recorder {
+            inner,
+            trace,
+            flow_map,
+        } = self;
+        let mut shim = RecordingApi {
+            api,
+            trace,
+            flow_map,
+        };
         inner.on_timer(&mut shim, tag);
     }
     fn on_message(&mut self, api: &mut dyn CommApi, msg: &DeliveredMessage) {
-        let Recorder { inner, trace, flow_map } = self;
-        let mut shim = RecordingApi { api, trace, flow_map };
+        let Recorder {
+            inner,
+            trace,
+            flow_map,
+        } = self;
+        let mut shim = RecordingApi {
+            api,
+            trace,
+            flow_map,
+        };
         inner.on_message(&mut shim, msg);
     }
 }
@@ -258,7 +299,12 @@ impl ReplayApp {
     /// Build a replayer for `trace` (messages must be time-sorted, as
     /// recorded).
     pub fn new(trace: Trace) -> Self {
-        ReplayApp { trace, flows: Vec::new(), seqs: Vec::new(), next: 0 }
+        ReplayApp {
+            trace,
+            flows: Vec::new(),
+            seqs: Vec::new(),
+            next: 0,
+        }
     }
 
     fn fire_due(&mut self, api: &mut dyn CommApi) {
@@ -270,7 +316,11 @@ impl ReplayApp {
             self.seqs[m.flow_idx] += 1;
             let mut b = MessageBuilder::new();
             for (i, &(len, express)) in m.frags.iter().enumerate() {
-                let mode = if express { PackMode::Express } else { PackMode::Cheaper };
+                let mode = if express {
+                    PackMode::Express
+                } else {
+                    PackMode::Cheaper
+                };
                 b = b.pack(&pattern(flow.0, seq, i as u16, len), mode);
             }
             api.send(flow, b.build_parts());
@@ -332,7 +382,10 @@ mod tests {
         assert_eq!(err.line, 2);
         assert!(err.reason.contains("timestamp"));
         let bad = "msg 0 0 8c\n";
-        assert!(Trace::from_text(bad).unwrap_err().reason.contains("out of range"));
+        assert!(Trace::from_text(bad)
+            .unwrap_err()
+            .reason
+            .contains("out of range"));
         let bad = "flow 1 0\nmsg 0 0 8x\n";
         assert!(Trace::from_text(bad).unwrap_err().reason.contains("mode"));
     }
@@ -372,10 +425,7 @@ mod tests {
             engine: EngineKind::legacy(),
             trace: None,
         };
-        let mut c = Cluster::build(
-            &spec,
-            vec![Some(Box::new(ReplayApp::new(replayed))), None],
-        );
+        let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(replayed))), None]);
         c.drain();
         let m = c.handle(0).metrics();
         assert_eq!(m.submitted_msgs, 40);

@@ -13,7 +13,12 @@ pub fn pattern(flow: u32, seq: u32, frag: u16, len: usize) -> Vec<u8> {
         .wrapping_add((seq as u64).wrapping_mul(0x85EB_CA6B))
         .wrapping_add((frag as u64).wrapping_mul(0xC2B2_AE35));
     (0..len)
-        .map(|i| (base.wrapping_add(i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8)
+        .map(|i| {
+            (base
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                >> 56) as u8
+        })
         .collect()
 }
 
@@ -82,7 +87,10 @@ mod tests {
         DeliveredMessage {
             src: NodeId(0),
             flow: FlowId(flow),
-            id: MsgId { flow: FlowId(flow), seq: MsgSeq(seq) },
+            id: MsgId {
+                flow: FlowId(flow),
+                seq: MsgSeq(seq),
+            },
             class: TrafficClass::DEFAULT,
             fragments: frags
                 .into_iter()

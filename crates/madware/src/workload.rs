@@ -30,7 +30,11 @@ impl SizeDist {
         match *self {
             SizeDist::Fixed(n) => n,
             SizeDist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
-            SizeDist::Bimodal { small, large, p_large } => {
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => {
                 if rng.gen_bool(p_large.clamp(0.0, 1.0)) {
                     large
                 } else {
@@ -45,9 +49,11 @@ impl SizeDist {
         match *self {
             SizeDist::Fixed(n) => n as f64,
             SizeDist::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
-            SizeDist::Bimodal { small, large, p_large } => {
-                small as f64 * (1.0 - p_large) + large as f64 * p_large
-            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => small as f64 * (1.0 - p_large) + large as f64 * p_large,
         }
     }
 }
@@ -108,7 +114,10 @@ impl Arrival {
 /// Deterministic RNG for a (seed, stream) pair, so each app instance gets
 /// an independent but reproducible stream.
 pub fn rng_for(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    )
 }
 
 #[cfg(test)]
@@ -134,10 +143,12 @@ mod tests {
     #[test]
     fn bimodal_mixes() {
         let mut rng = rng_for(3, 0);
-        let d = SizeDist::Bimodal { small: 8, large: 4096, p_large: 0.3 };
-        let n_large = (0..10_000)
-            .filter(|_| d.sample(&mut rng) == 4096)
-            .count();
+        let d = SizeDist::Bimodal {
+            small: 8,
+            large: 4096,
+            p_large: 0.3,
+        };
+        let n_large = (0..10_000).filter(|_| d.sample(&mut rng) == 4096).count();
         assert!((2_500..3_500).contains(&n_large), "{n_large}");
         assert!((d.mean() - (8.0 * 0.7 + 4096.0 * 0.3)).abs() < 1e-9);
     }
@@ -157,7 +168,10 @@ mod tests {
     #[test]
     fn burst_returns_count() {
         let mut rng = rng_for(5, 0);
-        let a = Arrival::Burst { count: 7, period: SimDuration::from_micros(50) };
+        let a = Arrival::Burst {
+            count: 7,
+            period: SimDuration::from_micros(50),
+        };
         let (d, c) = a.next(&mut rng);
         assert_eq!(c, 7);
         assert_eq!(d.as_nanos(), 50_000);

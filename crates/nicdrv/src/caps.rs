@@ -26,6 +26,11 @@ pub struct DriverCapabilities {
     /// hardware cannot gather: multi-segment sends must be linearized by
     /// copy first.
     pub max_gather_entries: usize,
+    /// Required start alignment, in bytes, for gather-segment offsets in a
+    /// DMA descriptor. `1` means byte-addressable (all the 2005-era NICs
+    /// modelled here); stricter engines exist and the static analyzer
+    /// checks plans against this bound.
+    pub dma_align: u64,
     /// Largest single transfer request the driver accepts. Larger messages
     /// must be chunked by the library.
     pub max_packet_bytes: u64,
@@ -65,6 +70,9 @@ impl DriverCapabilities {
         if self.supports_dma && self.max_gather_entries == 0 {
             return Err("DMA supported but max_gather_entries == 0".into());
         }
+        if self.dma_align == 0 || !self.dma_align.is_power_of_two() {
+            return Err("dma_align must be a power of two >= 1".into());
+        }
         if self.max_packet_bytes == 0 {
             return Err("max_packet_bytes == 0".into());
         }
@@ -89,6 +97,7 @@ mod tests {
             supports_dma: true,
             pio_max_bytes: 4096,
             max_gather_entries: 8,
+            dma_align: 1,
             max_packet_bytes: 1 << 20,
             vchannels: 4,
             tx_queue_depth: 4,
@@ -135,6 +144,9 @@ mod tests {
         let mut c = caps();
         c.supports_dma = true;
         c.max_gather_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = caps();
+        c.dma_align = 3;
         assert!(c.validate().is_err());
     }
 }

@@ -58,7 +58,12 @@ impl std::fmt::Display for ConformanceReport {
         if self.is_conformant() {
             write!(f, "conformant ({} probes)", self.probes)
         } else {
-            writeln!(f, "{} violations in {} probes:", self.violations.len(), self.probes)?;
+            writeln!(
+                f,
+                "{} violations in {} probes:",
+                self.violations.len(),
+                self.probes
+            )?;
             for v in &self.violations {
                 writeln!(f, "  - {v}")?;
             }
@@ -68,7 +73,9 @@ impl std::fmt::Display for ConformanceReport {
 }
 
 fn segments(n: usize, each: usize) -> Vec<Bytes> {
-    (0..n).map(|i| Bytes::from(vec![i as u8; each.max(1)])).collect()
+    (0..n)
+        .map(|i| Bytes::from(vec![i as u8; each.max(1)]))
+        .collect()
 }
 
 fn req(dst: NicId, mode: ModeSel, segs: Vec<Bytes>, vchan: u8) -> TransferRequest {
@@ -122,7 +129,12 @@ pub fn check_driver(
             let over = sim.inject(src_node, |ctx| {
                 driver.submit(
                     ctx,
-                    req(dst_nic, ModeSel::Pio, segments(1, caps.pio_max_bytes as usize + 1), 0),
+                    req(
+                        dst_nic,
+                        ModeSel::Pio,
+                        segments(1, caps.pio_max_bytes as usize + 1),
+                        0,
+                    ),
                 )
             });
             report.check(
@@ -145,7 +157,12 @@ pub fn check_driver(
         let at = sim.inject(src_node, |ctx| {
             driver.submit(
                 ctx,
-                req(dst_nic, ModeSel::Dma, segments(caps.max_gather_entries, 8), 0),
+                req(
+                    dst_nic,
+                    ModeSel::Dma,
+                    segments(caps.max_gather_entries, 8),
+                    0,
+                ),
             )
         });
         report.check(at.is_ok(), "DMA at max_gather_entries rejected");
@@ -153,7 +170,12 @@ pub fn check_driver(
         let over = sim.inject(src_node, |ctx| {
             driver.submit(
                 ctx,
-                req(dst_nic, ModeSel::Dma, segments(caps.max_gather_entries + 1, 8), 0),
+                req(
+                    dst_nic,
+                    ModeSel::Dma,
+                    segments(caps.max_gather_entries + 1, 8),
+                    0,
+                ),
             )
         });
         report.check(
@@ -175,7 +197,12 @@ pub fn check_driver(
     let over = sim.inject(src_node, |ctx| {
         driver.submit(
             ctx,
-            req(dst_nic, ModeSel::Auto, segments(1, caps.max_packet_bytes as usize + 1), 0),
+            req(
+                dst_nic,
+                ModeSel::Auto,
+                segments(1, caps.max_packet_bytes as usize + 1),
+                0,
+            ),
         )
     });
     report.check(
@@ -186,12 +213,18 @@ pub fn check_driver(
 
     // Virtual channel range: highest valid accepted, first invalid rejected.
     let top = sim.inject(src_node, |ctx| {
-        driver.submit(ctx, req(dst_nic, ModeSel::Auto, segments(1, 8), caps.vchannels - 1))
+        driver.submit(
+            ctx,
+            req(dst_nic, ModeSel::Auto, segments(1, 8), caps.vchannels - 1),
+        )
     });
     report.check(top.is_ok(), "highest virtual channel rejected");
     drain(sim);
     let over = sim.inject(src_node, |ctx| {
-        driver.submit(ctx, req(dst_nic, ModeSel::Auto, segments(1, 8), caps.vchannels))
+        driver.submit(
+            ctx,
+            req(dst_nic, ModeSel::Auto, segments(1, 8), caps.vchannels),
+        )
     });
     report.check(
         matches!(over, Err(DriverError::VChannelOutOfRange { .. })),
@@ -200,11 +233,19 @@ pub fn check_driver(
     drain(sim);
 
     // Auto mode must always pick something executable for in-range sizes.
-    for bytes in [1usize, 64, 1024, caps.max_packet_bytes.min(16 << 10) as usize] {
+    for bytes in [
+        1usize,
+        64,
+        1024,
+        caps.max_packet_bytes.min(16 << 10) as usize,
+    ] {
         let r = sim.inject(src_node, |ctx| {
             driver.submit(ctx, req(dst_nic, ModeSel::Auto, segments(1, bytes), 0))
         });
-        report.check(r.is_ok(), &format!("Auto mode rejected in-range {bytes}-byte request"));
+        report.check(
+            r.is_ok(),
+            &format!("Auto mode rejected in-range {bytes}-byte request"),
+        );
         drain(sim);
     }
 
@@ -233,7 +274,11 @@ mod tests {
             let (mut sim, a, nb, driver) = harness(tech);
             let report = check_driver(&mut sim, a, nb, &driver);
             assert!(report.is_conformant(), "{tech:?}: {report}");
-            assert!(report.probes >= 8, "{tech:?}: too few probes ({})", report.probes);
+            assert!(
+                report.probes >= 8,
+                "{tech:?}: too few probes ({})",
+                report.probes
+            );
         }
     }
 

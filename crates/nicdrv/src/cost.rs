@@ -73,7 +73,11 @@ impl CostModel {
             TxMode::Pio => self.pio_setup,
             TxMode::Dma => self.dma_setup + self.dma_per_segment * segments as u64,
         };
-        fixed + transfer_time(bytes + self.per_packet_overhead, self.effective_bandwidth(mode))
+        fixed
+            + transfer_time(
+                bytes + self.per_packet_overhead,
+                self.effective_bandwidth(mode),
+            )
     }
 
     /// Receive-side processing time for one packet.
@@ -163,9 +167,7 @@ mod tests {
         let m = model();
         let x = m.pio_dma_crossover();
         assert!(x > 0 && x < u64::MAX);
-        assert!(
-            m.injection_time(TxMode::Pio, x - 1, 1) <= m.injection_time(TxMode::Dma, x - 1, 1)
-        );
+        assert!(m.injection_time(TxMode::Pio, x - 1, 1) <= m.injection_time(TxMode::Dma, x - 1, 1));
         assert!(m.injection_time(TxMode::Pio, x, 1) > m.injection_time(TxMode::Dma, x, 1));
     }
 

@@ -99,7 +99,10 @@ impl SimDriver {
                     return Err(DriverError::ModeUnsupported("PIO"));
                 }
                 if len > self.caps.pio_max_bytes {
-                    return Err(DriverError::PioTooLarge { len, max: self.caps.pio_max_bytes });
+                    return Err(DriverError::PioTooLarge {
+                        len,
+                        max: self.caps.pio_max_bytes,
+                    });
                 }
                 Ok(TxMode::Pio)
             }
@@ -157,7 +160,10 @@ impl Driver for SimDriver {
         }
         let len = req.len();
         if len > self.caps.max_packet_bytes {
-            return Err(DriverError::TooLarge { len, max: self.caps.max_packet_bytes });
+            return Err(DriverError::TooLarge {
+                len,
+                max: self.caps.max_packet_bytes,
+            });
         }
         let mode = self.resolve_mode(&req)?;
         ctx.submit(
@@ -180,7 +186,7 @@ impl Driver for SimDriver {
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use simnet::{NetworkParams, SimDuration, Simulation, SimTime, Technology};
+    use simnet::{NetworkParams, SimDuration, SimTime, Simulation, Technology};
 
     fn caps() -> DriverCapabilities {
         DriverCapabilities {
@@ -189,6 +195,7 @@ mod tests {
             supports_dma: true,
             pio_max_bytes: 1024,
             max_gather_entries: 4,
+            dma_align: 1,
             max_packet_bytes: 1 << 16,
             vchannels: 2,
             tx_queue_depth: 4,
@@ -216,7 +223,10 @@ mod tests {
             cookie: 0,
             mode,
             host_prep: SimDuration::ZERO,
-            segments: seg_sizes.iter().map(|&n| Bytes::from(vec![7u8; n])).collect(),
+            segments: seg_sizes
+                .iter()
+                .map(|&n| Bytes::from(vec![7u8; n]))
+                .collect(),
         }
     }
 
@@ -234,7 +244,13 @@ mod tests {
         let (mut sim, drv, dst) = fixture();
         let a = sim.nic(drv.nic()).node;
         let r = sim.inject(a, |ctx| drv.submit(ctx, req(dst, ModeSel::Pio, &[2048])));
-        assert_eq!(r, Err(DriverError::PioTooLarge { len: 2048, max: 1024 }));
+        assert_eq!(
+            r,
+            Err(DriverError::PioTooLarge {
+                len: 2048,
+                max: 1024
+            })
+        );
     }
 
     #[test]
@@ -261,10 +277,14 @@ mod tests {
     fn max_packet_enforced_before_mode_resolution() {
         let (mut sim, drv, dst) = fixture();
         let a = sim.nic(drv.nic()).node;
-        let r = sim.inject(a, |ctx| {
-            drv.submit(ctx, req(dst, ModeSel::Dma, &[1 << 17]))
-        });
-        assert_eq!(r, Err(DriverError::TooLarge { len: 1 << 17, max: 1 << 16 }));
+        let r = sim.inject(a, |ctx| drv.submit(ctx, req(dst, ModeSel::Dma, &[1 << 17])));
+        assert_eq!(
+            r,
+            Err(DriverError::TooLarge {
+                len: 1 << 17,
+                max: 1 << 16
+            })
+        );
     }
 
     #[test]

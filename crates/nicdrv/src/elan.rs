@@ -42,6 +42,7 @@ pub fn capabilities() -> DriverCapabilities {
         supports_dma: true,
         pio_max_bytes: 2 << 10,
         max_gather_entries: 8,
+        dma_align: 1,
         max_packet_bytes: 64 << 10,
         vchannels: 16,
         tx_queue_depth: 16,

@@ -46,8 +46,9 @@ pub fn capabilities() -> DriverCapabilities {
         tech: Technology::InfiniBand,
         supports_pio: true,
         supports_dma: true,
-        pio_max_bytes: 256, // verbs inline limit
+        pio_max_bytes: 256,    // verbs inline limit
         max_gather_entries: 4, // typical max_sge of the era
+        dma_align: 1,
         max_packet_bytes: 1 << 20,
         vchannels: 8,
         tx_queue_depth: 32,

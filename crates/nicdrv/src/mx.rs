@@ -48,6 +48,7 @@ pub fn capabilities() -> DriverCapabilities {
         supports_dma: true,
         pio_max_bytes: 1 << 10, // MX "small" message class
         max_gather_entries: 16,
+        dma_align: 1,
         max_packet_bytes: 32 << 10,
         vchannels: 8,
         tx_queue_depth: 8,

@@ -91,7 +91,10 @@ impl std::fmt::Display for DriverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DriverError::TooManySegments { got, max } => {
-                write!(f, "gather list of {got} segments exceeds hardware limit {max}")
+                write!(
+                    f,
+                    "gather list of {got} segments exceeds hardware limit {max}"
+                )
             }
             DriverError::TooLarge { len, max } => {
                 write!(f, "request of {len} bytes exceeds driver limit {max}")

@@ -40,6 +40,7 @@ pub fn capabilities() -> DriverCapabilities {
         supports_dma: false,
         pio_max_bytes: 64 << 10,
         max_gather_entries: 1,
+        dma_align: 1, // no DMA engine
         max_packet_bytes: 64 << 10,
         vchannels: 16,
         tx_queue_depth: 16,

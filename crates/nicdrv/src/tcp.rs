@@ -48,6 +48,7 @@ pub fn capabilities() -> DriverCapabilities {
         supports_dma: false,
         pio_max_bytes: 64 << 10,
         max_gather_entries: 1, // no hardware gather; PIO streams segments
+        dma_align: 1,          // no DMA engine
         max_packet_bytes: 64 << 10,
         vchannels: 16, // sockets are cheap
         tx_queue_depth: 32,
@@ -117,6 +118,9 @@ mod tests {
         let mx = CostModel::from_params(&crate::mx::params());
         let ratio = tcp.one_way(TxMode::Pio, 8, 1).as_nanos() as f64
             / mx.one_way(TxMode::Pio, 8, 1).as_nanos() as f64;
-        assert!(ratio > 10.0, "TCP/MX small-message ratio {ratio:.1} should exceed 10x");
+        assert!(
+            ratio > 10.0,
+            "TCP/MX small-message ratio {ratio:.1} should exceed 10x"
+        );
     }
 }

@@ -127,8 +127,14 @@ impl World {
         let bytes = req.payload_len();
         let cookie = req.cookie;
         self.nics[nic_idx].enqueue_tx(req, mtu, depth)?;
-        self.trace
-            .push(now, TraceEvent::TxSubmitted { nic: nic_id, bytes, cookie });
+        self.trace.push(
+            now,
+            TraceEvent::TxSubmitted {
+                nic: nic_id,
+                bytes,
+                cookie,
+            },
+        );
         if !self.nics[nic_idx].tx_busy {
             self.start_tx(now, queue, nic_id);
         }
@@ -165,7 +171,14 @@ impl World {
     ) -> TimerId {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
-        queue.push(now + delay, EventKind::Timer { node, timer: id, tag });
+        queue.push(
+            now + delay,
+            EventKind::Timer {
+                node,
+                timer: id,
+                tag,
+            },
+        );
         id
     }
 }
@@ -406,11 +419,7 @@ impl Simulation {
         }
     }
 
-    fn with_endpoint(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn Endpoint, &mut SimCtx<'_>),
-    ) {
+    fn with_endpoint(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Endpoint, &mut SimCtx<'_>)) {
         let slot = match self.endpoints.get_mut(node.0 as usize) {
             Some(s) => s,
             None => return,
@@ -438,7 +447,9 @@ impl Simulation {
                 if self.world.cancelled_timers.remove(&timer) {
                     return;
                 }
-                self.world.trace.push(self.time, TraceEvent::TimerFired { node, tag });
+                self.world
+                    .trace
+                    .push(self.time, TraceEvent::TimerFired { node, tag });
                 self.with_endpoint(node, |ep, ctx| ep.on_timer(ctx, timer, tag));
             }
         }
@@ -463,7 +474,12 @@ impl Simulation {
                 SimDuration::from_nanos(net.rng.next_below(net.params.jitter.as_nanos()))
             };
             let dropped = net.params.drop_rate > 0.0 && net.rng.next_bool(net.params.drop_rate);
-            (net.params.wire_latency, jitter, net.params.per_packet_overhead_bytes, dropped)
+            (
+                net.params.wire_latency,
+                jitter,
+                net.params.per_packet_overhead_bytes,
+                dropped,
+            )
         };
 
         // Account the completed transmit.
@@ -478,9 +494,13 @@ impl Simulation {
         // Launch the packet onto the wire (unless fault injection drops it).
         if dropped {
             self.world.nics[nic_idx].stats.wire_drops += 1;
-            self.world
-                .trace
-                .push(now, TraceEvent::WireDrop { nic: nic_id, cookie });
+            self.world.trace.push(
+                now,
+                TraceEvent::WireDrop {
+                    nic: nic_id,
+                    cookie,
+                },
+            );
         } else {
             let seq = {
                 let nic = &mut self.world.nics[nic_idx];
@@ -503,7 +523,10 @@ impl Simulation {
             };
             self.queue.push(
                 now + latency + jitter,
-                EventKind::Arrival { nic: dst_nic, packet: Box::new(packet) },
+                EventKind::Arrival {
+                    nic: dst_nic,
+                    packet: Box::new(packet),
+                },
             );
         }
 
@@ -518,16 +541,22 @@ impl Simulation {
             nic.tx_util.set_idle(now);
         }
 
-        self.world
-            .trace
-            .push(now, TraceEvent::TxDone { nic: nic_id, cookie });
+        self.world.trace.push(
+            now,
+            TraceEvent::TxDone {
+                nic: nic_id,
+                cookie,
+            },
+        );
         self.with_endpoint(node, |ep, ctx| ep.on_tx_done(ctx, nic_id, cookie));
 
         // The completion handler may have refilled the queue; only announce
         // idle if the engine is genuinely drained.
         if self.world.nics[nic_idx].is_tx_idle() {
             self.world.nics[nic_idx].stats.idle_transitions += 1;
-            self.world.trace.push(now, TraceEvent::NicIdle { nic: nic_id });
+            self.world
+                .trace
+                .push(now, TraceEvent::NicIdle { nic: nic_id });
             self.with_endpoint(node, |ep, ctx| ep.on_nic_idle(ctx, nic_id));
         }
     }
@@ -544,7 +573,8 @@ impl Simulation {
         nic.rx_queue.push_back(packet);
         if !nic.rx_busy {
             nic.rx_busy = true;
-            self.queue.push(now + rx_cost, EventKind::RxEngineDone { nic: nic_id });
+            self.queue
+                .push(now + rx_cost, EventKind::RxEngineDone { nic: nic_id });
         }
     }
 
@@ -569,13 +599,18 @@ impl Simulation {
         };
         match next_cost {
             Some(cost) => {
-                self.queue.push(now + cost, EventKind::RxEngineDone { nic: nic_id });
+                self.queue
+                    .push(now + cost, EventKind::RxEngineDone { nic: nic_id });
             }
             None => self.world.nics[nic_idx].rx_busy = false,
         }
         self.world.trace.push(
             now,
-            TraceEvent::RxDelivered { nic: nic_id, bytes: pkt.payload_len(), kind: pkt.kind },
+            TraceEvent::RxDelivered {
+                nic: nic_id,
+                bytes: pkt.payload_len(),
+                kind: pkt.kind,
+            },
         );
         self.with_endpoint(node, |ep, ctx| ep.on_packet_rx(ctx, nic_id, pkt));
     }
@@ -637,10 +672,15 @@ mod tests {
     fn packet_delivered_with_content_intact() {
         let (mut sim, a, b, na, nb) = two_nodes();
         let rx = Rc::new(RefCell::new(Vec::new()));
-        let rec = Recorder { rx: rx.clone(), ..Default::default() };
+        let rec = Recorder {
+            rx: rx.clone(),
+            ..Default::default()
+        };
         sim.set_endpoint(b, Box::new(rec));
         sim.set_endpoint(a, Box::new(Recorder::default()));
-        sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 42, 7, b"hello")).unwrap());
+        sim.inject(a, |ctx| {
+            ctx.submit(na, req_to(nb, 42, 7, b"hello")).unwrap()
+        });
         sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         let got = rx.borrow();
         assert_eq!(got.len(), 1);
@@ -654,10 +694,17 @@ mod tests {
     fn latency_matches_analytic_model() {
         let (mut sim, a, b, na, nb) = two_nodes();
         let rx = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { rx: rx.clone(), ..Default::default() }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                rx: rx.clone(),
+                ..Default::default()
+            }),
+        );
         let len: u64 = 1000;
         sim.inject(a, |ctx| {
-            ctx.submit(na, req_to(nb, 0, 0, &vec![0u8; len as usize])).unwrap()
+            ctx.submit(na, req_to(nb, 0, 0, &vec![0u8; len as usize]))
+                .unwrap()
         });
         let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         // PIO: 100ns setup + (1000+16)B at 0.5GB/s = 2032ns inject,
@@ -670,7 +717,13 @@ mod tests {
     fn idle_fires_once_after_queue_drains() {
         let (mut sim, a, _b, na, nb) = two_nodes();
         let idles = Rc::new(RefCell::new(0));
-        sim.set_endpoint(a, Box::new(Recorder { idles: idles.clone(), ..Default::default() }));
+        sim.set_endpoint(
+            a,
+            Box::new(Recorder {
+                idles: idles.clone(),
+                ..Default::default()
+            }),
+        );
         sim.inject(a, |ctx| {
             for i in 0..3 {
                 ctx.submit(na, req_to(nb, 0, i, b"x")).unwrap();
@@ -686,7 +739,13 @@ mod tests {
     fn tx_done_callbacks_in_submission_order() {
         let (mut sim, a, _b, na, nb) = two_nodes();
         let done = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(a, Box::new(Recorder { tx_done: done.clone(), ..Default::default() }));
+        sim.set_endpoint(
+            a,
+            Box::new(Recorder {
+                tx_done: done.clone(),
+                ..Default::default()
+            }),
+        );
         sim.inject(a, |ctx| {
             for i in 10..14 {
                 ctx.submit(na, req_to(nb, 0, i, b"abc")).unwrap();
@@ -701,7 +760,9 @@ mod tests {
         let (mut sim, a, _b, na, nb) = two_nodes();
         sim.set_endpoint(a, Box::new(Recorder::default()));
         let results: Vec<Result<(), SubmitError>> = sim.inject(a, |ctx| {
-            (0..6).map(|i| ctx.submit(na, req_to(nb, 0, i, b"y"))).collect()
+            (0..6)
+                .map(|i| ctx.submit(na, req_to(nb, 0, i, b"y")))
+                .collect()
         });
         // Synthetic depth is 4.
         assert!(results[..4].iter().all(|r| r.is_ok()));
@@ -749,7 +810,13 @@ mod tests {
         let mut sim = Simulation::new();
         let n = sim.add_node();
         let fired = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(n, Box::new(TimerEp { fired: fired.clone(), cancel_me: None }));
+        sim.set_endpoint(
+            n,
+            Box::new(TimerEp {
+                fired: fired.clone(),
+                cancel_me: None,
+            }),
+        );
         sim.run_until_quiescent(SimTime::from_nanos(1_000_000));
         assert_eq!(*fired.borrow(), vec![1, 3]);
     }
@@ -765,9 +832,17 @@ mod tests {
         let na = sim.add_nic(a, net);
         let nb = sim.add_nic(b, net);
         let rx = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(b, Box::new(Recorder { rx: rx.clone(), ..Default::default() }));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                rx: rx.clone(),
+                ..Default::default()
+            }),
+        );
         sim.set_endpoint(a, Box::new(Recorder::default()));
-        sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 0, 0, b"doomed")).unwrap());
+        sim.inject(a, |ctx| {
+            ctx.submit(na, req_to(nb, 0, 0, b"doomed")).unwrap()
+        });
         sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         assert!(rx.borrow().is_empty());
         assert_eq!(sim.nic(na).stats.wire_drops, 1);
@@ -786,11 +861,18 @@ mod tests {
         let run = || {
             let (mut sim, a, b, na, nb) = two_nodes();
             let rx = Rc::new(RefCell::new(Vec::new()));
-            sim.set_endpoint(b, Box::new(Recorder { rx: rx.clone(), ..Default::default() }));
+            sim.set_endpoint(
+                b,
+                Box::new(Recorder {
+                    rx: rx.clone(),
+                    ..Default::default()
+                }),
+            );
             sim.set_endpoint(a, Box::new(Recorder::default()));
             sim.inject(a, |ctx| {
                 for i in 0..4u8 {
-                    ctx.submit(na, req_to(nb, i as u16, i as u64, &[i; 33])).unwrap();
+                    ctx.submit(na, req_to(nb, i as u16, i as u64, &[i; 33]))
+                        .unwrap();
                 }
             });
             let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));

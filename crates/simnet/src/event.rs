@@ -28,7 +28,11 @@ pub enum EventKind {
     /// its receive queue.
     RxEngineDone { nic: NicId },
     /// A timer set by a node endpoint expired.
-    Timer { node: NodeId, timer: TimerId, tag: u64 },
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
 }
 
 /// A scheduled event.

@@ -141,9 +141,7 @@ impl NetworkParams {
     pub fn fixed_tx_cost(&self, mode: crate::packet::TxMode, segments: usize) -> SimDuration {
         match mode {
             crate::packet::TxMode::Pio => self.pio_setup,
-            crate::packet::TxMode::Dma => {
-                self.dma_setup + self.dma_per_segment * segments as u64
-            }
+            crate::packet::TxMode::Dma => self.dma_setup + self.dma_per_segment * segments as u64,
         }
     }
 }
@@ -176,13 +174,23 @@ mod tests {
         let four = p.fixed_tx_cost(TxMode::Dma, 4);
         assert_eq!((four - one).as_nanos(), 3 * 50);
         // PIO cost does not depend on segment count (CPU streams them).
-        assert_eq!(p.fixed_tx_cost(TxMode::Pio, 1), p.fixed_tx_cost(TxMode::Pio, 9));
+        assert_eq!(
+            p.fixed_tx_cost(TxMode::Pio, 1),
+            p.fixed_tx_cost(TxMode::Pio, 9)
+        );
     }
 
     #[test]
     fn labels_unique() {
         use Technology::*;
-        let all = [MyrinetMx, QuadricsElan, InfiniBand, TcpEthernet, SharedMem, Synthetic];
+        let all = [
+            MyrinetMx,
+            QuadricsElan,
+            InfiniBand,
+            TcpEthernet,
+            SharedMem,
+            Synthetic,
+        ];
         let mut labels: Vec<_> = all.iter().map(|t| t.label()).collect();
         labels.sort_unstable();
         labels.dedup();

@@ -311,7 +311,10 @@ mod tests {
     fn saturating_ops_do_not_wrap() {
         let max = SimDuration::MAX;
         assert_eq!(max + SimDuration::from_nanos(1), SimDuration::MAX);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_nanos(1), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_nanos(1),
+            SimDuration::ZERO
+        );
         assert_eq!(SimTime::MAX + SimDuration::from_nanos(1), SimTime::MAX);
     }
 

@@ -140,7 +140,10 @@ mod tests {
         for i in 0..5u64 {
             t.push(
                 SimTime::from_nanos(i),
-                TraceEvent::TimerFired { node: NodeId(0), tag: i },
+                TraceEvent::TimerFired {
+                    node: NodeId(0),
+                    tag: i,
+                },
             );
         }
         assert_eq!(t.len(), 3);
@@ -160,7 +163,16 @@ mod tests {
         let mut t = Trace::with_capacity(10);
         t.push(SimTime::ZERO, TraceEvent::NicIdle { nic: NicId(1) });
         t.push(SimTime::ZERO, TraceEvent::NicIdle { nic: NicId(2) });
-        t.push(SimTime::ZERO, TraceEvent::TxDone { nic: NicId(1), cookie: 0 });
-        assert_eq!(t.count_matching(|e| matches!(e, TraceEvent::NicIdle { .. })), 2);
+        t.push(
+            SimTime::ZERO,
+            TraceEvent::TxDone {
+                nic: NicId(1),
+                cookie: 0,
+            },
+        );
+        assert_eq!(
+            t.count_matching(|e| matches!(e, TraceEvent::NicIdle { .. })),
+            2
+        );
     }
 }

@@ -52,7 +52,12 @@ fn run(sends: &[Send]) -> (u64, Vec<(u64, Vec<u8>)>) {
     let nics: Vec<_> = nodes.iter().map(|&n| sim.add_nic(n, net)).collect();
     let sinks: Vec<Deliveries> = (0..3).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
     for (i, &n) in nodes.iter().enumerate() {
-        sim.set_endpoint(n, Box::new(Sink { got: sinks[i].clone() }));
+        sim.set_endpoint(
+            n,
+            Box::new(Sink {
+                got: sinks[i].clone(),
+            }),
+        );
     }
     let mut pending: Vec<(usize, TxRequest)> = sends
         .iter()

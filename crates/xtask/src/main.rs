@@ -1,0 +1,250 @@
+//! Workspace automation, invoked as `cargo xtask <command>`.
+//!
+//! Commands:
+//!
+//! * `analyze` — run the source lints, then the madcheck static conformance
+//!   analyzer over every registered strategy × every driver capability
+//!   profile. Exits non-zero (printing a minimized counterexample) if any
+//!   strategy can emit a plan that violates the plan constraints or a
+//!   driver capability bound.
+//! * `lint` — run only the source lints (determinism and hot-path
+//!   hygiene), plus `cargo fmt --check` when rustfmt is installed.
+//!
+//! No external dependencies: argument parsing is by hand and the analyzer
+//! runs in-process.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use madcheck::AnalyzeOptions;
+use madeleine::strategy::StrategyRegistry;
+use madeleine::EngineConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("lint") => {
+            if lint(repo_root().as_path(), true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  analyze   source lints + static conformance analysis of all registered
+            strategies against every driver capability profile
+              --broken-fixture   also register the deliberately broken
+                                 fixture strategies (expected to fail)
+              --seed <u64>       corpus seed (default: stable)
+              --samples <n>      sampled backlogs per profile (default 64)
+              --skip-lints       conformance analysis only
+  lint      source lints only (+ cargo fmt --check when available)
+  help      this text
+";
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut opts = AnalyzeOptions::default();
+    let mut broken = false;
+    let mut skip_lints = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--broken-fixture" => broken = true,
+            "--skip-lints" => skip_lints = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return flag_error("--seed expects an unsigned integer"),
+            },
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.samples = v,
+                None => return flag_error("--samples expects an unsigned integer"),
+            },
+            other => return flag_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut ok = true;
+    if !skip_lints {
+        ok &= lint(repo_root().as_path(), false);
+    }
+
+    let mut registry = StrategyRegistry::standard(&EngineConfig::default());
+    if broken {
+        registry.register(Box::new(madcheck::fixtures::SkewedOffset));
+        registry.register(Box::new(madcheck::fixtures::GatherHog));
+        registry.register(Box::new(madcheck::fixtures::EagerRequester));
+    }
+    let report = madcheck::analyze(&registry, &opts);
+    print!("{report}");
+    ok &= report.is_clean();
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn flag_error(msg: &str) -> ExitCode {
+    eprintln!("xtask analyze: {msg}");
+    ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// source lints
+// ---------------------------------------------------------------------------
+
+/// Calls that would make the simulation depend on the host instead of the
+/// virtual clock / seeded generators. The whole point of the harness is
+/// bit-reproducible runs, so these are banned from every library crate.
+const DETERMINISM_BANNED: &[(&str, &str)] = &[
+    ("Instant::now", "host wall-clock; use simnet::SimTime"),
+    ("SystemTime::now", "host wall-clock; use simnet::SimTime"),
+    ("thread_rng", "unseeded RNG; use simnet::SplitMix64"),
+    ("rand::random", "unseeded RNG; use simnet::SplitMix64"),
+];
+
+/// Hot-path files in the core crate where `.unwrap()` is banned outside
+/// tests: a poisoned scheduler should surface a typed error or a message
+/// via `.expect`, not an anonymous panic.
+const UNWRAP_BANNED_FILES: &[&str] = &[
+    "crates/core/src/collect.rs",
+    "crates/core/src/optimizer.rs",
+    "crates/core/src/constraints.rs",
+    "crates/core/src/cost.rs",
+    "crates/core/src/proto.rs",
+];
+
+/// Marker that suppresses source lints on the line carrying it.
+const ALLOW_MARKER: &str = "xtask: allow";
+
+fn lint(root: &Path, with_fmt: bool) -> bool {
+    let mut violations = 0usize;
+    let mut files = 0usize;
+    for crate_dir in list_dir(&root.join("crates")) {
+        // xtask names the banned patterns literally; skip self-scanning.
+        if crate_dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        for file in rust_sources(&crate_dir.join("src")) {
+            files += 1;
+            violations += lint_file(root, &file);
+        }
+    }
+    let mut ok = violations == 0;
+    println!("xtask lint: {files} files scanned, {violations} violations");
+
+    if with_fmt {
+        match std::process::Command::new("cargo")
+            .args(["fmt", "--check"])
+            .current_dir(root)
+            .status()
+        {
+            Ok(st) if st.success() => println!("xtask lint: cargo fmt --check passed"),
+            Ok(_) => {
+                println!("xtask lint: cargo fmt --check FAILED (run `cargo fmt`)");
+                ok = false;
+            }
+            Err(_) => println!("xtask lint: rustfmt unavailable, skipping format check"),
+        }
+    }
+    ok
+}
+
+fn lint_file(root: &Path, path: &Path) -> usize {
+    let Ok(text) = fs::read_to_string(path) else {
+        return 0;
+    };
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let unwrap_banned = UNWRAP_BANNED_FILES.contains(&rel_str.as_str())
+        || rel_str.starts_with("crates/core/src/strategy/");
+
+    let mut violations = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        // Only lint code above the unit-test module.
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if line.contains(ALLOW_MARKER) {
+            continue;
+        }
+        for (pattern, why) in DETERMINISM_BANNED {
+            if line.contains(pattern) {
+                println!("{}:{}: `{pattern}` is banned: {why}", rel_str, lineno + 1);
+                violations += 1;
+            }
+        }
+        if unwrap_banned && line.contains(".unwrap()") {
+            println!(
+                "{}:{}: `.unwrap()` is banned in scheduler hot paths; use `.expect(..)` \
+                 with an invariant message or return an error",
+                rel_str,
+                lineno + 1
+            );
+            violations += 1;
+        }
+    }
+    violations
+}
+
+fn list_dir(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = fs::read_dir(&d) else { continue };
+        let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out
+}

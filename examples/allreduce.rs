@@ -38,7 +38,10 @@ fn run(size: u32, engine: EngineKind) -> (f64, u64) {
 
 fn main() {
     println!("iterated allreduce of 256 x u64 (20 iterations), binary tree, MX rail");
-    println!("{:>6} {:>22} {:>22}", "ranks", "optimizer mean(us)", "legacy mean(us)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "ranks", "optimizer mean(us)", "legacy mean(us)"
+    );
     for size in [2u32, 4, 8, 16] {
         let (opt_us, _) = run(size, EngineKind::optimizing());
         let (leg_us, _) = run(size, EngineKind::legacy());

@@ -15,7 +15,7 @@ use madeleine::message::MessageBuilder;
 use madeleine::plan::{PlanBody, PlannedChunk, TransferPlan};
 use madeleine::strategy::{OptContext, Strategy};
 use madeleine::EngineBuilder;
-use simnet::{NicId, NodeId, Simulation, SimTime, Technology};
+use simnet::{NicId, NodeId, SimTime, Simulation, Technology};
 
 /// A user-defined traffic class for deadline-critical telemetry.
 const TELEMETRY: TrafficClass = TrafficClass(9);
@@ -87,7 +87,9 @@ fn main() {
             ha.send(
                 ctx,
                 bulk,
-                MessageBuilder::new().pack_cheaper(&vec![i; 8 << 10]).build_parts(),
+                MessageBuilder::new()
+                    .pack_cheaper(&vec![i; 8 << 10])
+                    .build_parts(),
             );
             ha.send(
                 ctx,

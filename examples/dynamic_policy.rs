@@ -46,7 +46,11 @@ fn run(adaptive: bool) -> (f64, u64) {
         adaptive_epoch: SimDuration::from_micros(200),
         ..EngineConfig::default()
     };
-    let policy = if adaptive { PolicyKind::Adaptive } else { PolicyKind::ClassPinned };
+    let policy = if adaptive {
+        PolicyKind::Adaptive
+    } else {
+        PolicyKind::ClassPinned
+    };
     let spec = ClusterSpec {
         nodes: 2,
         rails: vec![Technology::MyrinetMx; 4],
@@ -56,7 +60,9 @@ fn run(adaptive: bool) -> (f64, u64) {
     let (app, _) = TrafficApp::new("phased", workload(phase2_at), 5, 0);
     let (sink, rx) = TrafficApp::new("sink", vec![], 5, 1);
     let mut cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
-    let NodeHandle::Opt(h) = cluster.handle(0).clone() else { unreachable!() };
+    let NodeHandle::Opt(h) = cluster.handle(0).clone() else {
+        unreachable!()
+    };
     if !adaptive {
         // Hand-tuned for phase 1: put/get owns three rails.
         h.pin_class(TrafficClass::PUT_GET, &[0, 1, 2]);
@@ -64,7 +70,10 @@ fn run(adaptive: bool) -> (f64, u64) {
     }
     let end = cluster.drain();
     assert!(rx.borrow().integrity.all_ok());
-    (end.as_micros_f64() - phase2_at.as_micros_f64(), h.rebalances())
+    (
+        end.as_micros_f64() - phase2_at.as_micros_f64(),
+        h.rebalances(),
+    )
 }
 
 fn main() {

@@ -44,7 +44,11 @@ fn run(kind: EngineKind, load: Load, label: &str) {
         corba.received,
         corba.integrity.all_ok()
     );
-    for (name, stats) in [("rpc", &h.rpc_client), ("dsm", &h.dsm_client), ("corba", &h.servant)] {
+    for (name, stats) in [
+        ("rpc", &h.rpc_client),
+        ("dsm", &h.dsm_client),
+        ("corba", &h.servant),
+    ] {
         assert!(
             stats.borrow().integrity.all_ok(),
             "{name} payload corruption: {:?}",

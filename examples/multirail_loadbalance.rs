@@ -58,9 +58,15 @@ fn run(engine: EngineKind, label: &str) {
 
 fn main() {
     // Rendezvous off: a continuous eager chunk stream shows pure balancing.
-    let config = EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() };
+    let config = EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    };
     run(
-        EngineKind::Optimizing { config: config.clone(), policy: PolicyKind::Pooled },
+        EngineKind::Optimizing {
+            config: config.clone(),
+            policy: PolicyKind::Pooled,
+        },
         "optimizer, pooled rails (work-stealing balance)",
     );
     run(

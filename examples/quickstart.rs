@@ -27,7 +27,7 @@ fn main() {
             for (i, &flow) in flows.iter().enumerate() {
                 let parts = MessageBuilder::new()
                     .pack_express(&[i as u8, round]) // header: who/what
-                    .pack_cheaper(&[round; 200])     // the data
+                    .pack_cheaper(&[round; 200]) // the data
                     .build_parts();
                 sender.send(ctx, flow, parts);
             }
@@ -39,7 +39,10 @@ fn main() {
 
     let tx = cluster.handle(0).metrics();
     let rx = cluster.handle(1).metrics();
-    println!("delivered {} messages in {} (virtual time)", rx.delivered_msgs, end);
+    println!(
+        "delivered {} messages in {} (virtual time)",
+        rx.delivered_msgs, end
+    );
     println!(
         "the optimizer sent {} wire packets for {} submitted messages",
         tx.packets_sent, tx.submitted_msgs

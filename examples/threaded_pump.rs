@@ -62,7 +62,9 @@ fn main() {
             });
             cluster.drain();
             for msg in cluster.handle(1).take_delivered() {
-                log_for_pump.lock().push((msg.flow.0, msg.total_len() as usize));
+                log_for_pump
+                    .lock()
+                    .push((msg.flow.0, msg.total_len() as usize));
             }
         }
         let m = sender.metrics();
@@ -92,7 +94,10 @@ fn main() {
     let (submitted, packets, agg) = pump.join().expect("pump thread");
     let delivered = delivered_log.lock();
     println!("4 application threads submitted {submitted} messages");
-    println!("pump delivered {} messages in {packets} wire packets", delivered.len());
+    println!(
+        "pump delivered {} messages in {packets} wire packets",
+        delivered.len()
+    );
     println!("aggregation ratio {agg:.2} (batches formed whenever apps outpaced the pump)");
     assert_eq!(delivered.len(), 100);
     println!("all messages accounted for — the pump owns all network state.");

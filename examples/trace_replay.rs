@@ -21,8 +21,15 @@ fn record() -> Trace {
     let specs: Vec<FlowSpec> = (0..5)
         .map(|i| FlowSpec {
             dst: NodeId(1),
-            class: if i == 0 { TrafficClass::CONTROL } else { TrafficClass::DEFAULT },
-            arrival: Arrival::Burst { count: 4, period: SimDuration::from_micros(25) },
+            class: if i == 0 {
+                TrafficClass::CONTROL
+            } else {
+                TrafficClass::DEFAULT
+            },
+            arrival: Arrival::Burst {
+                count: 4,
+                period: SimDuration::from_micros(25),
+            },
             sizes: SizeDist::Uniform(16, 800),
             express_header: 8,
             stop_after: Some(60),
@@ -78,7 +85,11 @@ fn main() {
     assert_eq!(parsed, trace);
 
     println!("replaying the identical submission sequence on both engines:");
-    replay(parsed.clone(), EngineKind::optimizing(), "optimizing engine");
+    replay(
+        parsed.clone(),
+        EngineKind::optimizing(),
+        "optimizing engine",
+    );
     replay(parsed, EngineKind::legacy(), "legacy engine");
     println!("same input, different schedulers — the only fair comparison.");
 }

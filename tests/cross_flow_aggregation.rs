@@ -17,11 +17,19 @@ fn burst_cluster(engine: EngineKind, flows: usize, msgs: u32, size: usize) -> (C
     let mut c = Cluster::build(&spec, vec![]);
     let h = c.handle(0).clone();
     let (src, dst) = (c.nodes[0], c.nodes[1]);
-    let fl: Vec<_> = (0..flows).map(|_| h.open_flow(dst, TrafficClass::DEFAULT)).collect();
+    let fl: Vec<_> = (0..flows)
+        .map(|_| h.open_flow(dst, TrafficClass::DEFAULT))
+        .collect();
     c.sim.inject(src, |ctx| {
         for i in 0..msgs {
             for f in &fl {
-                h.send(ctx, *f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, size)).build_parts());
+                h.send(
+                    ctx,
+                    *f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&pattern(f.0, i, 0, size))
+                        .build_parts(),
+                );
             }
         }
     });
@@ -33,10 +41,18 @@ fn burst_cluster(engine: EngineKind, flows: usize, msgs: u32, size: usize) -> (C
 fn packets_carry_chunks_from_multiple_flows() {
     let (c, _) = burst_cluster(EngineKind::optimizing(), 6, 20, 48);
     let m = c.handle(0).metrics();
-    assert!(m.aggregation_ratio() > 3.0, "ratio {}", m.aggregation_ratio());
+    assert!(
+        m.aggregation_ratio() > 3.0,
+        "ratio {}",
+        m.aggregation_ratio()
+    );
     // Multi-chunk packets dominate the histogram.
     let multi: u64 = m.agg_histogram[2..].iter().sum();
-    assert!(multi > m.agg_histogram[1], "histogram {:?}", m.agg_histogram);
+    assert!(
+        multi > m.agg_histogram[1],
+        "histogram {:?}",
+        m.agg_histogram
+    );
     // All delivered intact and complete.
     assert_eq!(c.handle(1).delivered_count(), 120);
 }

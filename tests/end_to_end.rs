@@ -10,7 +10,12 @@ use simnet::Technology;
 
 fn cluster(engine: EngineKind, tech: Technology) -> Cluster {
     Cluster::build(
-        &ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None },
+        &ClusterSpec {
+            nodes: 2,
+            rails: vec![tech],
+            engine,
+            trace: None,
+        },
         vec![],
     )
 }
@@ -36,7 +41,11 @@ fn single_fragment_roundtrip_all_technologies() {
             let f = h.open_flow(dst, TrafficClass::DEFAULT);
             let body = pattern(f.0, 0, 0, 777);
             c.sim.inject(src, |ctx| {
-                h.send(ctx, f, MessageBuilder::new().pack_cheaper(&body).build_parts())
+                h.send(
+                    ctx,
+                    f,
+                    MessageBuilder::new().pack_cheaper(&body).build_parts(),
+                )
             });
             c.drain();
             let got = c.handle(1).take_delivered();
@@ -88,8 +97,20 @@ fn per_flow_delivery_order_is_submission_order() {
             // Alternate small and huge so completion order would differ
             // from submission order without the receiver's ordering.
             let size = if i % 2 == 0 { 8 } else { 20_000 };
-            h.send(ctx, fa, MessageBuilder::new().pack_cheaper(&pattern(fa.0, i, 0, size)).build_parts());
-            h.send(ctx, fb, MessageBuilder::new().pack_cheaper(&pattern(fb.0, i, 0, 64)).build_parts());
+            h.send(
+                ctx,
+                fa,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(fa.0, i, 0, size))
+                    .build_parts(),
+            );
+            h.send(
+                ctx,
+                fb,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(fb.0, i, 0, 64))
+                    .build_parts(),
+            );
         }
     });
     c.drain();
@@ -117,12 +138,24 @@ fn bidirectional_traffic() {
     let f10 = h1.open_flow(n0, TrafficClass::DEFAULT);
     c.sim.inject(n0, |ctx| {
         for i in 0..30 {
-            h0.send(ctx, f01, MessageBuilder::new().pack_cheaper(&pattern(f01.0, i, 0, 256)).build_parts());
+            h0.send(
+                ctx,
+                f01,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f01.0, i, 0, 256))
+                    .build_parts(),
+            );
         }
     });
     c.sim.inject(n1, |ctx| {
         for i in 0..30 {
-            h1.send(ctx, f10, MessageBuilder::new().pack_cheaper(&pattern(f10.0, i, 0, 256)).build_parts());
+            h1.send(
+                ctx,
+                f10,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f10.0, i, 0, 256))
+                    .build_parts(),
+            );
         }
     });
     c.drain();
@@ -152,7 +185,9 @@ fn three_node_all_to_all() {
                     handles[i].send(
                         ctx,
                         *f,
-                        MessageBuilder::new().pack_cheaper(&pattern(f.0, k, 0, 128)).build_parts(),
+                        MessageBuilder::new()
+                            .pack_cheaper(&pattern(f.0, k, 0, 128))
+                            .build_parts(),
                     );
                 }
             }
@@ -174,7 +209,11 @@ fn large_message_chunked_through_rendezvous() {
         let f = h.open_flow(dst, TrafficClass::BULK);
         let body = pattern(f.0, 0, 0, 1_000_000); // >> MTU and rndv threshold
         c.sim.inject(src, |ctx| {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&body).build_parts())
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new().pack_cheaper(&body).build_parts(),
+            )
         });
         c.drain();
         let got = c.handle(1).take_delivered();
@@ -230,7 +269,13 @@ fn interleaved_rndv_and_eager_traffic() {
     let small = h.open_flow(dst, TrafficClass::CONTROL);
     c.sim.inject(src, |ctx| {
         for i in 0..5u32 {
-            h.send(ctx, big, MessageBuilder::new().pack_cheaper(&pattern(big.0, i, 0, 200_000)).build_parts());
+            h.send(
+                ctx,
+                big,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(big.0, i, 0, 200_000))
+                    .build_parts(),
+            );
             for k in 0..10u32 {
                 h.send(
                     ctx,
@@ -251,6 +296,9 @@ fn interleaved_rndv_and_eager_traffic() {
     for msg in &got {
         let want = if msg.flow == big { 200_000 } else { 24 };
         assert_eq!(msg.total_len(), want, "{}", msg.id);
-        assert_eq!(msg.contiguous(), pattern(msg.flow.0, msg.id.seq.0, 0, want as usize));
+        assert_eq!(
+            msg.contiguous(),
+            pattern(msg.flow.0, msg.id.seq.0, 0, want as usize)
+        );
     }
 }

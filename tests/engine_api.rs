@@ -23,7 +23,12 @@ fn flush_overrides_nagle_delay() {
         fn on_start(&mut self, api: &mut dyn CommApi) {
             let f = api.open_flow(self.dst, TrafficClass::DEFAULT);
             self.flow = Some(f);
-            api.send(f, MessageBuilder::new().pack_cheaper(&pattern(f.0, 0, 0, 32)).build_parts());
+            api.send(
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, 0, 0, 32))
+                    .build_parts(),
+            );
             // Nagle would hold this for 500µs; flush pushes it now.
             api.flush();
         }
@@ -32,17 +37,29 @@ fn flush_overrides_nagle_delay() {
     let spec = ClusterSpec {
         nodes: 2,
         rails: vec![Technology::MyrinetMx],
-        engine: EngineKind::Optimizing { config, policy: PolicyKind::Pooled },
+        engine: EngineKind::Optimizing {
+            config,
+            policy: PolicyKind::Pooled,
+        },
         trace: None,
     };
     let mut c = Cluster::build(
         &spec,
-        vec![Some(Box::new(FlushApp { flow: None, dst: NodeId(1) })), None],
+        vec![
+            Some(Box::new(FlushApp {
+                flow: None,
+                dst: NodeId(1),
+            })),
+            None,
+        ],
     );
     let end = c.drain();
     assert_eq!(c.handle(1).delivered_count(), 1);
     // Delivered in microseconds, not after the 500µs Nagle window.
-    assert!(end.as_nanos() < 100_000, "flush did not bypass Nagle: {end}");
+    assert!(
+        end.as_nanos() < 100_000,
+        "flush did not bypass Nagle: {end}"
+    );
 }
 
 #[test]
@@ -56,8 +73,12 @@ fn on_sent_fires_once_per_message_after_transmission() {
         fn on_start(&mut self, api: &mut dyn CommApi) {
             let f = api.open_flow(self.dst, TrafficClass::DEFAULT);
             for i in 0..10u32 {
-                let id =
-                    api.send(f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 2048)).build_parts());
+                let id = api.send(
+                    f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&pattern(f.0, i, 0, 2048))
+                        .build_parts(),
+                );
                 self.submitted.borrow_mut().push(id);
             }
         }
@@ -101,13 +122,21 @@ fn is_drained_tracks_engine_state() {
         trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
-    let NodeHandle::Opt(h) = c.handle(0).clone() else { unreachable!() };
+    let NodeHandle::Opt(h) = c.handle(0).clone() else {
+        unreachable!()
+    };
     assert!(h.is_drained());
     let f = h.open_flow(c.nodes[1], TrafficClass::DEFAULT);
     let src = c.nodes[0];
     c.sim.inject(src, |ctx| {
         for i in 0..20u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 4096)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 4096))
+                    .build_parts(),
+            );
         }
     });
     assert!(!h.is_drained(), "work in flight");
@@ -202,7 +231,13 @@ fn rogue_user_strategy_cannot_corrupt_traffic() {
     let f = ha.open_flow(b, TrafficClass::DEFAULT);
     sim.inject(a, |ctx| {
         for i in 0..50u32 {
-            ha.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 300)).build_parts());
+            ha.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 300))
+                    .build_parts(),
+            );
         }
     });
     sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
@@ -223,12 +258,20 @@ fn debug_report_and_strategy_wins_reflect_activity() {
         trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
-    let NodeHandle::Opt(h) = c.handle(0).clone() else { unreachable!() };
+    let NodeHandle::Opt(h) = c.handle(0).clone() else {
+        unreachable!()
+    };
     let f = h.open_flow(c.nodes[1], TrafficClass::DEFAULT);
     let src = c.nodes[0];
     c.sim.inject(src, |ctx| {
         for i in 0..30u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 64)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 64))
+                    .build_parts(),
+            );
         }
     });
     c.drain();
@@ -268,7 +311,13 @@ fn incast_many_senders_one_receiver() {
         let src = c.nodes[i + 1];
         c.sim.inject(src, |ctx| {
             for k in 0..40u32 {
-                h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, k, 0, 512)).build_parts());
+                h.send(
+                    ctx,
+                    f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&pattern(f.0, k, 0, 512))
+                        .build_parts(),
+                );
             }
         });
         flows.push(f);

@@ -70,7 +70,13 @@ fn engine_absorbs_queue_pressure_without_loss() {
     let f = h.open_flow(dst, TrafficClass::DEFAULT);
     c.sim.inject(src, |ctx| {
         for i in 0..500u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 700)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 700))
+                    .build_parts(),
+            );
         }
     });
     c.drain();
@@ -107,7 +113,13 @@ fn lossy_wire_is_detected_not_corrupting() {
     let f = ha.open_flow(b, TrafficClass::DEFAULT);
     sim.inject(a, |ctx| {
         for i in 0..100u32 {
-            ha.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 96)).build_parts());
+            ha.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 96))
+                    .build_parts(),
+            );
         }
     });
     sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
@@ -179,25 +191,46 @@ fn capability_violations_rejected_with_precise_errors() {
     let drv = calib::driver(Technology::InfiniBand, na);
     sim.inject(a, |ctx| {
         // Over the inline (PIO) limit.
-        let r = drv.submit(ctx, TransferRequest {
-            dst_nic: nb, vchan: 0, kind: 1, cookie: 0, mode: ModeSel::Pio,
-            host_prep: simnet::SimDuration::ZERO,
-            segments: vec![Bytes::from(vec![0u8; 300])],
-        });
+        let r = drv.submit(
+            ctx,
+            TransferRequest {
+                dst_nic: nb,
+                vchan: 0,
+                kind: 1,
+                cookie: 0,
+                mode: ModeSel::Pio,
+                host_prep: simnet::SimDuration::ZERO,
+                segments: vec![Bytes::from(vec![0u8; 300])],
+            },
+        );
         assert_eq!(r, Err(DriverError::PioTooLarge { len: 300, max: 256 }));
         // Over the gather width.
-        let r = drv.submit(ctx, TransferRequest {
-            dst_nic: nb, vchan: 0, kind: 1, cookie: 0, mode: ModeSel::Dma,
-            host_prep: simnet::SimDuration::ZERO,
-            segments: (0..6).map(|_| Bytes::from_static(b"xx")).collect(),
-        });
+        let r = drv.submit(
+            ctx,
+            TransferRequest {
+                dst_nic: nb,
+                vchan: 0,
+                kind: 1,
+                cookie: 0,
+                mode: ModeSel::Dma,
+                host_prep: simnet::SimDuration::ZERO,
+                segments: (0..6).map(|_| Bytes::from_static(b"xx")).collect(),
+            },
+        );
         assert_eq!(r, Err(DriverError::TooManySegments { got: 6, max: 4 }));
         // Bad virtual channel.
-        let r = drv.submit(ctx, TransferRequest {
-            dst_nic: nb, vchan: 99, kind: 1, cookie: 0, mode: ModeSel::Auto,
-            host_prep: simnet::SimDuration::ZERO,
-            segments: vec![Bytes::from_static(b"xx")],
-        });
+        let r = drv.submit(
+            ctx,
+            TransferRequest {
+                dst_nic: nb,
+                vchan: 99,
+                kind: 1,
+                cookie: 0,
+                mode: ModeSel::Auto,
+                host_prep: simnet::SimDuration::ZERO,
+                segments: vec![Bytes::from_static(b"xx")],
+            },
+        );
         assert_eq!(r, Err(DriverError::VChannelOutOfRange { got: 99, max: 8 }));
     });
 }

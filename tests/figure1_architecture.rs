@@ -30,7 +30,13 @@ fn submissions_during_busy_periods_only_extend_the_backlog() {
     let f = h.open_flow(dst, TrafficClass::DEFAULT);
     // First submission: NIC idle -> submit-time activation transmits.
     c.sim.inject(src, |ctx| {
-        h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, 0, 0, 4096)).build_parts());
+        h.send(
+            ctx,
+            f,
+            MessageBuilder::new()
+                .pack_cheaper(&pattern(f.0, 0, 0, 4096))
+                .build_parts(),
+        );
     });
     let busy_packets = c.handle(0).metrics().packets_sent;
     assert!(busy_packets >= 1);
@@ -38,7 +44,13 @@ fn submissions_during_busy_periods_only_extend_the_backlog() {
     // more submissions must not produce more packets.
     c.sim.inject(src, |ctx| {
         for i in 1..10u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 64)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 64))
+                    .build_parts(),
+            );
         }
     });
     let before_run = c.handle(0).metrics();
@@ -55,11 +67,19 @@ fn nic_idle_activations_produce_the_work() {
     let mut c = Cluster::build(&spec(), vec![]);
     let h = c.handle(0).clone();
     let (src, dst) = (c.nodes[0], c.nodes[1]);
-    let flows: Vec<_> = (0..4).map(|_| h.open_flow(dst, TrafficClass::DEFAULT)).collect();
+    let flows: Vec<_> = (0..4)
+        .map(|_| h.open_flow(dst, TrafficClass::DEFAULT))
+        .collect();
     c.sim.inject(src, |ctx| {
         for i in 0..50u32 {
             for f in &flows {
-                h.send(ctx, *f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 96)).build_parts());
+                h.send(
+                    ctx,
+                    *f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&pattern(f.0, i, 0, 96))
+                        .build_parts(),
+                );
             }
         }
     });
@@ -69,7 +89,11 @@ fn nic_idle_activations_produce_the_work() {
     // further optimization is idle-driven, and each idle activation
     // refills the whole hardware queue with aggregated packets — a few
     // activations move the entire 200-message burst.
-    assert!(m.activations_idle >= 2, "idle activations {}", m.activations_idle);
+    assert!(
+        m.activations_idle >= 2,
+        "idle activations {}",
+        m.activations_idle
+    );
     assert!(
         m.activations_idle >= m.activations_submit,
         "idle {} vs submit {}",
@@ -95,7 +119,13 @@ fn layers_are_observable_in_metrics() {
     let f = h.open_flow(dst, TrafficClass::DEFAULT);
     c.sim.inject(src, |ctx| {
         for i in 0..20u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 128)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 128))
+                    .build_parts(),
+            );
         }
     });
     c.drain();

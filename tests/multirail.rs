@@ -9,11 +9,19 @@ use madware::pattern;
 use simnet::Technology;
 
 fn bulk_spec(engine: EngineKind, rails: Vec<Technology>) -> ClusterSpec {
-    ClusterSpec { nodes: 2, rails, engine, trace: None }
+    ClusterSpec {
+        nodes: 2,
+        rails,
+        engine,
+        trace: None,
+    }
 }
 
 fn eager_cfg() -> EngineConfig {
-    EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() }
+    EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    }
 }
 
 /// Stream a single large logical transfer; return (makespan ns, per-rail bytes).
@@ -24,22 +32,37 @@ fn stream(engine: EngineKind, rails: Vec<Technology>, msgs: u32) -> (u64, Vec<u6
     let f = h.open_flow(dst, TrafficClass::BULK);
     c.sim.inject(src, |ctx| {
         for i in 0..msgs {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 24 << 10)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 24 << 10))
+                    .build_parts(),
+            );
         }
     });
     let end = c.drain();
-    let bytes = c.nics[0].iter().map(|&n| c.sim.nic(n).stats.tx_payload_bytes).collect();
+    let bytes = c.nics[0]
+        .iter()
+        .map(|&n| c.sim.nic(n).stats.tx_payload_bytes)
+        .collect();
     (end.as_nanos(), bytes, c)
 }
 
 #[test]
 fn two_rails_nearly_double_throughput() {
-    let opt1 = EngineKind::Optimizing { config: eager_cfg(), policy: PolicyKind::Pooled };
+    let opt1 = EngineKind::Optimizing {
+        config: eager_cfg(),
+        policy: PolicyKind::Pooled,
+    };
     let opt2 = opt1.clone();
     let (t1, _, c1) = stream(opt1, vec![Technology::MyrinetMx], 60);
     let (t2, bytes, c2) = stream(opt2, vec![Technology::MyrinetMx; 2], 60);
     assert!(t2 * 18 < t1 * 10, "2 rails {t2}ns vs 1 rail {t1}ns");
-    assert!(bytes[0] > 0 && bytes[1] > 0, "both rails carried data: {bytes:?}");
+    assert!(
+        bytes[0] > 0 && bytes[1] > 0,
+        "both rails carried data: {bytes:?}"
+    );
     // Shares are roughly even on identical rails.
     let ratio = bytes[0] as f64 / bytes[1] as f64;
     assert!((0.6..1.7).contains(&ratio), "share ratio {ratio}");
@@ -55,9 +78,15 @@ fn two_rails_nearly_double_throughput() {
 
 #[test]
 fn heterogeneous_rails_split_by_speed() {
-    let opt = EngineKind::Optimizing { config: eager_cfg(), policy: PolicyKind::Pooled };
-    let (_, bytes, c) =
-        stream(opt, vec![Technology::MyrinetMx, Technology::QuadricsElan], 80);
+    let opt = EngineKind::Optimizing {
+        config: eager_cfg(),
+        policy: PolicyKind::Pooled,
+    };
+    let (_, bytes, c) = stream(
+        opt,
+        vec![Technology::MyrinetMx, Technology::QuadricsElan],
+        80,
+    );
     let (mx, elan) = (bytes[0], bytes[1]);
     assert!(mx > 0 && elan > 0);
     assert!(elan as f64 > 1.5 * mx as f64, "elan {elan} vs mx {mx}");
@@ -66,7 +95,10 @@ fn heterogeneous_rails_split_by_speed() {
 
 #[test]
 fn one_to_one_policy_reproduces_legacy_mapping() {
-    let opt = EngineKind::Optimizing { config: eager_cfg(), policy: PolicyKind::OneToOne };
+    let opt = EngineKind::Optimizing {
+        config: eager_cfg(),
+        policy: PolicyKind::OneToOne,
+    };
     let (_, bytes, c) = stream(opt, vec![Technology::MyrinetMx; 2], 40);
     // Single flow -> pinned to rail (flow 0 % 2 == 0).
     assert!(bytes[0] > 0);
@@ -79,7 +111,10 @@ fn express_messages_stay_on_one_rail_until_resolved() {
     // Messages with express headers are pinned while the header is in
     // flight; the body may then split. Correctness: delivery intact and no
     // express violations on the receiver.
-    let opt = EngineKind::Optimizing { config: eager_cfg(), policy: PolicyKind::Pooled };
+    let opt = EngineKind::Optimizing {
+        config: eager_cfg(),
+        policy: PolicyKind::Pooled,
+    };
     let mut c = Cluster::build(
         &bulk_spec(opt, vec![Technology::MyrinetMx, Technology::MyrinetMx]),
         vec![],
@@ -103,37 +138,66 @@ fn express_messages_stay_on_one_rail_until_resolved() {
     let got = c.handle(1).take_delivered();
     assert_eq!(got.len(), 30);
     for m in &got {
-        assert_eq!(&m.fragments[1].1[..], &pattern(m.flow.0, m.id.seq.0, 1, 8 << 10)[..]);
+        assert_eq!(
+            &m.fragments[1].1[..],
+            &pattern(m.flow.0, m.id.seq.0, 1, 8 << 10)[..]
+        );
     }
 }
 
 #[test]
 fn runtime_policy_switch_takes_effect() {
-    let opt = EngineKind::Optimizing { config: eager_cfg(), policy: PolicyKind::Pooled };
+    let opt = EngineKind::Optimizing {
+        config: eager_cfg(),
+        policy: PolicyKind::Pooled,
+    };
     let mut c = Cluster::build(&bulk_spec(opt, vec![Technology::MyrinetMx; 2]), vec![]);
     let h = c.handle(0).clone();
-    let NodeHandle::Opt(oh) = h.clone() else { unreachable!() };
+    let NodeHandle::Opt(oh) = h.clone() else {
+        unreachable!()
+    };
     let (src, dst) = (c.nodes[0], c.nodes[1]);
     let f = h.open_flow(dst, TrafficClass::BULK);
     // Phase 1: pooled, both rails used.
     c.sim.inject(src, |ctx| {
         for i in 0..20u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 24 << 10)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 24 << 10))
+                    .build_parts(),
+            );
         }
     });
     c.drain();
-    let phase1: Vec<u64> = c.nics[0].iter().map(|&n| c.sim.nic(n).stats.tx_payload_bytes).collect();
+    let phase1: Vec<u64> = c.nics[0]
+        .iter()
+        .map(|&n| c.sim.nic(n).stats.tx_payload_bytes)
+        .collect();
     assert!(phase1[1] > 0);
     // Switch to one-to-one at runtime (§2: select different policies).
     oh.switch_policy(PolicyKind::OneToOne);
     c.sim.inject(src, |ctx| {
         for i in 20..40u32 {
-            h.send(ctx, f, MessageBuilder::new().pack_cheaper(&pattern(f.0, i, 0, 24 << 10)).build_parts());
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 24 << 10))
+                    .build_parts(),
+            );
         }
     });
     c.drain();
-    let phase2: Vec<u64> = c.nics[0].iter().map(|&n| c.sim.nic(n).stats.tx_payload_bytes).collect();
-    assert_eq!(phase2[1], phase1[1], "rail 1 idle after switching to one-to-one");
+    let phase2: Vec<u64> = c.nics[0]
+        .iter()
+        .map(|&n| c.sim.nic(n).stats.tx_payload_bytes)
+        .collect();
+    assert_eq!(
+        phase2[1], phase1[1],
+        "rail 1 idle after switching to one-to-one"
+    );
     assert!(phase2[0] > phase1[0]);
     assert_eq!(c.handle(1).delivered_count(), 40);
 }

@@ -12,7 +12,12 @@ use simnet::Technology;
 
 fn one_shot(engine: EngineKind, tech: Technology, size: usize) -> (Cluster, u64) {
     let mut c = Cluster::build(
-        &ClusterSpec { nodes: 2, rails: vec![tech], engine, trace: None },
+        &ClusterSpec {
+            nodes: 2,
+            rails: vec![tech],
+            engine,
+            trace: None,
+        },
         vec![],
     );
     let h = c.handle(0).clone();
@@ -20,7 +25,11 @@ fn one_shot(engine: EngineKind, tech: Technology, size: usize) -> (Cluster, u64)
     let f = h.open_flow(dst, TrafficClass::DEFAULT);
     let body = pattern(f.0, 0, 0, size);
     c.sim.inject(src, |ctx| {
-        h.send(ctx, f, MessageBuilder::new().pack_cheaper(&body).build_parts())
+        h.send(
+            ctx,
+            f,
+            MessageBuilder::new().pack_cheaper(&body).build_parts(),
+        )
     });
     let end = c.drain();
     let got = c.handle(1).take_delivered();
@@ -41,8 +50,14 @@ fn rendezvous_triggers_exactly_at_driver_hint() {
 
 #[test]
 fn config_override_beats_driver_hint() {
-    let config = EngineConfig { rndv_threshold: Some(1024), ..EngineConfig::default() };
-    let engine = EngineKind::Optimizing { config, policy: PolicyKind::Pooled };
+    let config = EngineConfig {
+        rndv_threshold: Some(1024),
+        ..EngineConfig::default()
+    };
+    let engine = EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    };
     let (c, _) = one_shot(engine, Technology::MyrinetMx, 2048);
     assert_eq!(c.handle(0).metrics().rndv_requests, 1);
 }
@@ -58,15 +73,27 @@ fn rendezvous_never_engages_on_tcp() {
 fn eager_latency_beats_rndv_for_medium_messages() {
     // Force rendezvous for a size where eager is better: the handshake
     // round trip must show up as extra latency.
-    let eager_cfg = EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() };
-    let rndv_cfg = EngineConfig { rndv_threshold: Some(1), ..EngineConfig::default() };
+    let eager_cfg = EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    };
+    let rndv_cfg = EngineConfig {
+        rndv_threshold: Some(1),
+        ..EngineConfig::default()
+    };
     let (_, t_eager) = one_shot(
-        EngineKind::Optimizing { config: eager_cfg, policy: PolicyKind::Pooled },
+        EngineKind::Optimizing {
+            config: eager_cfg,
+            policy: PolicyKind::Pooled,
+        },
         Technology::MyrinetMx,
         4096,
     );
     let (_, t_rndv) = one_shot(
-        EngineKind::Optimizing { config: rndv_cfg, policy: PolicyKind::Pooled },
+        EngineKind::Optimizing {
+            config: rndv_cfg,
+            policy: PolicyKind::Pooled,
+        },
         Technology::MyrinetMx,
         4096,
     );
@@ -79,7 +106,11 @@ fn eager_latency_beats_rndv_for_medium_messages() {
 #[test]
 fn driver_mode_selection_matches_cost_model() {
     use nicdrv::Driver;
-    for tech in [Technology::MyrinetMx, Technology::QuadricsElan, Technology::InfiniBand] {
+    for tech in [
+        Technology::MyrinetMx,
+        Technology::QuadricsElan,
+        Technology::InfiniBand,
+    ] {
         let d = calib::driver(tech, simnet::NicId(0));
         let caps = calib::capabilities(tech);
         // Tiny messages go PIO; messages beyond the PIO cap must go DMA.
@@ -96,10 +127,20 @@ fn driver_mode_selection_matches_cost_model() {
 fn mtu_chunking_is_transparent() {
     // A message larger than the rail MTU but below the rendezvous
     // threshold must be chunked eagerly and reassembled.
-    let config = EngineConfig { rndv_threshold: Some(u64::MAX), ..EngineConfig::default() };
-    let engine = EngineKind::Optimizing { config, policy: PolicyKind::Pooled };
+    let config = EngineConfig {
+        rndv_threshold: Some(u64::MAX),
+        ..EngineConfig::default()
+    };
+    let engine = EngineKind::Optimizing {
+        config,
+        policy: PolicyKind::Pooled,
+    };
     let (c, _) = one_shot(engine, Technology::MyrinetMx, 100_000); // MTU is 32 KiB
     let m = c.handle(0).metrics();
-    assert!(m.packets_sent >= 4, "chunked into {} packets", m.packets_sent);
+    assert!(
+        m.packets_sent >= 4,
+        "chunked into {} packets",
+        m.packets_sent
+    );
     assert_eq!(m.rndv_requests, 0);
 }

@@ -4,9 +4,7 @@
 
 use bytes::Bytes;
 use madeleine::ids::{FlowId, TrafficClass};
-use madeleine::proto::{
-    decode_packet, encode_packet, ChunkHeader, DecodedChunk, WireChunk,
-};
+use madeleine::proto::{decode_packet, encode_packet, ChunkHeader, DecodedChunk, WireChunk};
 use madeleine::receiver::Receiver;
 use madware::pattern;
 use proptest::prelude::*;

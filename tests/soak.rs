@@ -30,8 +30,15 @@ fn node_workload(me: usize, nodes: usize, msgs: u64) -> Vec<FlowSpec> {
         specs.push(FlowSpec {
             dst: NodeId(dst as u32),
             class: TrafficClass::DEFAULT,
-            arrival: Arrival::Burst { count: 5, period: SimDuration::from_micros(60) },
-            sizes: SizeDist::Bimodal { small: 64, large: 4096, p_large: 0.2 },
+            arrival: Arrival::Burst {
+                count: 5,
+                period: SimDuration::from_micros(60),
+            },
+            sizes: SizeDist::Bimodal {
+                small: 64,
+                large: 4096,
+                p_large: 0.2,
+            },
             express_header: 8,
             stop_after: Some(msgs),
             start_after: SimDuration::ZERO,
@@ -77,7 +84,11 @@ fn soak(engine: EngineKind, msgs: u64) {
         let m = c.handle(i).metrics();
         assert_eq!(m.driver_rejections, 0, "node {i}");
         assert_eq!(m.proto_errors, 0, "node {i}");
-        assert_eq!(c.handle(i).receiver_stats().express_violations, 0, "node {i}");
+        assert_eq!(
+            c.handle(i).receiver_stats().express_violations,
+            0,
+            "node {i}"
+        );
         assert_eq!(c.handle(i).backlog_bytes(), 0, "node {i} drained");
         if let NodeHandle::Opt(h) = c.handle(i) {
             assert!(h.is_drained(), "node {i} engine drained");
@@ -114,7 +125,10 @@ fn soak_adaptive_policy_with_nagle() {
         ..madeleine::EngineConfig::default()
     };
     soak(
-        EngineKind::Optimizing { config, policy: madeleine::PolicyKind::Adaptive },
+        EngineKind::Optimizing {
+            config,
+            policy: madeleine::PolicyKind::Adaptive,
+        },
         40,
     );
 }

@@ -1,0 +1,198 @@
+//! Offline shim of the part of the `criterion` crate this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal, API-compatible harness (see the workspace `Cargo.toml`). It
+//! measures with a fixed-iteration warm-up plus a timed run and prints one
+//! mean-per-iteration line per benchmark — enough to compare hot paths
+//! locally, with none of the real crate's statistics, plotting, or
+//! adaptive sampling.
+
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box` (the workspace's benches use
+/// `std::hint::black_box` directly, but the name is part of the API).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 100;
+const MEASURE_ITERS: u64 = 2_000;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group (reported alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name and throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark of the group against `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.label);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => b.report_with_rate(&label, n, "B"),
+            Some(Throughput::Elements(n)) => b.report_with_rate(&label, n, "elem"),
+            None => b.report(&label),
+        }
+        self
+    }
+
+    /// Close the group (separator line in the output).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Timing executor handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+
+    /// Time `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        // Setup cost is included here (unlike real criterion); the shim
+        // uses far fewer iterations, so keep the loop simple and honest
+        // about it in the label below.
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut total_ns = 0u128;
+        for _ in 0..MEASURE_ITERS {
+            let s = setup();
+            let start = Instant::now();
+            black_box(routine(s));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.mean_ns = total_ns as f64 / MEASURE_ITERS as f64;
+    }
+
+    fn report(&self, label: &str) {
+        eprintln!("{label:<50} {:>12.1} ns/iter", self.mean_ns);
+    }
+
+    fn report_with_rate(&self, label: &str, per_iter: u64, unit: &str) {
+        let rate = per_iter as f64 / (self.mean_ns / 1e9);
+        eprintln!(
+            "{label:<50} {:>12.1} ns/iter {:>12.1} M{unit}/s",
+            self.mean_ns,
+            rate / 1e6
+        );
+    }
+}
+
+/// Declare a benchmark group function (same shape as the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline shim of the `crossbeam::channel` API over `std::sync::mpsc`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal stand-in (see the workspace `Cargo.toml`). Only the unbounded
+//! MPSC channel the examples use is provided; error types mirror the real
+//! crate's names so call sites are source-compatible.
+
+pub mod channel {
+    //! Multi-producer channels (unbounded only).
+
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel; cloneable across threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// The receiver disconnected before the message could be delivered.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// All senders disconnected and the channel is empty.
+    pub type RecvError = mpsc::RecvError;
+    /// Non-blocking receive found the channel empty or disconnected.
+    pub type TryRecvError = mpsc::TryRecvError;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn channel_roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert!(rx.try_recv().is_err());
+            drop((tx, tx2));
+            assert!(rx.recv().is_err());
+        }
+    }
+}
