@@ -7,7 +7,7 @@ use madeleine::collect::CollectLayer;
 use madeleine::config::EngineConfig;
 use madeleine::ids::{ChannelId, TrafficClass};
 use madeleine::message::MessageBuilder;
-use madeleine::optimizer::select_plan;
+use madeleine::optimizer::{select_plan, select_plan_traced};
 use madeleine::strategy::{OptContext, StrategyRegistry};
 use nicdrv::{calib, CostModel};
 use simnet::{NodeId, SimTime, Technology};
@@ -87,6 +87,52 @@ fn bench_select(c: &mut Criterion) {
                     rail_count: 1,
                 };
                 black_box(select_plan(&registry, &ctx, &collect, 32 << 10, budget))
+            })
+        });
+    }
+    group.finish();
+
+    // Madtrace overhead: the same decision with the event sink disabled
+    // (the default; `select_plan` is this case) vs recording into an
+    // enabled ring. The disabled/off delta is the acceptance bound for
+    // "tracing off costs one branch"; off-vs-on is the price of the
+    // decision log itself.
+    let mut group = c.benchmark_group("select_plan_trace");
+    let collect = backlog(64, 8);
+    let cfg = EngineConfig::default();
+    let registry = StrategyRegistry::standard(&cfg);
+    for &traced in &[false, true] {
+        let name = if traced { "on" } else { "off" };
+        group.bench_with_input(BenchmarkId::new("trace", name), &traced, |b, _| {
+            let mut sink = if traced {
+                madeleine::EventSink::with_capacity(4096)
+            } else {
+                madeleine::EventSink::disabled()
+            };
+            let mut activation = 0u64;
+            b.iter(|| {
+                let groups =
+                    collect.collect_candidates(ChannelId(0), cfg.lookahead_window, |_, _| true);
+                let ctx = OptContext {
+                    now: SimTime::from_nanos(1_000_000),
+                    channel: ChannelId(0),
+                    caps: &caps,
+                    cost: &cost,
+                    config: &cfg,
+                    groups: &groups,
+                    packet_limit: 32 << 10,
+                    rail_count: 1,
+                };
+                activation += 1;
+                black_box(select_plan_traced(
+                    &registry,
+                    &ctx,
+                    &collect,
+                    32 << 10,
+                    cfg.rearrange_budget,
+                    &mut sink,
+                    activation,
+                ))
             })
         });
     }

@@ -4,14 +4,19 @@
 //! experiments all          # run everything
 //! experiments e1 e7        # run selected experiments
 //! experiments --list       # list ids and titles
+//! experiments --trace-out <dir> e1   # also write madtrace artifacts
 //! ```
+//!
+//! `--trace-out` writes each report's machine-readable artifacts (Chrome
+//! trace exports, metrics-registry documents, flight-recorder dumps) into
+//! the given directory.
 
 use mad_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--list] <all | e1 e2 ...>");
+        eprintln!("usage: experiments [--list] [--trace-out <dir>] <all | e1 e2 ...>");
         std::process::exit(2);
     }
     if args.iter().any(|a| a == "--list") {
@@ -22,6 +27,22 @@ fn main() {
         }
         return;
     }
+    let trace_out = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--trace-out needs a directory");
+                std::process::exit(2);
+            }
+            let dir = args.remove(i + 1);
+            args.remove(i);
+            std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(1);
+            });
+            Some(dir)
+        }
+        None => None,
+    };
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
         experiments::all()
             .iter()
@@ -32,7 +53,21 @@ fn main() {
     };
     for id in ids {
         match experiments::run_by_id(&id) {
-            Some(report) => println!("{}", report.render()),
+            Some(report) => {
+                println!("{}", report.render());
+                if let Some(dir) = &trace_out {
+                    for (name, contents) in &report.artifacts {
+                        let path = format!("{dir}/{name}");
+                        match std::fs::write(&path, contents) {
+                            Ok(()) => println!("   wrote {path}"),
+                            Err(e) => {
+                                eprintln!("cannot write {path}: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                }
+            }
             None => {
                 eprintln!("unknown experiment: {id}");
                 std::process::exit(1);

@@ -87,6 +87,7 @@ fn pingpong(tech: Technology, legacy: bool, size: usize, reps: u32) -> (f64, f64
         rails: vec![tech],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let rtts = Rc::new(RefCell::new(Vec::new()));
     let ping = Ping {

@@ -3,10 +3,17 @@
 //!
 //! ```text
 //! trace-tool sample <out.trace> [seed]        # generate a sample workload
-//! trace-tool info <file.trace>                # summarize a trace
+//! trace-tool info <file.trace|file.json>      # summarize a trace or export
 //! trace-tool replay <file.trace> [--legacy] [--tech mx|elan|ib|tcp|shm]
 //! trace-tool compare <file.trace> [--tech ...]  # optimizer vs legacy, same input
+//! trace-tool export <file.trace> <out.json> [--legacy] [--tech ...]
+//! trace-tool explain <file.trace> [--activation N] [--tech ...]
 //! ```
+//!
+//! `export` replays the workload with full madtrace instrumentation and
+//! writes a Chrome trace-event JSON (Perfetto / `about:tracing` loadable);
+//! `explain` prints, for one optimizer activation, every plan proposed,
+//! its veto or score, and the winner.
 
 use mad_bench::tracecli;
 use madware::trace::Trace;
@@ -17,9 +24,24 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage:\n  trace-tool sample <out.trace> [seed]\n  trace-tool info <file>\n  \
          trace-tool replay <file> [--legacy] [--tech mx|elan|ib|tcp|shm]\n  \
-         trace-tool compare <file> [--tech mx|elan|ib|tcp|shm]"
+         trace-tool compare <file> [--tech mx|elan|ib|tcp|shm]\n  \
+         trace-tool export <file> <out.json> [--legacy] [--tech mx|elan|ib|tcp|shm]\n  \
+         trace-tool explain <file> [--activation N] [--tech mx|elan|ib|tcp|shm]"
     );
     std::process::exit(2);
+}
+
+fn tech_arg(args: &[String]) -> Technology {
+    match args.iter().position(|a| a == "--tech") {
+        Some(i) => {
+            let name = args
+                .get(i + 1)
+                .unwrap_or_else(|| fail("--tech needs a value"));
+            tracecli::parse_tech(name)
+                .unwrap_or_else(|| fail(&format!("unknown technology '{name}'")))
+        }
+        None => Technology::MyrinetMx,
+    }
 }
 
 fn main() {
@@ -39,6 +61,12 @@ fn main() {
                 fail("info needs a trace file")
             };
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
+            // A madtrace Chrome export is also a valid input: report its
+            // event count and ring retained/dropped counters.
+            if let Some(summary) = tracecli::info_export(&text) {
+                print!("{summary}");
+                return;
+            }
             let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
             print!("{}", tracecli::info(&t));
         }
@@ -47,16 +75,7 @@ fn main() {
                 fail("replay needs a trace file")
             };
             let legacy = args.iter().any(|a| a == "--legacy");
-            let tech = match args.iter().position(|a| a == "--tech") {
-                Some(i) => {
-                    let name = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| fail("--tech needs a value"));
-                    tracecli::parse_tech(name)
-                        .unwrap_or_else(|| fail(&format!("unknown technology '{name}'")))
-                }
-                None => Technology::MyrinetMx,
-            };
+            let tech = tech_arg(&args);
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
             let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
             print!("{}", tracecli::replay(t, legacy, tech));
@@ -65,19 +84,42 @@ fn main() {
             let Some(path) = args.get(1) else {
                 fail("compare needs a trace file")
             };
-            let tech = match args.iter().position(|a| a == "--tech") {
-                Some(i) => {
-                    let name = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| fail("--tech needs a value"));
-                    tracecli::parse_tech(name)
-                        .unwrap_or_else(|| fail(&format!("unknown technology '{name}'")))
-                }
-                None => Technology::MyrinetMx,
-            };
+            let tech = tech_arg(&args);
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
             let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
             print!("{}", tracecli::compare(t, tech));
+        }
+        Some("export") => {
+            let Some(path) = args.get(1) else {
+                fail("export needs a trace file")
+            };
+            let Some(out) = args.get(2) else {
+                fail("export needs an output path")
+            };
+            let legacy = args.iter().any(|a| a == "--legacy");
+            let tech = tech_arg(&args);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
+            let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
+            let (export, _metrics) = tracecli::export(t, legacy, tech);
+            std::fs::write(out, &export.json).unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "wrote {} Chrome trace events to {out} (load in Perfetto or about:tracing)",
+                export.events
+            );
+        }
+        Some("explain") => {
+            let Some(path) = args.get(1) else {
+                fail("explain needs a trace file")
+            };
+            let activation = args.iter().position(|a| a == "--activation").map(|i| {
+                args.get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("--activation needs a number"))
+            });
+            let tech = tech_arg(&args);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
+            let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
+            print!("{}", tracecli::explain(t, tech, activation));
         }
         _ => fail("missing or unknown subcommand"),
     }

@@ -121,6 +121,7 @@ pub fn run() -> Report {
              dominate); the optimizer's scoring picks per packet"
                 .into(),
         ],
+        artifacts: vec![],
     }
 }
 

@@ -64,6 +64,7 @@ pub fn run_config(config: EngineConfig) -> AblationPoint {
             policy: PolicyKind::Pooled,
         },
         trace: None,
+        engine_trace: None,
     };
     let (app, _) = TrafficApp::new("mixed", workload(), 61, 0);
     let (sink, rx) = TrafficApp::new("sink", vec![], 61, 1);
@@ -186,6 +187,7 @@ pub fn run() -> Report {
              bulk-chunking for multi-rail streams, gather for large chunks)"
                 .into(),
         ],
+        artifacts: vec![],
     }
 }
 

@@ -106,12 +106,26 @@ pub fn run() -> Report {
          segment size, matching the paper's 'huge gains' for small eager \
          segments from several independent flows"
     ));
+    // Madtrace artifacts: a fully-instrumented replay of the sample
+    // workload — the merged Chrome timeline plus the metrics registry.
+    let (export, metrics) =
+        crate::tracecli::export(crate::tracecli::sample(42), false, Technology::MyrinetMx);
+    notes.push(format!(
+        "madtrace: {} Chrome trace events exported from the seed-42 sample \
+         workload (rails as tracks, messages as flow arrows)",
+        export.events
+    ));
+    let artifacts = vec![
+        ("e1_sample_trace.json".to_string(), export.json),
+        ("e1_metrics.json".to_string(), metrics),
+    ];
     Report {
         id: "E1",
         title: "cross-flow eager aggregation vs legacy Madeleine",
         claim: "aggregation of eager segments collected from several independent flows brings huge performance gains (§4)",
         tables,
         notes,
+        artifacts,
     }
 }
 

@@ -71,6 +71,7 @@ pub fn run() -> Report {
         claim: "the application simply enqueues packets and returns; the scheduler runs when a NIC becomes idle (§3, Fig. 1)",
         tables: vec![t],
         notes,
+        artifacts: vec![],
     }
 }
 

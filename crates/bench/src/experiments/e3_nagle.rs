@@ -85,6 +85,7 @@ pub fn run() -> Report {
              growing delays trade latency for aggregation (fewer, fuller packets)"
                 .into(),
         ],
+        artifacts: vec![],
     }
 }
 

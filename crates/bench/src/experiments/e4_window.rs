@@ -77,6 +77,7 @@ pub fn run() -> Report {
             fmt_f(base.makespan_us),
             fmt_f(best)
         )],
+        artifacts: vec![],
     }
 }
 

@@ -86,6 +86,7 @@ pub fn run() -> Report {
              captures nearly all of the communication benefit; the unbounded \
              search buys little — evaluations can be safely capped".into(),
         ],
+        artifacts: vec![],
     }
 }
 

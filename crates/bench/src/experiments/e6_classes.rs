@@ -72,6 +72,7 @@ pub fn run_point(pin: bool, collapse_vchans: bool) -> ClassPoint {
         rails: vec![Technology::MyrinetMx, Technology::MyrinetMx],
         engine: EngineKind::Optimizing { config, policy },
         trace: None,
+        engine_trace: None,
     };
     let (app, _tx) = TrafficApp::new("mix", workload(), 17, 0);
     let (sink, _rx) = TrafficApp::new("sink", vec![], 17, 1);
@@ -146,6 +147,7 @@ pub fn run() -> Report {
              full rail",
             fmt_f(pooled.ctrl_p99_us / pinned.ctrl_p99_us.max(0.001))
         )],
+        artifacts: vec![],
     }
 }
 

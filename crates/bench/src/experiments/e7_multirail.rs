@@ -35,6 +35,7 @@ pub fn run_point(engine: EngineKind, rails: Vec<Technology>, msgs: u64) -> RailP
         rails,
         engine,
         trace: None,
+        engine_trace: None,
     };
     let flow = FlowSpec {
         dst: NodeId(1),
@@ -146,6 +147,7 @@ pub fn run() -> Report {
              rail's drain rate"
                 .into(),
         ],
+        artifacts: vec![],
     }
 }
 

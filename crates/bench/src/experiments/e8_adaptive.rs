@@ -73,6 +73,7 @@ pub fn run_point(adaptive: bool) -> AdaptivePoint {
         rails: vec![Technology::MyrinetMx; 4],
         engine: EngineKind::Optimizing { config, policy },
         trace: None,
+        engine_trace: None,
     };
     let (app, _tx) = TrafficApp::new("phased", phased_workload(phase2_start), 41, 0);
     let (sink, _rx) = TrafficApp::new("sink", vec![], 41, 1);
@@ -129,6 +130,7 @@ pub fn run() -> Report {
              assignment",
             fixed.phase2_us / adaptive.phase2_us
         )],
+        artifacts: vec![],
     }
 }
 

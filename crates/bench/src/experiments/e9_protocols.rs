@@ -25,6 +25,7 @@ pub fn measure(tech: Technology, size: usize) -> (f64, bool) {
         rails: vec![tech],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut cluster = Cluster::build(&spec, vec![]);
     let h = cluster.handle(0).clone();
@@ -108,6 +109,7 @@ pub fn run() -> Report {
             "select how to send a given packet the best way: PIO vs DMA, eager vs rendez-vous (§1)",
         tables,
         notes,
+        artifacts: vec![],
     }
 }
 

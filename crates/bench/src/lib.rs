@@ -31,6 +31,10 @@ pub struct Report {
     pub tables: Vec<Table>,
     /// Free-form observations (appended under the tables).
     pub notes: Vec<String>,
+    /// Machine-readable artifacts as `(file name, contents)` — e.g. a
+    /// madtrace Chrome export or a metrics-registry document. Written to
+    /// disk by the runner's `--trace-out` flag.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl Report {
@@ -45,6 +49,12 @@ impl Report {
         }
         for n in &self.notes {
             out.push_str(&format!("   note: {n}\n"));
+        }
+        for (name, contents) in &self.artifacts {
+            out.push_str(&format!(
+                "   artifact: {name} ({} bytes; use --trace-out to write)\n",
+                contents.len()
+            ));
         }
         out
     }

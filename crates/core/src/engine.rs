@@ -29,13 +29,13 @@ use simnet::{Endpoint, NicId, NodeId, SimCtx, SimTime, Technology, TimerId, Wire
 
 use crate::api::{AppDriver, CommApi, INTERNAL_TAG_BASE};
 use crate::classes::ClassMap;
-use crate::collect::CollectLayer;
+use crate::collect::{CollectLayer, RndvState};
 use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::ids::{ChannelId, FlowId, MsgId, TrafficClass};
 use crate::message::{DeliveredMessage, Fragment};
-use crate::metrics::{Activation, EngineMetrics};
-use crate::optimizer::{select_plan, submit_action, SubmitAction};
+use crate::metrics::{Activation, EngineMetrics, MetricsRegistry};
+use crate::optimizer::{select_plan_traced, submit_action, SubmitAction};
 use crate::plan::{PlanBody, PlannedChunk, TransferPlan};
 use crate::policy::{PolicyKind, RailPolicy};
 use crate::proto::{
@@ -44,6 +44,7 @@ use crate::proto::{
 };
 use crate::receiver::{Receiver, ReceiverStats};
 use crate::strategy::{OptContext, Strategy, StrategyRegistry};
+use crate::trace::{EngineEvent, EventSink, FlightDump, FlightTrigger};
 
 /// Internal timer tag: Nagle flush.
 const NAGLE_TAG: u64 = INTERNAL_TAG_BASE;
@@ -90,6 +91,14 @@ pub struct EngineCore {
     pub metrics: EngineMetrics,
     /// Delivered messages (retained when `config.record_deliveries`).
     pub delivered: Vec<DeliveredMessage>,
+    /// Structured madtrace event sink (disabled by default; one branch per
+    /// event when disabled).
+    pub trace: EventSink,
+    /// Next optimizer activation id (correlates decision events).
+    next_activation: u64,
+    /// Flight-recorder capture: set once, when a should-stay-zero counter
+    /// first leaves zero.
+    flight: Option<FlightDump>,
 }
 
 impl EngineCore {
@@ -142,6 +151,35 @@ impl EngineCore {
             ctx.set_timer(self.config.adaptive_epoch, ADAPTIVE_TAG);
         }
         let id = self.collect.submit(flow, parts, ctx.now(), threshold);
+        if self.trace.is_enabled() {
+            let now = ctx.now();
+            let class = self.collect.flow(flow).class;
+            if let Some(msg) = self.collect.find_msg(flow, id.seq.0) {
+                self.trace.push(
+                    now,
+                    EngineEvent::Submitted {
+                        flow,
+                        seq: id.seq.0,
+                        frags: msg.frags.len() as u16,
+                        bytes: msg.frags.iter().map(|f| u64::from(f.len())).sum(),
+                        class,
+                    },
+                );
+                for f in &msg.frags {
+                    if f.rndv == RndvState::NeedRequest {
+                        self.trace.push(
+                            now,
+                            EngineEvent::RndvGated {
+                                flow,
+                                seq: id.seq.0,
+                                frag: f.index,
+                                bytes: u64::from(f.len()),
+                            },
+                        );
+                    }
+                }
+            }
+        }
         let fs = self.collect.flow(flow);
         let (fid, class) = (fs.id, fs.class);
         let any_idle = (0..self.rails.len())
@@ -185,6 +223,8 @@ impl EngineCore {
     /// visible to this rail) is exhausted.
     fn optimize_rail(&mut self, ctx: &mut SimCtx<'_>, rail_idx: usize, cause: Activation) {
         self.metrics.record_activation(cause);
+        let act = self.next_activation;
+        self.next_activation += 1;
         self.flush_ctrl(ctx);
         // The rearrangement budget bounds scoring work per *activation*
         // (§4): plan evaluations are deducted across the whole refill loop.
@@ -194,7 +234,7 @@ impl EngineCore {
             if budget == 0 || self.rails[rail_idx].driver.free_slots(ctx) == 0 {
                 break;
             }
-            let (best, evaluated, backlog) = {
+            let (best, evaluated) = {
                 let rail = &self.rails[rail_idx];
                 let caps = rail.driver.capabilities();
                 let groups = self.collect.collect_candidates(
@@ -205,6 +245,15 @@ impl EngineCore {
                 if groups.is_empty() {
                     if first_pass {
                         self.metrics.backlog_depth.record(0.0);
+                        self.trace.push(
+                            ctx.now(),
+                            EngineEvent::ActivationStart {
+                                id: act,
+                                cause,
+                                rail: rail_idx as u16,
+                                backlog_depth: 0,
+                            },
+                        );
                     }
                     break;
                 }
@@ -212,6 +261,19 @@ impl EngineCore {
                     .iter()
                     .map(|g| g.candidates.len() + g.rndv.len())
                     .sum();
+                if first_pass {
+                    self.metrics.backlog_depth.record(backlog as f64);
+                    self.trace.push(
+                        ctx.now(),
+                        EngineEvent::ActivationStart {
+                            id: act,
+                            cause,
+                            rail: rail_idx as u16,
+                            backlog_depth: backlog as u32,
+                        },
+                    );
+                    first_pass = false;
+                }
                 let octx = OptContext {
                     now: ctx.now(),
                     channel: ChannelId(rail_idx as u16),
@@ -222,26 +284,26 @@ impl EngineCore {
                     packet_limit: rail.wire_mtu.min(caps.max_packet_bytes),
                     rail_count: self.rails.len(),
                 };
-                let outcome =
-                    select_plan(&self.registry, &octx, &self.collect, rail.wire_mtu, budget);
-                (
-                    outcome.best.map(|s| s.plan),
-                    outcome.evaluated as u64,
-                    backlog,
-                )
+                let outcome = select_plan_traced(
+                    &self.registry,
+                    &octx,
+                    &self.collect,
+                    rail.wire_mtu,
+                    budget,
+                    &mut self.trace,
+                    act,
+                );
+                (outcome.best.map(|s| s.plan), outcome.evaluated as u64)
             };
-            if first_pass {
-                self.metrics.backlog_depth.record(backlog as f64);
-                first_pass = false;
-            }
             self.metrics.plans_evaluated += evaluated;
             budget = budget.saturating_sub(evaluated as usize);
             let Some(plan) = best else { break };
             *self.metrics.strategy_wins.entry(plan.strategy).or_insert(0) += 1;
-            if let Err(e) = self.apply_plan(ctx, rail_idx, plan) {
+            if let Err(e) = self.apply_plan(ctx, rail_idx, plan, act) {
                 // Plans are validated before scoring, so a rejection here is
                 // an engine bug or transient queue race; count and stop.
                 self.metrics.driver_rejections += 1;
+                self.note_fault(ctx.now());
                 debug_assert!(false, "driver rejected validated plan: {e}");
                 break;
             }
@@ -277,6 +339,7 @@ impl EngineCore {
         ctx: &mut SimCtx<'_>,
         rail_idx: usize,
         plan: TransferPlan,
+        activation: u64,
     ) -> Result<(), EngineError> {
         match plan.body {
             PlanBody::Data {
@@ -348,6 +411,17 @@ impl EngineCore {
                 for c in chunks {
                     self.collect.commit_chunk(c, ChannelId(rail_idx as u16));
                 }
+                self.trace.push(
+                    ctx.now(),
+                    EngineEvent::PacketEncoded {
+                        activation,
+                        rail: rail_idx as u16,
+                        cookie,
+                        chunks: chunks.len() as u16,
+                        bytes: chunks.iter().map(|c| u64::from(c.len)).sum(),
+                        linearized: linearize,
+                    },
+                );
                 self.inflight.insert(cookie, chunks.clone());
                 self.metrics.record_packet(chunks.len(), linearize);
                 self.metrics.plans_submitted += 1;
@@ -464,6 +538,7 @@ impl EngineCore {
                     Ok(c) => c,
                     Err(_) => {
                         self.metrics.proto_errors += 1;
+                        self.note_fault(ctx.now());
                         return Vec::new();
                     }
                 };
@@ -471,9 +546,22 @@ impl EngineCore {
                 for ch in &chunks {
                     out.extend(self.receiver.on_chunk(pkt.src, ch, ctx.now()));
                 }
+                if self.receiver.stats.express_violations > 0 {
+                    self.note_fault(ctx.now());
+                }
                 for d in &out {
                     self.metrics
                         .record_delivery(d.class, d.total_len(), d.latency);
+                    self.trace.push(
+                        ctx.now(),
+                        EngineEvent::Delivered {
+                            src: d.src,
+                            flow: d.flow,
+                            seq: d.id.seq.0,
+                            bytes: d.total_len(),
+                            latency_ns: d.latency.as_nanos(),
+                        },
+                    );
                 }
                 if self.config.record_deliveries {
                     self.delivered.extend(out.iter().cloned());
@@ -488,6 +576,7 @@ impl EngineCore {
                     }
                 } else {
                     self.metrics.proto_errors += 1;
+                    self.note_fault(ctx.now());
                 }
                 Vec::new()
             }
@@ -498,15 +587,127 @@ impl EngineCore {
                         .grant_rndv(header.flow, header.msg_seq, header.frag_index)
                     {
                         self.metrics.rndv_grants += 1;
+                        self.trace.push(
+                            ctx.now(),
+                            EngineEvent::RndvGranted {
+                                flow: header.flow,
+                                seq: header.msg_seq,
+                                frag: header.frag_index,
+                            },
+                        );
                         self.optimize_all_idle(ctx, Activation::Submit);
                     }
                 } else {
                     self.metrics.proto_errors += 1;
+                    self.note_fault(ctx.now());
                 }
                 Vec::new()
             }
             _ => Vec::new(),
         }
+    }
+
+    /// Flight recorder: fire once, the first time a should-stay-zero
+    /// counter (`express_violations`, `driver_rejections`, `proto_errors`)
+    /// is observed non-zero. Captures the trailing trace events, the
+    /// debug report and a metrics-registry snapshot.
+    fn note_fault(&mut self, now: SimTime) {
+        if self.flight.is_some() {
+            return;
+        }
+        let trigger = if self.receiver.stats.express_violations > 0 {
+            FlightTrigger::ExpressViolation
+        } else if self.metrics.driver_rejections > 0 {
+            FlightTrigger::DriverRejection
+        } else if self.metrics.proto_errors > 0 {
+            FlightTrigger::ProtoError
+        } else {
+            return;
+        };
+        let registry = self.metrics_registry().to_json();
+        self.flight = Some(FlightDump::capture(
+            self.node,
+            trigger,
+            now,
+            self.debug_report(),
+            registry,
+            &self.trace,
+        ));
+    }
+
+    /// Walk this engine's metric sources (engine counters, receiver stats)
+    /// into one [`MetricsRegistry`]. NIC stats live in the simulator and
+    /// are appended by the harness, which can see them.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add_engine("engine", &self.metrics);
+        reg.add_receiver("receiver", &self.receiver.stats);
+        reg
+    }
+
+    /// Human-readable snapshot of the engine's state, for debugging stuck
+    /// workloads: backlog, in-flight packets, pending control messages,
+    /// trace/health status, per-strategy win counts and headline metrics.
+    pub fn debug_report(&self) -> String {
+        let m = &self.metrics;
+        let mut out = format!(
+            "engine@{:?}: {} rails, policy {:?}\n             backlog: {} bytes in {} flows; inflight packets: {}; pending ctrl: {}\n             submitted {} msgs / delivered {} msgs; {} packets ({:.2} chunks/pkt)\n             activations: {} idle / {} submit / {} timer; plans {} evaluated / {} submitted\n",
+            self.node,
+            self.rails.len(),
+            self.policy.kind(),
+            self.collect.backlog_bytes(),
+            self.collect.flows().len(),
+            self.inflight.len(),
+            self.pending_ctrl.len(),
+            m.submitted_msgs,
+            m.delivered_msgs,
+            m.packets_sent,
+            m.aggregation_ratio(),
+            m.activations_idle,
+            m.activations_submit,
+            m.activations_timer,
+            m.plans_evaluated,
+            m.plans_submitted,
+        );
+        if self.trace.is_enabled() {
+            out.push_str(&format!(
+                "             trace: {}/{} events retained, {} dropped\n",
+                self.trace.len(),
+                self.trace.capacity(),
+                self.trace.dropped(),
+            ));
+        } else {
+            out.push_str("             trace: disabled\n");
+        }
+        out.push_str(&format!(
+            "             health: proto_errors={} driver_rejections={} express_violations={} class_clamped={}; flight recorder {}\n",
+            m.proto_errors,
+            m.driver_rejections,
+            self.receiver.stats.express_violations,
+            m.class_clamped,
+            match &self.flight {
+                Some(d) => format!("fired({} @ {})", d.trigger.label(), d.at),
+                None => "armed".to_string(),
+            },
+        ));
+        if !m.strategy_wins.is_empty() {
+            out.push_str("strategy wins:");
+            for (name, wins) in &m.strategy_wins {
+                out.push_str(&format!(" {name}={wins}"));
+            }
+            out.push('\n');
+        }
+        for fs in self.collect.flows() {
+            if !fs.queue.is_empty() {
+                out.push_str(&format!(
+                    "  {}: {} pending messages toward {:?}\n",
+                    fs.id,
+                    fs.queue.len(),
+                    fs.dst
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -677,6 +878,9 @@ impl EngineBuilder {
             pending_ctrl: VecDeque::new(),
             metrics: EngineMetrics::default(),
             delivered: Vec::new(),
+            trace: EventSink::disabled(),
+            next_activation: 0,
+            flight: None,
         }));
         let handle = EngineHandle { core: core.clone() };
         Ok((
@@ -885,47 +1089,39 @@ impl EngineHandle {
 
     /// Human-readable snapshot of the engine's state, for debugging stuck
     /// workloads: backlog, in-flight packets, pending control messages,
-    /// per-strategy win counts and headline metrics.
+    /// trace/health status, per-strategy win counts and headline metrics.
     pub fn debug_report(&self) -> String {
-        let core = self.core.borrow();
-        let m = &core.metrics;
-        let mut out = format!(
-            "engine@{:?}: {} rails, policy {:?}\n             backlog: {} bytes in {} flows; inflight packets: {}; pending ctrl: {}\n             submitted {} msgs / delivered {} msgs; {} packets ({:.2} chunks/pkt)\n             activations: {} idle / {} submit / {} timer; plans {} evaluated / {} submitted\n",
-            core.node,
-            core.rails.len(),
-            core.policy.kind(),
-            core.collect.backlog_bytes(),
-            core.collect.flows().len(),
-            core.inflight.len(),
-            core.pending_ctrl.len(),
-            m.submitted_msgs,
-            m.delivered_msgs,
-            m.packets_sent,
-            m.aggregation_ratio(),
-            m.activations_idle,
-            m.activations_submit,
-            m.activations_timer,
-            m.plans_evaluated,
-            m.plans_submitted,
-        );
-        if !m.strategy_wins.is_empty() {
-            out.push_str("strategy wins:");
-            for (name, wins) in &m.strategy_wins {
-                out.push_str(&format!(" {name}={wins}"));
-            }
-            out.push('\n');
-        }
-        for fs in core.collect.flows() {
-            if !fs.queue.is_empty() {
-                out.push_str(&format!(
-                    "  {}: {} pending messages toward {:?}\n",
-                    fs.id,
-                    fs.queue.len(),
-                    fs.dst
-                ));
-            }
-        }
-        out
+        self.core.borrow().debug_report()
+    }
+
+    /// Enable the structured madtrace event sink with a bounded ring of
+    /// `capacity` records (replacing any previous sink and its contents).
+    pub fn enable_trace(&self, capacity: usize) {
+        self.core.borrow_mut().trace = EventSink::with_capacity(capacity);
+    }
+
+    /// Clone of the engine's event sink (records, drop count, state).
+    pub fn trace_snapshot(&self) -> EventSink {
+        self.core.borrow().trace.clone()
+    }
+
+    /// The flight recorder's capture, if a fault has fired it.
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        self.core.borrow().flight.clone()
+    }
+
+    /// Walk this engine's metric sources into one [`MetricsRegistry`]
+    /// (engine counters + receiver stats; the harness appends NIC stats).
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.core.borrow().metrics_registry()
+    }
+
+    /// Test hook: feed a raw wire packet straight into the receive path,
+    /// as if it had arrived on `nic`. Deliveries bypass the application
+    /// driver; used to exercise fault handling (e.g. the flight recorder
+    /// on protocol errors) deterministically.
+    pub fn inject_packet(&self, ctx: &mut SimCtx<'_>, nic: NicId, pkt: WirePacket) {
+        let _ = self.core.borrow_mut().handle_packet(ctx, nic, pkt);
     }
 }
 

@@ -136,6 +136,9 @@ pub struct ClusterSpec {
     pub engine: EngineKind,
     /// Enable simulator tracing with this capacity.
     pub trace: Option<usize>,
+    /// Enable per-node engine event tracing (madtrace) with this ring
+    /// capacity. Only the optimizing engine records events.
+    pub engine_trace: Option<usize>,
 }
 
 impl ClusterSpec {
@@ -146,7 +149,15 @@ impl ClusterSpec {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         }
+    }
+
+    /// Enable both simulator and engine tracing with capacity `cap`.
+    pub fn with_tracing(mut self, cap: usize) -> Self {
+        self.trace = Some(cap);
+        self.engine_trace = Some(cap);
+        self
     }
 }
 
@@ -203,6 +214,9 @@ impl Cluster {
                         b = b.app(app);
                     }
                     let (engine, handle) = b.build().expect("valid cluster spec");
+                    if let Some(cap) = spec.engine_trace {
+                        handle.enable_trace(cap);
+                    }
                     sim.set_endpoint(node, Box::new(engine));
                     handles.push(NodeHandle::Opt(handle));
                 }
@@ -249,6 +263,46 @@ impl Cluster {
     pub fn handle(&self, i: usize) -> &NodeHandle {
         &self.handles[i]
     }
+
+    /// Merge the simulator trace and every node's engine trace into one
+    /// Chrome trace-event export (rails as tracks, messages as flow
+    /// arrows). Works with either trace disabled — the export simply
+    /// contains fewer events.
+    pub fn export_chrome_trace(&self) -> crate::trace::ChromeExport {
+        let sinks: Vec<(NodeId, crate::trace::EventSink)> = self
+            .nodes
+            .iter()
+            .zip(&self.handles)
+            .filter_map(|(&n, h)| h.opt().map(|h| (n, h.trace_snapshot())))
+            .collect();
+        let borrowed: Vec<(NodeId, &crate::trace::EventSink)> =
+            sinks.iter().map(|(n, s)| (*n, s)).collect();
+        crate::trace::export_chrome_trace(self.sim.trace(), &borrowed, &self.nics)
+    }
+
+    /// Walk every node's engine/receiver metrics plus every NIC's counters
+    /// into one [`crate::metrics::MetricsRegistry`].
+    pub fn metrics_registry(&self) -> crate::metrics::MetricsRegistry {
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        for (i, h) in self.handles.iter().enumerate() {
+            reg.add_engine(&format!("node{i}/engine"), &h.metrics());
+            reg.add_receiver(&format!("node{i}/receiver"), &h.receiver_stats());
+        }
+        for (i, nics) in self.nics.iter().enumerate() {
+            for (r, &nic) in nics.iter().enumerate() {
+                reg.add_nic(&format!("node{i}/nic{r}"), &self.sim.nic(nic).stats);
+            }
+        }
+        reg
+    }
+
+    /// Flight-recorder dumps captured so far, in node order.
+    pub fn flight_dumps(&self) -> Vec<crate::trace::FlightDump> {
+        self.handles
+            .iter()
+            .filter_map(|h| h.opt().and_then(|h| h.flight_dump()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +336,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::legacy(),
             trace: None,
+            engine_trace: None,
         };
         let mut c = Cluster::build(&spec, vec![]);
         let h0 = c.handle(0).clone();
@@ -307,6 +362,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx, Technology::QuadricsElan],
             engine: EngineKind::optimizing(),
             trace: Some(1024),
+            engine_trace: None,
         };
         let c = Cluster::build(&spec, vec![]);
         assert_eq!(c.nics[0].len(), 2);

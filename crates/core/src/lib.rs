@@ -63,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod harness;
 pub mod ids;
+pub mod json;
 pub mod legacy;
 pub mod message;
 pub mod metrics;
@@ -72,6 +73,7 @@ pub mod policy;
 pub mod proto;
 pub mod receiver;
 pub mod strategy;
+pub mod trace;
 
 pub use api::{AppDriver, CommApi, NullApp};
 pub use config::EngineConfig;
@@ -79,8 +81,13 @@ pub use engine::{EngineBuilder, EngineHandle, MadEngine};
 pub use error::EngineError;
 pub use harness::{Cluster, ClusterSpec, EngineKind, NodeHandle};
 pub use ids::{ChannelId, FlowId, MsgId, TrafficClass};
+pub use json::Json;
 pub use legacy::{LegacyEngine, LegacyHandle};
 pub use message::{DeliveredMessage, Fragment, MessageBuilder, PackMode};
-pub use metrics::EngineMetrics;
+pub use metrics::{EngineMetrics, MetricsRegistry};
 pub use policy::PolicyKind;
 pub use strategy::{Strategy, StrategyRegistry};
+pub use trace::{
+    chrome_event_count, export_chrome_trace, ChromeExport, EngineEvent, EngineRecord, EventSink,
+    FlightDump, FlightTrigger,
+};

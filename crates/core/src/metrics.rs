@@ -1,10 +1,12 @@
 //! Engine-level metrics: everything the experiment harness reports is
 //! accumulated here, on both the sending and receiving sides.
 
-use simnet::{LatencyHistogram, SimDuration, Summary};
+use simnet::{LatencyHistogram, NicStats, SimDuration, Summary};
 use std::collections::BTreeMap;
 
 use crate::ids::TrafficClass;
+use crate::json::{obj, Json};
+use crate::receiver::ReceiverStats;
 
 /// Histogram of chunks-per-packet (index = chunk count, capped at the last
 /// bucket). `chunks/packets > 1` is aggregation happening.
@@ -19,6 +21,17 @@ pub enum Activation {
     Submit,
     /// A Nagle-delay timer expired.
     Timer,
+}
+
+impl Activation {
+    /// Stable label used by trace artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Activation::NicIdle => "nic-idle",
+            Activation::Submit => "submit",
+            Activation::Timer => "timer",
+        }
+    }
 }
 
 /// Counters and distributions for one engine instance.
@@ -67,6 +80,10 @@ pub struct EngineMetrics {
     pub proto_errors: u64,
     /// Plans the driver rejected at submission (engine bugs; should be 0).
     pub driver_rejections: u64,
+    /// Deliveries whose `TrafficClass` was out of range and got clamped
+    /// into the last per-class histogram bucket (misclassified traffic;
+    /// should be 0).
+    pub class_clamped: u64,
     /// Backlog depth (schedulable chunks visible to the rail) sampled at
     /// each optimizer activation — the paper's "pool of lookahead packets".
     pub backlog_depth: Summary,
@@ -105,6 +122,7 @@ impl Default for EngineMetrics {
             express_violations: 0,
             proto_errors: 0,
             driver_rejections: 0,
+            class_clamped: 0,
             backlog_depth: Summary::new(),
             strategy_wins: BTreeMap::new(),
             app_blocking: SimDuration::ZERO,
@@ -137,12 +155,24 @@ impl EngineMetrics {
         }
     }
 
-    /// Record a delivered message.
+    /// Record a delivered message. Out-of-range classes are clamped into
+    /// the last per-class bucket and counted in `class_clamped` (and, with
+    /// the `debug-invariants` feature, assert immediately).
     pub fn record_delivery(&mut self, class: TrafficClass, bytes: u64, latency: SimDuration) {
         self.delivered_msgs += 1;
         self.delivered_bytes += bytes;
         self.latency.record(latency);
-        let idx = (class.0 as usize).min(self.latency_by_class.len() - 1);
+        let idx = class.0 as usize;
+        if idx >= self.latency_by_class.len() {
+            self.class_clamped += 1;
+            #[cfg(feature = "debug-invariants")]
+            panic!(
+                "traffic class {} out of range ({} classes)",
+                class.0,
+                self.latency_by_class.len()
+            );
+        }
+        let idx = idx.min(self.latency_by_class.len() - 1);
         self.latency_by_class[idx].record(latency);
     }
 
@@ -166,6 +196,157 @@ impl EngineMetrics {
             return 0.0;
         }
         self.plans_evaluated as f64 / a as f64
+    }
+
+    /// The metrics as a JSON document (field order fixed, so rendering is
+    /// deterministic).
+    pub fn to_json(&self) -> Json {
+        let mut wins = obj();
+        for (name, n) in &self.strategy_wins {
+            wins = wins.field(name, *n);
+        }
+        let mut per_class = obj();
+        for (i, h) in self.latency_by_class.iter().enumerate() {
+            per_class = per_class.field(
+                TrafficClass(i as u8).label(),
+                obj()
+                    .field("count", h.count())
+                    .field("mean_us", h.summary().mean())
+                    .field("p99_us", h.quantile(0.99).as_micros_f64())
+                    .build(),
+            );
+        }
+        obj()
+            .field("submitted_msgs", self.submitted_msgs)
+            .field("submitted_bytes", self.submitted_bytes)
+            .field("delivered_msgs", self.delivered_msgs)
+            .field("delivered_bytes", self.delivered_bytes)
+            .field("packets_sent", self.packets_sent)
+            .field("chunks_sent", self.chunks_sent)
+            .field("aggregation_ratio", self.aggregation_ratio())
+            .field("activations_idle", self.activations_idle)
+            .field("activations_submit", self.activations_submit)
+            .field("activations_timer", self.activations_timer)
+            .field("plans_evaluated", self.plans_evaluated)
+            .field("plans_submitted", self.plans_submitted)
+            .field("rndv_requests", self.rndv_requests)
+            .field("rndv_grants", self.rndv_grants)
+            .field("linearized_packets", self.linearized_packets)
+            .field("gathered_packets", self.gathered_packets)
+            .field("express_violations", self.express_violations)
+            .field("proto_errors", self.proto_errors)
+            .field("driver_rejections", self.driver_rejections)
+            .field("class_clamped", self.class_clamped)
+            .field(
+                "backlog_depth",
+                obj()
+                    .field("count", self.backlog_depth.count())
+                    .field("mean", self.backlog_depth.mean())
+                    .field("max", self.backlog_depth.max())
+                    .build(),
+            )
+            .field("strategy_wins", wins.build())
+            .field(
+                "latency_us",
+                obj()
+                    .field("count", self.latency.count())
+                    .field("mean", self.latency.summary().mean())
+                    .field("p50", self.latency.quantile(0.5).as_micros_f64())
+                    .field("p99", self.latency.quantile(0.99).as_micros_f64())
+                    .build(),
+            )
+            .field("latency_by_class_us", per_class.build())
+            .field("app_blocking_ns", self.app_blocking.as_nanos())
+            .build()
+    }
+}
+
+/// Walks per-node engine, receiver and NIC statistics into **one**
+/// serialized JSON document, consumed by the `experiments` runner and the
+/// flight recorder instead of ad-hoc table plumbing.
+///
+/// Sections render in insertion order, so a registry filled in a fixed
+/// order serializes byte-identically across repeat runs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    sections: Vec<(String, Json)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add an engine-metrics section.
+    pub fn add_engine(&mut self, name: &str, m: &EngineMetrics) {
+        self.sections.push((name.to_string(), m.to_json()));
+    }
+
+    /// Add a receiver-statistics section.
+    pub fn add_receiver(&mut self, name: &str, s: &ReceiverStats) {
+        let per_vchan: Vec<Json> = s.per_vchan_packets.iter().map(|&n| Json::UInt(n)).collect();
+        self.sections.push((
+            name.to_string(),
+            obj()
+                .field("chunks", s.chunks)
+                .field("completed", s.completed)
+                .field("delivered", s.delivered)
+                .field("express_violations", s.express_violations)
+                .field("overlaps", s.overlaps)
+                .field("per_vchan_packets", Json::Arr(per_vchan))
+                .build(),
+        ));
+    }
+
+    /// Add a NIC-statistics section.
+    pub fn add_nic(&mut self, name: &str, s: &NicStats) {
+        self.sections.push((
+            name.to_string(),
+            obj()
+                .field("tx_packets", s.tx_packets)
+                .field("tx_payload_bytes", s.tx_payload_bytes)
+                .field("tx_wire_bytes", s.tx_wire_bytes)
+                .field("rx_packets", s.rx_packets)
+                .field("rx_payload_bytes", s.rx_payload_bytes)
+                .field("idle_transitions", s.idle_transitions)
+                .field("queue_full_rejections", s.queue_full_rejections)
+                .field("wire_drops", s.wire_drops)
+                .field("tx_segments", s.tx_segments)
+                .build(),
+        ));
+    }
+
+    /// Add an arbitrary extra section.
+    pub fn add_section(&mut self, name: &str, doc: Json) {
+        self.sections.push((name.to_string(), doc));
+    }
+
+    /// Number of sections collected.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when no sections were added.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// The registry as one JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut sections = obj();
+        for (name, doc) in &self.sections {
+            sections = sections.field(name, doc.clone());
+        }
+        obj()
+            .field("artifact", "madtrace-metrics")
+            .field("sections", sections.build())
+            .build()
+    }
+
+    /// Render the registry as deterministic JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
     }
 }
 
@@ -221,9 +402,70 @@ mod tests {
     }
 
     #[test]
-    fn user_class_out_of_range_clamps() {
+    #[cfg(not(feature = "debug-invariants"))]
+    fn user_class_out_of_range_clamps_and_counts() {
         let mut m = EngineMetrics::default();
         m.record_delivery(TrafficClass(200), 1, SimDuration::from_nanos(1));
         assert_eq!(m.latency_by_class.last().unwrap().count(), 1);
+        assert_eq!(m.class_clamped, 1);
+        m.record_delivery(TrafficClass::CONTROL, 1, SimDuration::from_nanos(1));
+        assert_eq!(m.class_clamped, 1, "in-range classes do not count");
+    }
+
+    #[test]
+    #[cfg(feature = "debug-invariants")]
+    #[should_panic(expected = "out of range")]
+    fn user_class_out_of_range_asserts_under_invariants() {
+        let mut m = EngineMetrics::default();
+        m.record_delivery(TrafficClass(200), 1, SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn metrics_json_is_deterministic_and_complete() {
+        let mut m = EngineMetrics::default();
+        m.record_packet(2, false);
+        m.record_delivery(TrafficClass::CONTROL, 64, SimDuration::from_micros(3));
+        *m.strategy_wins.entry("aggregate").or_insert(0) += 1;
+        let doc = m.to_json();
+        assert_eq!(doc.get("packets_sent").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("class_clamped").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            doc.get("strategy_wins")
+                .unwrap()
+                .get("aggregate")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(doc.render(), m.to_json().render());
+    }
+
+    #[test]
+    fn registry_walks_all_three_stat_kinds() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.add_engine("node0/engine", &EngineMetrics::default());
+        r.add_receiver("node0/receiver", &ReceiverStats::default());
+        r.add_nic("node0/nic0", &NicStats::default());
+        assert_eq!(r.len(), 3);
+        let text = r.render();
+        let doc = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("artifact").unwrap().as_str(),
+            Some("madtrace-metrics")
+        );
+        let sections = doc.get("sections").unwrap();
+        assert!(sections.get("node0/engine").is_some());
+        assert!(sections.get("node0/receiver").is_some());
+        assert_eq!(
+            sections
+                .get("node0/nic0")
+                .unwrap()
+                .get("tx_packets")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        assert_eq!(text, r.render());
     }
 }

@@ -9,6 +9,7 @@ use crate::config::EngineConfig;
 use crate::constraints::validate_plan;
 use crate::cost::{score_plan, ScoredPlan};
 use crate::strategy::{OptContext, StrategyRegistry};
+use crate::trace::{encode_score, EngineEvent, EventSink};
 
 /// Result of one plan-selection pass.
 #[derive(Debug)]
@@ -37,6 +38,24 @@ pub fn select_plan(
     wire_mtu: u64,
     budget: usize,
 ) -> SelectionOutcome {
+    let mut sink = EventSink::disabled();
+    select_plan_traced(registry, ctx, collect, wire_mtu, budget, &mut sink, 0)
+}
+
+/// [`select_plan`] with the optimizer's decision log recorded into `sink`:
+/// one `PlanProposed` per proposal (budget-skipped proposals get nothing
+/// else), then its `PlanVetoed` or `PlanScored`, and finally `PlanWon` for
+/// the surviving best. All decision events carry `activation` so the
+/// per-activation contest can be reconstructed from the ring.
+pub fn select_plan_traced(
+    registry: &StrategyRegistry,
+    ctx: &OptContext<'_>,
+    collect: &CollectLayer,
+    wire_mtu: u64,
+    budget: usize,
+    sink: &mut EventSink,
+    activation: u64,
+) -> SelectionOutcome {
     let mut proposals = Vec::new();
     registry.propose_all(ctx, &mut proposals);
     let mut best: Option<ScoredPlan> = None;
@@ -44,19 +63,62 @@ pub fn select_plan(
     let mut rejected = 0usize;
     let mut skipped = 0usize;
     for plan in proposals {
+        sink.push(
+            ctx.now,
+            EngineEvent::PlanProposed {
+                activation,
+                strategy: plan.strategy,
+                chunks: plan.chunk_count() as u16,
+                bytes: plan.payload_bytes(),
+            },
+        );
         if evaluated >= budget {
             skipped += 1;
             continue;
         }
-        if validate_plan(&plan, collect, ctx.caps, wire_mtu).is_err() {
+        if let Err(violation) = validate_plan(&plan, collect, ctx.caps, wire_mtu) {
+            sink.push(
+                ctx.now,
+                EngineEvent::PlanVetoed {
+                    activation,
+                    strategy: plan.strategy,
+                    violation,
+                },
+            );
             rejected += 1;
             continue;
         }
         let scored = score_plan(&plan, ctx);
+        if sink.is_enabled() {
+            let (score_num, score_den) = encode_score(scored.score, scored.est_busy.as_nanos());
+            sink.push(
+                ctx.now,
+                EngineEvent::PlanScored {
+                    activation,
+                    strategy: plan.strategy,
+                    score_num,
+                    score_den,
+                },
+            );
+        }
         evaluated += 1;
         match &best {
             Some(b) if b.score >= scored.score => {}
             _ => best = Some(scored),
+        }
+    }
+    if let Some(b) = &best {
+        if sink.is_enabled() {
+            let (score_num, score_den) = encode_score(b.score, b.est_busy.as_nanos());
+            sink.push(
+                ctx.now,
+                EngineEvent::PlanWon {
+                    activation,
+                    strategy: b.plan.strategy,
+                    score_num,
+                    score_den,
+                },
+            );
         }
     }
     SelectionOutcome {
@@ -178,6 +240,51 @@ mod tests {
         assert_eq!(out.evaluated, 1);
         assert!(out.skipped > 0, "other proposals should be skipped");
         assert!(out.best.is_some(), "budget 1 still returns the first plan");
+    }
+
+    #[test]
+    fn traced_selection_records_the_decision_log() {
+        let c = backlog(6, 64);
+        let caps = calib::synthetic_capabilities();
+        let cost = CostModel::from_params(&NetworkParams::synthetic());
+        let cfg = EngineConfig::default();
+        let registry = StrategyRegistry::standard(&cfg);
+        let groups = c.collect_candidates(ChannelId(0), cfg.lookahead_window, |_, _| true);
+        let ctx = OptContext {
+            now: SimTime::from_nanos(10_000),
+            channel: ChannelId(0),
+            caps: &caps,
+            cost: &cost,
+            config: &cfg,
+            groups: &groups,
+            packet_limit: 1 << 16,
+            rail_count: 1,
+        };
+        let mut sink = crate::trace::EventSink::with_capacity(256);
+        let out = select_plan_traced(&registry, &ctx, &c, 1 << 20, 256, &mut sink, 9);
+        let best = out.best.expect("a plan must be selected");
+        let proposed = sink.count_matching(|e| matches!(e, EngineEvent::PlanProposed { .. }));
+        let scored = sink.count_matching(|e| matches!(e, EngineEvent::PlanScored { .. }));
+        let vetoed = sink.count_matching(|e| matches!(e, EngineEvent::PlanVetoed { .. }));
+        let won = sink.count_matching(|e| matches!(e, EngineEvent::PlanWon { .. }));
+        assert_eq!(proposed, out.evaluated + out.rejected + out.skipped);
+        assert_eq!(scored, out.evaluated);
+        assert_eq!(vetoed, out.rejected);
+        assert_eq!(won, 1);
+        // Every decision event belongs to activation 9; scores are
+        // positive ratios; the winner matches the outcome.
+        for rec in sink.iter() {
+            assert_eq!(rec.event.activation(), Some(9));
+            if let EngineEvent::PlanScored { score_den, .. } = rec.event {
+                assert!(score_den > 0);
+            }
+            if let EngineEvent::PlanWon { strategy, .. } = rec.event {
+                assert_eq!(strategy, best.plan.strategy);
+            }
+        }
+        // The untraced wrapper picks the same plan.
+        let plain = select_plan(&registry, &ctx, &c, 1 << 20, 256);
+        assert_eq!(plain.best.unwrap().plan, best.plan);
     }
 
     #[test]

@@ -232,6 +232,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         }
     }
 

@@ -273,6 +273,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine,
             trace: None,
+            engine_trace: None,
         };
         let mut c = Cluster::build(&spec, apps);
         c.drain();

@@ -167,6 +167,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let (inv, istats) = CorbaInvoker::new(
             NodeId(1),

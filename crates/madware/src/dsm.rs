@@ -188,6 +188,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let (client, cstats) = DsmClient::new(
             NodeId(1),

@@ -260,6 +260,7 @@ mod tests {
             rails: vec![Technology::QuadricsElan],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let mut c = Cluster::build(
             &cluster_spec,

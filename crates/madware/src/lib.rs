@@ -45,7 +45,8 @@
 //! let (sink, rx) = TrafficApp::new("sink", vec![], 1, 1);
 //! let mut cluster = Cluster::build(
 //!     &ClusterSpec { nodes: 2, rails: vec![Technology::MyrinetMx],
-//!                    engine: EngineKind::optimizing(), trace: None },
+//!                    engine: EngineKind::optimizing(), trace: None,
+//!                    engine_trace: None },
 //!     vec![Some(Box::new(app)), Some(Box::new(sink))],
 //! );
 //! cluster.drain();

@@ -120,6 +120,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let iters = 10u64;
         let mut apps: Vec<Option<Box<dyn madeleine::AppDriver>>> = Vec::new();

@@ -339,6 +339,7 @@ mod tests {
             rails: vec![Technology::QuadricsElan], // the RDMA-capable rail
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let got = Rc::new(RefCell::new(Vec::new()));
         let (client_agent, cstats) = RmaAgent::new();
@@ -394,6 +395,7 @@ mod tests {
             rails: vec![Technology::QuadricsElan],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let (agent, _c) = RmaAgent::new();
         let (server, sstats) = RmaServer::new(vec![(1, 1024)]);

@@ -217,6 +217,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let (client, cstats) = RpcClient::new(
             NodeId(1),

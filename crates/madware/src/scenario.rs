@@ -238,6 +238,7 @@ pub fn multi_middleware(
         rails: vec![tech],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let cluster = Cluster::build(
         &spec,
@@ -285,6 +286,7 @@ pub fn eager_flows(
         rails: vec![tech],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
     (cluster, tx, rx)

@@ -286,6 +286,22 @@ impl AppDriver for Recorder {
     }
 }
 
+/// One replayed submission, correlating a trace record with the engine
+/// ids madtrace events carry: trace line `trace_idx` became message
+/// `(id.flow, id.seq)` at `at_ns`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayTag {
+    /// Index into [`Trace::msgs`].
+    pub trace_idx: usize,
+    /// Virtual time the submission actually fired (ns).
+    pub at_ns: u64,
+    /// Engine message id assigned to the replayed submission.
+    pub id: MsgId,
+}
+
+/// Shared handle to the tags a [`ReplayApp`] emits.
+pub type ReplayTagHandle = Rc<RefCell<Vec<ReplayTag>>>;
+
 /// Replays a [`Trace`]: opens the same flows and re-submits every message
 /// at its recorded virtual time, with pattern payloads.
 pub struct ReplayApp {
@@ -293,6 +309,7 @@ pub struct ReplayApp {
     flows: Vec<FlowId>,
     seqs: Vec<u32>,
     next: usize,
+    tags: Option<ReplayTagHandle>,
 }
 
 impl ReplayApp {
@@ -304,7 +321,18 @@ impl ReplayApp {
             flows: Vec::new(),
             seqs: Vec::new(),
             next: 0,
+            tags: None,
         }
+    }
+
+    /// Like [`ReplayApp::new`], but also emits one [`ReplayTag`] per
+    /// submission through the returned handle, so madtrace events
+    /// (keyed by flow and sequence) can be joined back to trace lines.
+    pub fn with_tags(trace: Trace) -> (Self, ReplayTagHandle) {
+        let tags = ReplayTagHandle::default();
+        let mut app = ReplayApp::new(trace);
+        app.tags = Some(tags.clone());
+        (app, tags)
     }
 
     fn fire_due(&mut self, api: &mut dyn CommApi) {
@@ -323,7 +351,14 @@ impl ReplayApp {
                 };
                 b = b.pack(&pattern(flow.0, seq, i as u16, len), mode);
             }
-            api.send(flow, b.build_parts());
+            let id = api.send(flow, b.build_parts());
+            if let Some(tags) = &self.tags {
+                tags.borrow_mut().push(ReplayTag {
+                    trace_idx: self.next,
+                    at_ns: now,
+                    id,
+                });
+            }
             self.next += 1;
         }
         if self.next < self.trace.msgs.len() {
@@ -409,6 +444,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let mut c = Cluster::build(&spec, vec![Some(Box::new(recorder)), None]);
         c.drain();
@@ -424,6 +460,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::legacy(),
             trace: None,
+            engine_trace: None,
         };
         let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(replayed))), None]);
         c.drain();
@@ -445,6 +482,38 @@ mod tests {
     }
 
     #[test]
+    fn replay_tags_join_trace_lines_to_engine_events() {
+        let t = Trace::from_text(text_fixture()).unwrap();
+        let (app, tags) = ReplayApp::with_tags(t);
+        let spec = ClusterSpec {
+            nodes: 2,
+            rails: vec![Technology::MyrinetMx],
+            engine: EngineKind::optimizing(),
+            trace: None,
+            engine_trace: Some(256),
+        };
+        let mut c = Cluster::build(&spec, vec![Some(Box::new(app)), None]);
+        c.drain();
+        let tags = tags.borrow();
+        assert_eq!(tags.len(), 3);
+        assert_eq!(tags[0].trace_idx, 0);
+        // Each tag's (flow, seq) appears as a Submitted event in the
+        // engine's madtrace ring — the join madtrace correlations rely on.
+        let sink = c.handles[0].opt().unwrap().trace_snapshot();
+        for tag in tags.iter() {
+            assert_eq!(
+                sink.count_matching(|e| matches!(
+                    e,
+                    madeleine::trace::EngineEvent::Submitted { flow, seq, .. }
+                        if *flow == tag.id.flow && *seq == tag.id.seq.0
+                )),
+                1,
+                "tag {tag:?} must match exactly one Submitted event"
+            );
+        }
+    }
+
+    #[test]
     fn replay_preserves_timing() {
         let t = Trace::from_text(text_fixture()).unwrap();
         let spec = ClusterSpec {
@@ -452,6 +521,7 @@ mod tests {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         };
         let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(t))), None]);
         c.drain();

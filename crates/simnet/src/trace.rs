@@ -26,6 +26,36 @@ pub enum TraceEvent {
     TimerFired { node: NodeId, tag: u64 },
 }
 
+impl TraceEvent {
+    /// Stable event name, for unified exports (e.g. Chrome trace-event
+    /// `name` fields) and log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::TxSubmitted { .. } => "TxSubmitted",
+            TraceEvent::TxDone { .. } => "TxDone",
+            TraceEvent::NicIdle { .. } => "NicIdle",
+            TraceEvent::RxDelivered { .. } => "RxDelivered",
+            TraceEvent::WireDrop { .. } => "WireDrop",
+            TraceEvent::TimerFired { .. } => "TimerFired",
+        }
+    }
+
+    /// The NIC the event happened on, when it is NIC-scoped
+    /// (`TimerFired` is node-scoped and returns `None`). Lets consumers
+    /// merging this trace with higher-layer timelines route events to the
+    /// owning (node, rail) track without matching every variant.
+    pub fn nic(&self) -> Option<NicId> {
+        match self {
+            TraceEvent::TxSubmitted { nic, .. }
+            | TraceEvent::TxDone { nic, .. }
+            | TraceEvent::NicIdle { nic }
+            | TraceEvent::RxDelivered { nic, .. }
+            | TraceEvent::WireDrop { nic, .. } => Some(*nic),
+            TraceEvent::TimerFired { .. } => None,
+        }
+    }
+}
+
 /// A timestamped trace record.
 #[derive(Clone, Debug)]
 pub struct TraceRecord {
@@ -156,6 +186,23 @@ mod tests {
             })
             .collect();
         assert_eq!(tags, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn names_and_nic_scoping_are_stable() {
+        let tx = TraceEvent::TxSubmitted {
+            nic: NicId(3),
+            bytes: 64,
+            cookie: 7,
+        };
+        assert_eq!(tx.name(), "TxSubmitted");
+        assert_eq!(tx.nic(), Some(NicId(3)));
+        let timer = TraceEvent::TimerFired {
+            node: NodeId(1),
+            tag: 9,
+        };
+        assert_eq!(timer.name(), "TimerFired");
+        assert_eq!(timer.nic(), None);
     }
 
     #[test]

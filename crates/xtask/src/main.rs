@@ -6,7 +6,9 @@
 //!   analyzer over every registered strategy × every driver capability
 //!   profile. Exits non-zero (printing a minimized counterexample) if any
 //!   strategy can emit a plan that violates the plan constraints or a
-//!   driver capability bound.
+//!   driver capability bound. Finishes with a madtrace smoke test: a small
+//!   traced workload is exported to Chrome trace-event JSON, re-parsed,
+//!   and the event count must round-trip (bit-identically across runs).
 //! * `lint` — run only the source lints (determinism and hot-path
 //!   hygiene), plus `cargo fmt --check` when rustfmt is installed.
 //!
@@ -108,6 +110,8 @@ fn analyze(args: &[String]) -> ExitCode {
     print!("{report}");
     ok &= report.is_clean();
 
+    ok &= trace_smoke();
+
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -118,6 +122,62 @@ fn analyze(args: &[String]) -> ExitCode {
 fn flag_error(msg: &str) -> ExitCode {
     eprintln!("xtask analyze: {msg}");
     ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// trace-export smoke test
+// ---------------------------------------------------------------------------
+
+/// Madtrace round-trip check: run a small traced workload twice, export the
+/// merged Chrome timeline, re-parse the JSON and verify the event count
+/// matches what the exporter reported — and that the repeat run is
+/// byte-identical (the export must be deterministic).
+fn trace_smoke() -> bool {
+    let first = trace_export_once();
+    let second = trace_export_once();
+    if first.json != second.json {
+        println!(
+            "xtask analyze: trace smoke FAILED: repeat export differs (nondeterministic export)"
+        );
+        return false;
+    }
+    match madeleine::chrome_event_count(&first.json) {
+        Ok(n) if n == first.events => {
+            println!("xtask analyze: trace smoke passed ({n} Chrome events round-tripped)");
+            true
+        }
+        Ok(n) => {
+            println!(
+                "xtask analyze: trace smoke FAILED: exporter reported {} events, JSON parse found {n}",
+                first.events
+            );
+            false
+        }
+        Err(e) => {
+            println!("xtask analyze: trace smoke FAILED: export is not valid JSON: {e}");
+            false
+        }
+    }
+}
+
+fn trace_export_once() -> madeleine::ChromeExport {
+    use madeleine::{Cluster, ClusterSpec, MessageBuilder, TrafficClass};
+    let mut c = Cluster::build(&ClusterSpec::mx_pair().with_tracing(4096), vec![]);
+    let src = c.nodes[0];
+    let dst = c.nodes[1];
+    let h = c.handles[0].clone();
+    let flow = h.open_flow(dst, TrafficClass::DEFAULT);
+    for i in 0..8u8 {
+        c.sim.inject(src, |ctx| {
+            h.send(
+                ctx,
+                flow,
+                MessageBuilder::new().pack_cheaper(&[i; 96]).build_parts(),
+            )
+        });
+    }
+    c.drain();
+    c.export_chrome_trace()
 }
 
 // ---------------------------------------------------------------------------
@@ -189,6 +249,9 @@ fn lint_file(root: &Path, path: &Path) -> usize {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
     let unwrap_banned = UNWRAP_BANNED_FILES.contains(&rel_str.as_str())
         || rel_str.starts_with("crates/core/src/strategy/");
+    // The core library must never write to stdio: observability goes
+    // through madtrace sinks / debug_report, not ad-hoc prints.
+    let print_banned = rel_str.starts_with("crates/core/src/");
 
     let mut violations = 0;
     for (lineno, line) in text.lines().enumerate() {
@@ -209,6 +272,15 @@ fn lint_file(root: &Path, path: &Path) -> usize {
             println!(
                 "{}:{}: `.unwrap()` is banned in scheduler hot paths; use `.expect(..)` \
                  with an invariant message or return an error",
+                rel_str,
+                lineno + 1
+            );
+            violations += 1;
+        }
+        if print_banned && (line.contains("println!") || line.contains("eprintln!")) {
+            println!(
+                "{}:{}: stdio printing is banned in the core library; record a \
+                 madtrace event or extend `debug_report()` instead",
                 rel_str,
                 lineno + 1
             );

@@ -22,6 +22,7 @@ fn run(size: u32, engine: EngineKind) -> (f64, u64) {
         rails: vec![Technology::MyrinetMx],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, apps);
     c.drain();

@@ -56,6 +56,7 @@ fn run(adaptive: bool) -> (f64, u64) {
         rails: vec![Technology::MyrinetMx; 4],
         engine: EngineKind::Optimizing { config, policy },
         trace: None,
+        engine_trace: None,
     };
     let (app, _) = TrafficApp::new("phased", workload(phase2_at), 5, 0);
     let (sink, rx) = TrafficApp::new("sink", vec![], 5, 1);

@@ -22,6 +22,7 @@ fn run(engine: EngineKind, label: &str) {
         rails: vec![Technology::MyrinetMx, Technology::QuadricsElan],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let msgs = 400u64;
     let flow = FlowSpec {

@@ -43,6 +43,7 @@ fn record() -> Trace {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![Some(Box::new(recorder)), None]);
     c.drain();
@@ -56,6 +57,7 @@ fn replay(trace: Trace, engine: EngineKind, label: &str) {
         rails: vec![Technology::MyrinetMx],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let n = trace.len() as u64;
     let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(trace))), None]);

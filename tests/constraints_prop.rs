@@ -36,6 +36,7 @@ fn run_workload(shapes: &[MsgShape], engine: EngineKind, classes: &[TrafficClass
         rails: vec![Technology::MyrinetMx],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
     let h = c.handle(0).clone();

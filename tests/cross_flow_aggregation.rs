@@ -13,6 +13,7 @@ fn burst_cluster(engine: EngineKind, flows: usize, msgs: u32, size: usize) -> (C
         rails: vec![Technology::MyrinetMx],
         engine,
         trace: Some(1 << 16),
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
     let h = c.handle(0).clone();

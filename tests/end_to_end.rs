@@ -15,6 +15,7 @@ fn cluster(engine: EngineKind, tech: Technology) -> Cluster {
             rails: vec![tech],
             engine,
             trace: None,
+            engine_trace: None,
         },
         vec![],
     )
@@ -170,6 +171,7 @@ fn three_node_all_to_all() {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
     let handles: Vec<_> = (0..3).map(|i| c.handle(i).clone()).collect();

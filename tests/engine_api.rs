@@ -42,6 +42,7 @@ fn flush_overrides_nagle_delay() {
             policy: PolicyKind::Pooled,
         },
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(
         &spec,
@@ -93,6 +94,7 @@ fn on_sent_fires_once_per_message_after_transmission() {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(
         &spec,
@@ -120,6 +122,7 @@ fn is_drained_tracks_engine_state() {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
     let NodeHandle::Opt(h) = c.handle(0).clone() else {
@@ -256,6 +259,7 @@ fn debug_report_and_strategy_wins_reflect_activity() {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
     let NodeHandle::Opt(h) = c.handle(0).clone() else {
@@ -301,6 +305,7 @@ fn incast_many_senders_one_receiver() {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: None,
+        engine_trace: None,
     };
     let mut c = Cluster::build(&spec, vec![]);
     let sink = c.nodes[0];

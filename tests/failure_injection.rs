@@ -62,6 +62,7 @@ fn engine_absorbs_queue_pressure_without_loss() {
             rails: vec![Technology::MyrinetMx],
             engine: EngineKind::optimizing(),
             trace: None,
+            engine_trace: None,
         },
         vec![],
     );

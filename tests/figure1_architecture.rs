@@ -19,6 +19,7 @@ fn spec() -> ClusterSpec {
         rails: vec![Technology::MyrinetMx],
         engine: EngineKind::optimizing(),
         trace: Some(1 << 14),
+        engine_trace: None,
     }
 }
 

@@ -14,6 +14,7 @@ fn bulk_spec(engine: EngineKind, rails: Vec<Technology>) -> ClusterSpec {
         rails,
         engine,
         trace: None,
+        engine_trace: None,
     }
 }
 

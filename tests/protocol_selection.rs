@@ -17,6 +17,7 @@ fn one_shot(engine: EngineKind, tech: Technology, size: usize) -> (Cluster, u64)
             rails: vec![tech],
             engine,
             trace: None,
+            engine_trace: None,
         },
         vec![],
     );

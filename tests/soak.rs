@@ -63,6 +63,7 @@ fn soak(engine: EngineKind, msgs: u64) {
         rails: vec![Technology::MyrinetMx, Technology::QuadricsElan],
         engine,
         trace: None,
+        engine_trace: None,
     };
     let mut apps: Vec<Option<Box<dyn madeleine::AppDriver>>> = Vec::new();
     let mut stats = Vec::new();

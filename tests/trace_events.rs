@@ -1,0 +1,234 @@
+//! Integration tests for madtrace: the engine event sink, the decision
+//! log, the metrics recording paths it rides along with
+//! (`strategy_wins`, `backlog_depth`), the shape of `debug_report()`,
+//! and the flight recorder (triggered deterministically by injecting a
+//! malformed wire packet).
+
+use madeleine::harness::{Cluster, ClusterSpec};
+use madeleine::trace::{EngineEvent, FlightTrigger};
+use madeleine::{Json, MessageBuilder, TrafficClass};
+use simnet::{NodeId, WirePacket};
+
+/// A traced two-node MX cluster with `msgs` eager messages submitted
+/// back-to-back on one flow (backlog forms, so activations see depth > 0).
+fn traced_run(msgs: usize) -> Cluster {
+    let mut c = Cluster::build(&ClusterSpec::mx_pair().with_tracing(4096), vec![]);
+    let src = c.nodes[0];
+    let dst = c.nodes[1];
+    let h = c.handles[0].clone();
+    let flow = h.open_flow(dst, TrafficClass::DEFAULT);
+    for i in 0..msgs {
+        c.sim.inject(src, |ctx| {
+            h.send(
+                ctx,
+                flow,
+                MessageBuilder::new()
+                    .pack_cheaper(&[i as u8; 48])
+                    .build_parts(),
+            )
+        });
+    }
+    c.drain();
+    c
+}
+
+#[test]
+fn strategy_wins_matches_plan_won_events() {
+    let c = traced_run(12);
+    let m = c.handle(0).metrics();
+    let sink = c
+        .handle(0)
+        .opt()
+        .expect("optimizing engine")
+        .trace_snapshot();
+
+    let total_wins: u64 = m.strategy_wins.values().sum();
+    assert!(total_wins > 0, "some strategy must have won");
+    let plan_won = sink.count_matching(|e| matches!(e, EngineEvent::PlanWon { .. }));
+    assert_eq!(
+        total_wins as usize, plan_won,
+        "every strategy_wins increment must have a PlanWon event"
+    );
+
+    // Each winner named in the decision log is tallied in the metrics.
+    for rec in sink.iter() {
+        if let EngineEvent::PlanWon { strategy, .. } = rec.event {
+            assert!(
+                m.strategy_wins.contains_key(strategy),
+                "winner {strategy} missing from strategy_wins"
+            );
+        }
+    }
+}
+
+#[test]
+fn backlog_depth_matches_activation_start_events() {
+    let c = traced_run(12);
+    let m = c.handle(0).metrics();
+    let sink = c
+        .handle(0)
+        .opt()
+        .expect("optimizing engine")
+        .trace_snapshot();
+
+    let starts: Vec<u32> = sink
+        .iter()
+        .filter_map(|r| match r.event {
+            EngineEvent::ActivationStart { backlog_depth, .. } => Some(backlog_depth),
+            _ => None,
+        })
+        .collect();
+    assert!(!starts.is_empty(), "activations must be traced");
+    assert_eq!(
+        m.backlog_depth.count() as usize,
+        starts.len(),
+        "one backlog sample per ActivationStart"
+    );
+    // Back-to-back submissions at t=0 must build a visible backlog.
+    let max_traced = *starts.iter().max().expect("nonempty") as f64;
+    assert!(max_traced >= 2.0, "backlog never formed: {starts:?}");
+    assert_eq!(m.backlog_depth.max(), max_traced, "metrics and trace agree");
+}
+
+#[test]
+fn debug_report_has_the_golden_shape() {
+    let c = traced_run(4);
+    let report = c.handle(0).opt().expect("optimizing engine").debug_report();
+    // Satellite guarantees: the retained/dropped trace line and the
+    // health line (flight recorder armed on a clean run).
+    assert!(
+        report.contains("events retained, 0 dropped"),
+        "missing trace status line:\n{report}"
+    );
+    assert!(
+        report.contains(
+            "health: proto_errors=0 driver_rejections=0 express_violations=0 class_clamped=0; \
+             flight recorder armed"
+        ),
+        "missing health line:\n{report}"
+    );
+    assert!(report.contains("strategy wins:"), "missing wins:\n{report}");
+
+    // Disabled tracing is reported as such.
+    let c2 = Cluster::build(&ClusterSpec::mx_pair(), vec![]);
+    let report2 = c2
+        .handle(0)
+        .opt()
+        .expect("optimizing engine")
+        .debug_report();
+    assert!(
+        report2.contains("trace: disabled"),
+        "missing disabled marker:\n{report2}"
+    );
+}
+
+/// A wire packet whose payload cannot possibly decode (shorter than the
+/// packet prefix), addressed to node 1's first NIC.
+fn malformed_packet(c: &Cluster) -> WirePacket {
+    WirePacket {
+        src: c.nodes[0],
+        dst: c.nodes[1],
+        src_nic: c.nics[0][0],
+        dst_nic: c.nics[1][0],
+        vchan: 0,
+        kind: madeleine::proto::KIND_DATA,
+        cookie: 0,
+        seq: 0,
+        payload: vec![bytes::Bytes::from_static(&[0xff])],
+    }
+}
+
+#[test]
+fn flight_recorder_fires_once_on_proto_error() {
+    let mut c = traced_run(4);
+    let h1 = c.handle(1).opt().expect("optimizing engine").clone();
+    assert!(h1.flight_dump().is_none(), "clean run must not fire");
+
+    let pkt = malformed_packet(&c);
+    let nic = c.nics[1][0];
+    let receiver = c.nodes[1];
+    let h = h1.clone();
+    c.sim
+        .inject(receiver, move |ctx| h.inject_packet(ctx, nic, pkt));
+    c.drain();
+
+    let dump = h1.flight_dump().expect("flight recorder must fire");
+    assert_eq!(dump.trigger, FlightTrigger::ProtoError);
+    assert_eq!(dump.trigger.label(), "proto_errors");
+    assert_eq!(dump.node, NodeId(1));
+
+    // A second fault must not re-arm: the artifact keeps the first state.
+    let pkt2 = malformed_packet(&c);
+    let h = h1.clone();
+    c.sim
+        .inject(receiver, move |ctx| h.inject_packet(ctx, nic, pkt2));
+    c.drain();
+    let again = h1.flight_dump().expect("dump is sticky");
+    assert_eq!(again.at, dump.at, "recorder fired twice");
+
+    // The engine's own report now says so.
+    let report = h1.debug_report();
+    assert!(
+        report.contains("flight recorder fired(proto_errors @"),
+        "report must show the trigger:\n{report}"
+    );
+}
+
+#[test]
+fn flight_dump_artifact_has_the_golden_shape() {
+    let mut c = traced_run(4);
+    let h1 = c.handle(1).opt().expect("optimizing engine").clone();
+    let pkt = malformed_packet(&c);
+    let nic = c.nics[1][0];
+    let receiver = c.nodes[1];
+    let h = h1.clone();
+    c.sim
+        .inject(receiver, move |ctx| h.inject_packet(ctx, nic, pkt));
+    c.drain();
+
+    let dump = h1.flight_dump().expect("fired");
+    let text = dump.render();
+    assert_eq!(text, dump.render(), "rendering must be deterministic");
+
+    let doc = Json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(
+        doc.get("artifact").and_then(|v| v.as_str()),
+        Some("madtrace-flight-dump")
+    );
+    assert_eq!(
+        doc.get("trigger").and_then(|v| v.as_str()),
+        Some("proto_errors")
+    );
+    assert_eq!(doc.get("node").and_then(|v| v.as_u64()), Some(1));
+    assert!(doc.get("at_ns").and_then(|v| v.as_u64()).is_some());
+    assert!(doc
+        .get("report")
+        .and_then(|v| v.as_str())
+        .is_some_and(|r| r.contains("health:")));
+    // The embedded metrics document is the full registry walk.
+    let metrics = doc.get("metrics").expect("metrics section");
+    assert_eq!(
+        metrics.get("artifact").and_then(|v| v.as_str()),
+        Some("madtrace-metrics")
+    );
+    assert_eq!(
+        metrics
+            .get("sections")
+            .and_then(|s| s.get("engine"))
+            .and_then(|e| e.get("proto_errors"))
+            .and_then(|v| v.as_u64()),
+        Some(1),
+        "registry must show the fault that fired the recorder"
+    );
+    // Trailing events, each with the (ts, name, args) record shape.
+    let events = doc
+        .get("events")
+        .and_then(|v| v.as_array())
+        .expect("events");
+    assert!(!events.is_empty(), "the receiving engine traced deliveries");
+    for ev in events {
+        assert!(ev.get("ts_ns").is_some());
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(ev.get("args").is_some());
+    }
+}

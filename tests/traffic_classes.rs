@@ -19,6 +19,7 @@ fn two_rail_cluster(policy: PolicyKind) -> Cluster {
             rails: vec![Technology::MyrinetMx; 2],
             engine: EngineKind::Optimizing { config, policy },
             trace: None,
+            engine_trace: None,
         },
         vec![],
     )
@@ -165,6 +166,7 @@ fn adaptive_policy_rebalances_under_shifting_load() {
                 policy: PolicyKind::Adaptive,
             },
             trace: None,
+            engine_trace: None,
         },
         vec![],
     );
@@ -208,6 +210,7 @@ fn urgency_lets_aged_control_jump_bulk_queues() {
                 policy: PolicyKind::Pooled,
             },
             trace: None,
+            engine_trace: None,
         },
         vec![],
     );
