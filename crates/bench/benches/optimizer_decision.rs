@@ -54,6 +54,7 @@ fn bench_select(c: &mut Criterion) {
                     groups: &groups,
                     packet_limit: 32 << 10,
                     rail_count: 1,
+                    health_penalty: 1.0,
                 };
                 black_box(select_plan(
                     &registry,
@@ -85,6 +86,7 @@ fn bench_select(c: &mut Criterion) {
                     groups: &groups,
                     packet_limit: 32 << 10,
                     rail_count: 1,
+                    health_penalty: 1.0,
                 };
                 black_box(select_plan(&registry, &ctx, &collect, 32 << 10, budget))
             })
@@ -122,6 +124,7 @@ fn bench_select(c: &mut Criterion) {
                     groups: &groups,
                     packet_limit: 32 << 10,
                     rail_count: 1,
+                    health_penalty: 1.0,
                 };
                 activation += 1;
                 black_box(select_plan_traced(

@@ -1,0 +1,302 @@
+//! **E12 — loss sweep and rail death (madrel)**: the reliability subsystem
+//! recovers every message under seeded packet loss, while the legacy
+//! engine silently loses traffic; under a permanent rail death the
+//! rail-health tracker abandons the dead rail and reroutes the backlog.
+//!
+//! Methodology: the E1 eager-flow workload runs over a `FaultPlan`
+//! installed on the wire (deterministic per-link loss drawn from the plan
+//! seed). We sweep loss ∈ {0, 0.5, 1, 2, 5}% and compare the optimizing
+//! engine with `ReliabilityMode::Recover` against the legacy engine, then
+//! kill rail 0 of a two-rail cluster mid-run and confirm completion over
+//! the survivor.
+
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madeleine::{EngineConfig, PolicyKind, ReliabilityMode, TrafficClass};
+use madware::apps::{FlowSpec, TrafficApp};
+use madware::scenario::eager_flows;
+use madware::workload::{Arrival, SizeDist};
+use simnet::{FaultPlan, NodeId, SimDuration, SimTime, Technology};
+
+use crate::{fmt_f, Report, Table};
+
+const FLOWS: usize = 4;
+const MSGS_PER_FLOW: u64 = 100;
+const MSG_SIZE: usize = 256;
+const MEAN_GAP_US: u64 = 20;
+const SEED: u64 = 42;
+
+/// Loss rates swept (fraction of packets dropped on the wire).
+pub const LOSS_SWEEP: [f64; 5] = [0.0, 0.005, 0.01, 0.02, 0.05];
+
+/// Optimizing engine with full ack/retransmit recovery enabled.
+pub fn recover_engine() -> EngineKind {
+    EngineKind::Optimizing {
+        config: EngineConfig {
+            reliability: ReliabilityMode::Recover,
+            ..EngineConfig::default()
+        },
+        policy: PolicyKind::Pooled,
+    }
+}
+
+/// One measured run of the eager-flow workload under a fault plan.
+pub struct LossPoint {
+    /// Messages the sink delivered.
+    pub delivered: u64,
+    /// Messages the workload submitted.
+    pub expected: u64,
+    /// Sender retransmissions.
+    pub retransmits: u64,
+    /// Sender ack timeouts.
+    pub timeouts: u64,
+    /// Acks consumed by the sender.
+    pub acks: u64,
+    /// Messages the sender abandoned (retry budget exhausted, no rail).
+    pub lost: u64,
+    /// Packets the fault layer dropped on the wire.
+    pub wire_drops: u64,
+    /// Median delivery latency (µs).
+    pub p50_us: f64,
+    /// Tail delivery latency (µs).
+    pub p99_us: f64,
+}
+
+fn measure(cluster: &mut Cluster) -> LossPoint {
+    cluster.drain();
+    let tx = cluster.handle(0).metrics();
+    let rx = cluster.handle(1).metrics();
+    let wire_drops = cluster
+        .nics
+        .iter()
+        .flatten()
+        .map(|&n| cluster.sim.nic(n).stats.wire_drops)
+        .sum();
+    LossPoint {
+        delivered: rx.delivered_msgs,
+        expected: FLOWS as u64 * MSGS_PER_FLOW,
+        retransmits: tx.retransmits,
+        timeouts: tx.timeouts,
+        acks: tx.acks_received,
+        lost: tx.lost_msgs,
+        wire_drops,
+        p50_us: rx.latency.quantile(0.5).as_micros_f64(),
+        p99_us: rx.latency.quantile(0.99).as_micros_f64(),
+    }
+}
+
+/// Run the eager-flow workload on one rail under `loss`, with the given
+/// engine. Identical seeds give identical traces: the fault plan is a pure
+/// function of (seed, transmission order).
+pub fn run_point(engine: EngineKind, loss: f64) -> LossPoint {
+    let (mut cluster, _tx, _rx) = eager_flows(
+        engine,
+        Technology::MyrinetMx,
+        FLOWS,
+        MSG_SIZE,
+        SimDuration::from_micros(MEAN_GAP_US),
+        MSGS_PER_FLOW,
+        SEED,
+    );
+    if loss > 0.0 {
+        cluster.set_fault_plan(0, FaultPlan::new(SEED).with_loss(loss));
+    }
+    measure(&mut cluster)
+}
+
+/// Two-rail pooled run where rail 0 dies permanently mid-run; returns the
+/// measured point plus the sender's `rails_dead` counter.
+pub fn run_rail_death() -> (LossPoint, u64) {
+    let specs: Vec<FlowSpec> = (0..FLOWS)
+        .map(|_| FlowSpec {
+            dst: NodeId(1),
+            class: TrafficClass::DEFAULT,
+            arrival: Arrival::Poisson(SimDuration::from_micros(MEAN_GAP_US)),
+            sizes: SizeDist::Fixed(MSG_SIZE),
+            express_header: 8,
+            stop_after: Some(MSGS_PER_FLOW),
+            start_after: SimDuration::ZERO,
+        })
+        .collect();
+    let (app, _tx) = TrafficApp::new("eager", specs, SEED, 0);
+    let (sink, _rx) = TrafficApp::new("sink", vec![], SEED, 1);
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx; 2],
+        engine: recover_engine(),
+        trace: None,
+        engine_trace: None,
+    };
+    let mut cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
+    cluster.set_fault_plan(
+        0,
+        FaultPlan::new(SEED).with_death(SimTime::from_nanos(500_000)),
+    );
+    let point = measure(&mut cluster);
+    let rails_dead = cluster.handle(0).metrics().rails_dead;
+    (point, rails_dead)
+}
+
+/// Run the experiment.
+pub fn run() -> Report {
+    let mut t = Table::new(
+        "4 flows x 100 msgs of 256B, MX rail; seeded wire loss vs engine",
+        &[
+            "loss(%)",
+            "engine",
+            "delivered",
+            "drops",
+            "retrans",
+            "timeouts",
+            "lost",
+            "p50(us)",
+            "p99(us)",
+        ],
+    );
+    let mut notes = Vec::new();
+    let mut lossless_p50 = 0.0f64;
+    for &loss in &LOSS_SWEEP {
+        for legacy in [false, true] {
+            let engine = if legacy {
+                EngineKind::legacy()
+            } else {
+                recover_engine()
+            };
+            let p = run_point(engine, loss);
+            if !legacy && loss == 0.0 {
+                lossless_p50 = p.p50_us;
+            }
+            t.row(vec![
+                fmt_f(loss * 100.0),
+                if legacy { "legacy" } else { "madrel" }.into(),
+                format!("{}/{}", p.delivered, p.expected),
+                p.wire_drops.to_string(),
+                p.retransmits.to_string(),
+                p.timeouts.to_string(),
+                p.lost.to_string(),
+                fmt_f(p.p50_us),
+                fmt_f(p.p99_us),
+            ]);
+        }
+    }
+    let one_pct = run_point(recover_engine(), 0.01);
+    notes.push(format!(
+        "madrel delivers every message at every swept loss rate; median \
+         latency at 1% loss is {}x the lossless median (retransmissions \
+         land in the tail, not the median)",
+        fmt_f(one_pct.p50_us / lossless_p50.max(1e-9)),
+    ));
+
+    let (death, rails_dead) = run_rail_death();
+    let mut td = Table::new(
+        "two MX rails, pooled policy; rail 0 dies permanently at t=500us",
+        &[
+            "delivered",
+            "retrans",
+            "timeouts",
+            "rails dead",
+            "p50(us)",
+            "p99(us)",
+        ],
+    );
+    td.row(vec![
+        format!("{}/{}", death.delivered, death.expected),
+        death.retransmits.to_string(),
+        death.timeouts.to_string(),
+        rails_dead.to_string(),
+        fmt_f(death.p50_us),
+        fmt_f(death.p99_us),
+    ]);
+    notes.push(
+        "after the retry budget is exhausted the sender declares rail 0 \
+         dead, reroutes the pending backlog to rail 1, and the optimizer \
+         stops scheduling onto the dead rail (health penalty -> infinite)"
+            .into(),
+    );
+    notes.push(
+        "fault plans are deterministic: two runs with the same seed drop, \
+         duplicate and stall exactly the same packets, so traces and \
+         metrics are byte-identical across repeats"
+            .into(),
+    );
+    Report {
+        id: "E12",
+        title: "madrel recovers from wire loss and rail death",
+        claim: "ack/retransmit recovery plus rail-health-aware re-optimization completes every transfer under loss the legacy engine silently drops",
+        tables: vec![t, td],
+        notes,
+        artifacts: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CI smoke: one seed, one loss point (satellite 6).
+    #[test]
+    fn smoke_one_percent_loss_completes() {
+        let p = run_point(recover_engine(), 0.01);
+        assert!(p.wire_drops > 0, "fault plan must actually drop packets");
+        assert_eq!(p.delivered, p.expected, "madrel must recover every message");
+        assert_eq!(p.lost, 0);
+        assert!(p.retransmits > 0);
+    }
+
+    #[test]
+    fn every_swept_loss_rate_completes_with_madrel() {
+        let base = run_point(recover_engine(), 0.0);
+        assert_eq!(base.delivered, base.expected);
+        assert_eq!(base.retransmits, 0, "no spurious retransmits when lossless");
+        for &loss in &LOSS_SWEEP[1..] {
+            let p = run_point(recover_engine(), loss);
+            assert_eq!(
+                p.delivered, p.expected,
+                "lost flows at loss rate {loss}: {}/{}",
+                p.delivered, p.expected
+            );
+            assert_eq!(p.lost, 0, "abandoned messages at loss rate {loss}");
+        }
+    }
+
+    #[test]
+    fn legacy_engine_loses_messages_under_loss() {
+        let p = run_point(EngineKind::legacy(), 0.05);
+        assert!(p.wire_drops > 0);
+        assert!(
+            p.delivered < p.expected,
+            "legacy has no recovery; drops must surface as missing messages"
+        );
+    }
+
+    #[test]
+    fn median_latency_inflation_below_2x_at_one_percent() {
+        let base = run_point(recover_engine(), 0.0);
+        let lossy = run_point(recover_engine(), 0.01);
+        assert!(
+            lossy.p50_us < 2.0 * base.p50_us,
+            "median inflation {} vs {}",
+            lossy.p50_us,
+            base.p50_us
+        );
+    }
+
+    #[test]
+    fn rail_death_completes_on_survivor() {
+        let (p, rails_dead) = run_rail_death();
+        assert_eq!(p.delivered, p.expected, "rail death must not lose flows");
+        assert_eq!(rails_dead, 1, "exactly one rail declared dead");
+        assert!(p.timeouts > 0, "death is detected via ack timeouts");
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let a = run_point(recover_engine(), 0.02);
+        let b = run_point(recover_engine(), 0.02);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.wire_drops, b.wire_drops);
+        assert_eq!(a.p50_us, b.p50_us);
+        assert_eq!(a.p99_us, b.p99_us);
+    }
+}

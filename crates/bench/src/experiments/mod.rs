@@ -2,6 +2,7 @@
 
 pub mod e10_gather;
 pub mod e11_ablation;
+pub mod e12_loss;
 pub mod e1_aggregation;
 pub mod e2_nic_idle;
 pub mod e3_nagle;
@@ -31,6 +32,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e9", e9_protocols::run),
         ("e10", e10_gather::run),
         ("e11", e11_ablation::run),
+        ("e12", e12_loss::run),
     ]
 }
 

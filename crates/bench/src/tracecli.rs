@@ -309,6 +309,13 @@ pub fn info_export(text: &str) -> Option<String> {
             .and_then(|v| v.as_u64())
             .unwrap_or(0),
     ));
+    let fault = |key: &str| other.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    out.push_str(&format!(
+        "  wire faults: {} dropped, {} duplicated, {} stalled\n",
+        fault("wire_drops"),
+        fault("wire_dups"),
+        fault("wire_stalls"),
+    ));
     if let Some(Json::Obj(retained)) = other.get("engine_retained") {
         for (node, v) in retained {
             let dropped = other
@@ -414,6 +421,7 @@ mod tests {
         let s = info_export(&a.json).expect("export is sniffable");
         assert!(s.contains(&format!("{} events", a.events)), "{s}");
         assert!(s.contains("sim trace:"), "{s}");
+        assert!(s.contains("wire faults: 0 dropped"), "{s}");
         assert!(s.contains("engine trace:"), "{s}");
         // Plain workload traces are not mistaken for exports.
         assert!(info_export("# madeleine-trace v1\n").is_none());

@@ -5,6 +5,8 @@
 
 use simnet::SimDuration;
 
+use crate::reliability::ReliabilityMode;
+
 /// Configuration of the optimizing engine.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -48,6 +50,16 @@ pub struct EngineConfig {
     pub record_deliveries: bool,
     /// Epoch length for the adaptive policy's class↔channel reassignment.
     pub adaptive_epoch: SimDuration,
+    /// Reliability mode (madrel): off (completion = injection, the paper's
+    /// lossless assumption), detect (acks + timeout diagnostics, no
+    /// recovery), or recover (ack/retransmit with rail-health rerouting).
+    pub reliability: ReliabilityMode,
+    /// Base retransmit timeout. Doubled per attempt (exponential backoff).
+    pub retransmit_timeout: SimDuration,
+    /// Retransmit attempts per data packet before its rail is declared
+    /// dead and remaining chunks are rerouted (or the message abandoned
+    /// when no live rail remains).
+    pub retry_budget: u32,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +79,9 @@ impl Default for EngineConfig {
             urgency_weight: 1.0,
             record_deliveries: true,
             adaptive_epoch: SimDuration::from_millis(1),
+            reliability: ReliabilityMode::Off,
+            retransmit_timeout: SimDuration::from_micros(50),
+            retry_budget: 6,
         }
     }
 }
@@ -119,6 +134,14 @@ impl EngineConfig {
         if !(self.urgency_weight.is_finite() && self.urgency_weight >= 0.0) {
             return Err("urgency_weight must be finite and >= 0".into());
         }
+        if self.reliability != ReliabilityMode::Off {
+            if self.retransmit_timeout.is_zero() {
+                return Err("retransmit_timeout must be > 0 when reliability is on".into());
+            }
+            if self.retry_budget == 0 {
+                return Err("retry_budget must be >= 1 when reliability is on".into());
+            }
+        }
         Ok(())
     }
 }
@@ -154,6 +177,20 @@ mod tests {
         assert_eq!(c.lookahead_window, 8);
         assert_eq!(c.rearrange_budget, 16);
         assert_eq!(c.nagle_delay.as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn reliability_knobs_validated_when_enabled() {
+        let mut c = EngineConfig::default();
+        c.retransmit_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_ok(), "off mode ignores retransmit knobs");
+        c.reliability = ReliabilityMode::Recover;
+        assert!(c.validate().is_err());
+        c.retransmit_timeout = SimDuration::from_micros(10);
+        c.retry_budget = 0;
+        assert!(c.validate().is_err());
+        c.retry_budget = 4;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub fn estimate_busy(plan: &TransferPlan, ctx: &OptContext<'_>) -> SimDuration {
 /// Score a plan. Higher is better; deterministic for identical inputs.
 pub fn score_plan(plan: &TransferPlan, ctx: &OptContext<'_>) -> ScoredPlan {
     let est_busy = estimate_busy(plan, ctx);
-    let busy_ns = est_busy.as_nanos().max(1) as f64;
+    // madrel: a degraded rail's transmissions are worth less per nanosecond
+    // — its timeouts will be paid in retransmissions — so its busy time is
+    // inflated by the health penalty and healthier rails win the contest.
+    let busy_ns = est_busy.as_nanos().max(1) as f64 * ctx.health_penalty.max(1.0);
     let score = match &plan.body {
         PlanBody::Data { chunks, .. } => {
             let mut value = plan.payload_bytes() as f64;

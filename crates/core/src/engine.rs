@@ -39,10 +39,11 @@ use crate::optimizer::{select_plan_traced, submit_action, SubmitAction};
 use crate::plan::{PlanBody, PlannedChunk, TransferPlan};
 use crate::policy::{PolicyKind, RailPolicy};
 use crate::proto::{
-    decode_packet, decode_rndv, encode_packet, encode_rndv, make_header, ChunkHeader, WireChunk,
-    KIND_DATA, KIND_RNDV_ACK, KIND_RNDV_REQ,
+    ack_header, decode_ack, decode_packet, decode_rndv, encode_packet, encode_rndv, framing_bytes,
+    make_header, ChunkHeader, WireChunk, KIND_ACK, KIND_DATA, KIND_RNDV_ACK, KIND_RNDV_REQ,
 };
 use crate::receiver::{Receiver, ReceiverStats};
+use crate::reliability::{plan_retransmit, PendingTx, RailHealth, RetransmitTracker};
 use crate::strategy::{OptContext, Strategy, StrategyRegistry};
 use crate::trace::{EngineEvent, EventSink, FlightDump, FlightTrigger};
 
@@ -50,6 +51,8 @@ use crate::trace::{EngineEvent, EventSink, FlightDump, FlightTrigger};
 const NAGLE_TAG: u64 = INTERNAL_TAG_BASE;
 /// Internal timer tag: adaptive-policy epoch.
 const ADAPTIVE_TAG: u64 = INTERNAL_TAG_BASE + 1;
+/// Internal timer tag: retransmit-deadline sweep (madrel).
+const RETX_TAG: u64 = INTERNAL_TAG_BASE + 2;
 /// Cookie used by control packets (no completion bookkeeping).
 const CTRL_COOKIE: u64 = 0;
 
@@ -79,6 +82,13 @@ pub struct EngineCore {
     pub receiver: Receiver,
     inflight: HashMap<u64, Vec<PlannedChunk>>,
     next_cookie: u64,
+    /// madrel: unacked data packets awaiting acknowledgement (empty when
+    /// `config.reliability` is `Off`).
+    retx: RetransmitTracker,
+    /// madrel: per-rail ack/timeout health, feeding the cost model.
+    rail_health: Vec<RailHealth>,
+    /// Per-kind `note_fault` observation counts, indexed by `fault_idx`.
+    fault_counts: [u64; 4],
     nagle_armed: bool,
     nagle_timer: Option<TimerId>,
     /// Adaptive-policy epoch timer state: consecutive traffic-less epochs,
@@ -116,7 +126,7 @@ impl EngineCore {
         let fs = self.collect.flow(flow);
         let (id, class) = (fs.id, fs.class);
         (0..self.rails.len())
-            .filter(|&r| self.policy.eligible(id, class, r))
+            .filter(|&r| self.policy.eligible(id, class, r) && !self.rail_health[r].is_dead())
             .map(|r| self.rails[r].driver.capabilities().rndv_threshold_hint)
             .min()
             .unwrap_or(u64::MAX)
@@ -182,8 +192,11 @@ impl EngineCore {
         }
         let fs = self.collect.flow(flow);
         let (fid, class) = (fs.id, fs.class);
-        let any_idle = (0..self.rails.len())
-            .any(|r| self.policy.eligible(fid, class, r) && self.rails[r].driver.is_idle(ctx));
+        let any_idle = (0..self.rails.len()).any(|r| {
+            self.policy.eligible(fid, class, r)
+                && !self.rail_health[r].is_dead()
+                && self.rails[r].driver.is_idle(ctx)
+        });
         match submit_action(
             &self.config,
             any_idle,
@@ -212,7 +225,7 @@ impl EngineCore {
 
     fn optimize_all_idle(&mut self, ctx: &mut SimCtx<'_>, cause: Activation) {
         for r in 0..self.rails.len() {
-            if self.rails[r].driver.is_idle(ctx) {
+            if !self.rail_health[r].is_dead() && self.rails[r].driver.is_idle(ctx) {
                 self.optimize_rail(ctx, r, cause);
             }
         }
@@ -222,6 +235,9 @@ impl EngineCore {
     /// the best plan until the hardware queue fills or the backlog (as
     /// visible to this rail) is exhausted.
     fn optimize_rail(&mut self, ctx: &mut SimCtx<'_>, rail_idx: usize, cause: Activation) {
+        if self.rail_health[rail_idx].is_dead() {
+            return;
+        }
         self.metrics.record_activation(cause);
         let act = self.next_activation;
         self.next_activation += 1;
@@ -282,7 +298,13 @@ impl EngineCore {
                     config: &self.config,
                     groups: &groups,
                     packet_limit: rail.wire_mtu.min(caps.max_packet_bytes),
-                    rail_count: self.rails.len(),
+                    rail_count: self
+                        .rail_health
+                        .iter()
+                        .filter(|h| !h.is_dead())
+                        .count()
+                        .max(1),
+                    health_penalty: self.rail_health[rail_idx].cost_penalty(),
                 };
                 let outcome = select_plan_traced(
                     &self.registry,
@@ -303,7 +325,7 @@ impl EngineCore {
                 // Plans are validated before scoring, so a rejection here is
                 // an engine bug or transient queue race; count and stop.
                 self.metrics.driver_rejections += 1;
-                self.note_fault(ctx.now());
+                self.note_fault(ctx.now(), FlightTrigger::DriverRejection);
                 debug_assert!(false, "driver rejected validated plan: {e}");
                 break;
             }
@@ -423,6 +445,22 @@ impl EngineCore {
                     },
                 );
                 self.inflight.insert(cookie, chunks.clone());
+                if self.config.reliability.acks_enabled() {
+                    let now = ctx.now();
+                    self.retx.track(
+                        cookie,
+                        PendingTx {
+                            chunks: chunks.clone(),
+                            dst: plan.dst,
+                            rail: rail_idx,
+                            linearize,
+                            sent_at: now,
+                            deadline: now + self.config.retransmit_timeout,
+                            attempts: 1,
+                        },
+                    );
+                    self.arm_retx_timer(ctx);
+                }
                 self.metrics.record_packet(chunks.len(), linearize);
                 self.metrics.plans_submitted += 1;
                 self.policy.record_traffic(class, plan.payload_bytes());
@@ -524,13 +562,14 @@ impl EngineCore {
     }
 
     /// Process an incoming wire packet; returns messages that became
-    /// deliverable.
+    /// deliverable, plus the ids of our own sends whose acknowledgement
+    /// this packet completed (madrel).
     fn handle_packet(
         &mut self,
         ctx: &mut SimCtx<'_>,
         nic: NicId,
         pkt: WirePacket,
-    ) -> Vec<DeliveredMessage> {
+    ) -> (Vec<DeliveredMessage>, Vec<MsgId>) {
         match pkt.kind {
             KIND_DATA => {
                 self.receiver.record_vchan(pkt.vchan);
@@ -538,16 +577,31 @@ impl EngineCore {
                     Ok(c) => c,
                     Err(_) => {
                         self.metrics.proto_errors += 1;
-                        self.note_fault(ctx.now());
-                        return Vec::new();
+                        self.note_fault(ctx.now(), FlightTrigger::ProtoError);
+                        return (Vec::new(), Vec::new());
                     }
                 };
+                // Acknowledge every decodable data packet — duplicates
+                // included, so a lost ack is repaired by the sender's
+                // retransmission of the data.
+                if self.config.reliability.acks_enabled() && pkt.cookie != CTRL_COOKIE {
+                    if let Some(rail_idx) = self.rail_of(nic) {
+                        let _ = self.send_ctrl(
+                            ctx,
+                            rail_idx,
+                            pkt.src,
+                            KIND_ACK,
+                            ack_header(pkt.cookie),
+                        );
+                    }
+                }
+                let violations_before = self.receiver.stats.express_violations;
                 let mut out = Vec::new();
                 for ch in &chunks {
                     out.extend(self.receiver.on_chunk(pkt.src, ch, ctx.now()));
                 }
-                if self.receiver.stats.express_violations > 0 {
-                    self.note_fault(ctx.now());
+                if self.receiver.stats.express_violations > violations_before {
+                    self.note_fault(ctx.now(), FlightTrigger::ExpressViolation);
                 }
                 for d in &out {
                     self.metrics
@@ -566,7 +620,7 @@ impl EngineCore {
                 if self.config.record_deliveries {
                     self.delivered.extend(out.iter().cloned());
                 }
-                out
+                (out, Vec::new())
             }
             KIND_RNDV_REQ => {
                 if let Ok(header) = decode_rndv(&pkt) {
@@ -576,9 +630,9 @@ impl EngineCore {
                     }
                 } else {
                     self.metrics.proto_errors += 1;
-                    self.note_fault(ctx.now());
+                    self.note_fault(ctx.now(), FlightTrigger::ProtoError);
                 }
-                Vec::new()
+                (Vec::new(), Vec::new())
             }
             KIND_RNDV_ACK => {
                 if let Ok(header) = decode_rndv(&pkt) {
@@ -599,31 +653,61 @@ impl EngineCore {
                     }
                 } else {
                     self.metrics.proto_errors += 1;
-                    self.note_fault(ctx.now());
+                    self.note_fault(ctx.now(), FlightTrigger::ProtoError);
                 }
-                Vec::new()
+                (Vec::new(), Vec::new())
             }
-            _ => Vec::new(),
+            KIND_ACK => {
+                let mut done = Vec::new();
+                match decode_ack(&pkt) {
+                    Ok(cookie) => {
+                        // Duplicate acks (the data was retransmitted and
+                        // both copies arrived) find nothing tracked and are
+                        // ignored.
+                        if let Some(p) = self.retx.acked(cookie) {
+                            self.metrics.acks_received += 1;
+                            self.rail_health[p.rail].on_ack();
+                            self.trace.push(
+                                ctx.now(),
+                                EngineEvent::AckReceived {
+                                    cookie,
+                                    rail: p.rail as u16,
+                                    rtt_ns: ctx.now().since(p.sent_at).as_nanos(),
+                                },
+                            );
+                            done = self.complete_cookie(cookie);
+                            self.arm_retx_timer(ctx);
+                        }
+                    }
+                    Err(_) => {
+                        self.metrics.proto_errors += 1;
+                        self.note_fault(ctx.now(), FlightTrigger::ProtoError);
+                    }
+                }
+                (Vec::new(), done)
+            }
+            _ => (Vec::new(), Vec::new()),
         }
     }
 
-    /// Flight recorder: fire once, the first time a should-stay-zero
-    /// counter (`express_violations`, `driver_rejections`, `proto_errors`)
-    /// is observed non-zero. Captures the trailing trace events, the
-    /// debug report and a metrics-registry snapshot.
-    fn note_fault(&mut self, now: SimTime) {
+    /// Stable index of a fault kind in `fault_counts`.
+    fn fault_idx(trigger: FlightTrigger) -> usize {
+        match trigger {
+            FlightTrigger::ExpressViolation => 0,
+            FlightTrigger::DriverRejection => 1,
+            FlightTrigger::ProtoError => 2,
+            FlightTrigger::Timeout => 3,
+        }
+    }
+
+    /// Record a fault observation and, on the very first one, fire the
+    /// flight recorder: capture the trailing trace events, the debug
+    /// report and a metrics-registry snapshot.
+    fn note_fault(&mut self, now: SimTime, trigger: FlightTrigger) {
+        self.fault_counts[Self::fault_idx(trigger)] += 1;
         if self.flight.is_some() {
             return;
         }
-        let trigger = if self.receiver.stats.express_violations > 0 {
-            FlightTrigger::ExpressViolation
-        } else if self.metrics.driver_rejections > 0 {
-            FlightTrigger::DriverRejection
-        } else if self.metrics.proto_errors > 0 {
-            FlightTrigger::ProtoError
-        } else {
-            return;
-        };
         let registry = self.metrics_registry().to_json();
         self.flight = Some(FlightDump::capture(
             self.node,
@@ -633,6 +717,221 @@ impl EngineCore {
             registry,
             &self.trace,
         ));
+    }
+
+    /// (Re)arm the single retransmit timer toward the earliest pending
+    /// deadline, cancelling a stale one. With nothing pending the timer is
+    /// cancelled so the simulation can reach quiescence.
+    fn arm_retx_timer(&mut self, ctx: &mut SimCtx<'_>) {
+        let Some(deadline) = self.retx.next_deadline() else {
+            if let Some(t) = self.retx.clear_timer() {
+                ctx.cancel_timer(t);
+            }
+            return;
+        };
+        if let Some((timer, armed_for)) = self.retx.timer() {
+            if armed_for == deadline {
+                return;
+            }
+            ctx.cancel_timer(timer);
+            self.retx.clear_timer();
+        }
+        let delay = deadline.since(ctx.now());
+        let id = ctx.set_timer(delay, RETX_TAG);
+        self.retx.set_timer(id, deadline);
+    }
+
+    /// Declare a rail dead exactly once: health, counter, trace event.
+    fn kill_rail(&mut self, now: SimTime, rail: usize) {
+        if self.rail_health[rail].is_dead() {
+            return;
+        }
+        self.rail_health[rail].declare_dead();
+        self.metrics.rails_dead += 1;
+        self.trace
+            .push(now, EngineEvent::RailDead { rail: rail as u16 });
+    }
+
+    /// The healthiest live rail that can reach `dst` (lowest index on
+    /// ties), or `None` when every route is dead.
+    fn live_rail_for(&self, dst: NodeId) -> Option<usize> {
+        (0..self.rails.len())
+            .filter(|&r| !self.rail_health[r].is_dead() && self.rails[r].peers.contains_key(&dst))
+            .max_by(|&a, &b| {
+                self.rail_health[a]
+                    .score()
+                    .partial_cmp(&self.rail_health[b].score())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })
+    }
+
+    /// The retransmit timer fired: sweep every expired packet. In `Detect`
+    /// mode a timeout raises a fault and completes the packet's accounting
+    /// (nothing is re-sent); in `Recover` mode the packet is re-sent with
+    /// backoff until the retry budget kills its rail, at which point the
+    /// chunks reroute to a live rail or the messages are abandoned as
+    /// lost. Returns message ids whose send-side accounting completed here
+    /// so the engine can run the usual `on_sent` callbacks.
+    fn on_retx_timer(&mut self, ctx: &mut SimCtx<'_>) -> Vec<MsgId> {
+        self.retx.clear_timer();
+        let now = ctx.now();
+        let mut completed = Vec::new();
+        for cookie in self.retx.expired(now) {
+            let Some(pending) = self.retx.take(cookie) else {
+                continue;
+            };
+            self.metrics.timeouts += 1;
+            let rail = pending.rail;
+            if self.rail_health[rail].on_timeout() {
+                let score_milli = (self.rail_health[rail].score() * 1000.0) as u32;
+                self.trace.push(
+                    now,
+                    EngineEvent::RailDegraded {
+                        rail: rail as u16,
+                        score_milli,
+                    },
+                );
+            }
+            if !self.config.reliability.recovers() {
+                self.note_fault(now, FlightTrigger::Timeout);
+                completed.extend(self.complete_cookie(cookie));
+                continue;
+            }
+            if pending.attempts >= self.config.retry_budget {
+                self.kill_rail(now, rail);
+                match self.live_rail_for(pending.dst) {
+                    // Restart the attempt budget on the surviving rail.
+                    Some(live) => self.retransmit(ctx, cookie, pending, live, 1),
+                    None => {
+                        let done = self.complete_cookie(cookie);
+                        self.metrics.lost_msgs += done.len() as u64;
+                        completed.extend(done);
+                    }
+                }
+            } else {
+                let attempts = pending.attempts + 1;
+                self.retransmit(ctx, cookie, pending, rail, attempts);
+            }
+        }
+        self.arm_retx_timer(ctx);
+        completed
+    }
+
+    /// Re-send a timed-out packet's chunks on `rail_idx` under fresh
+    /// cookies, re-chunked for the target driver's capabilities. The
+    /// original commit accounting in the collect layer is reused — chunks
+    /// are never re-committed — so completion stays exactly-once.
+    fn retransmit(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        old_cookie: u64,
+        pending: PendingTx,
+        rail_idx: usize,
+        attempts: u32,
+    ) {
+        let now = ctx.now();
+        // The old cookie's completion is superseded by the new cookies'.
+        self.inflight.remove(&old_cookie);
+        let packets = {
+            let rail = &self.rails[rail_idx];
+            plan_retransmit(&pending.chunks, rail.driver.capabilities(), rail.wire_mtu)
+        };
+        let deadline = now + RetransmitTracker::backoff(self.config.retransmit_timeout, attempts);
+        for chunk_list in packets {
+            let mut wire_chunks = Vec::with_capacity(chunk_list.len());
+            for c in &chunk_list {
+                let msg = self
+                    .collect
+                    .find_msg(c.flow, c.seq)
+                    .expect("retransmit references live message");
+                let frag = &msg.frags[c.frag as usize];
+                wire_chunks.push(WireChunk {
+                    header: make_header(
+                        c.flow,
+                        c.seq,
+                        c.frag,
+                        msg.frags.len() as u16,
+                        frag.mode == crate::message::PackMode::Express,
+                        msg.class,
+                        frag.len(),
+                        c.offset,
+                        c.len,
+                        msg.submitted_at,
+                    ),
+                    data: frag
+                        .data
+                        .slice(c.offset as usize..(c.offset + c.len) as usize),
+                });
+            }
+            let class = self
+                .collect
+                .find_msg(chunk_list[0].flow, chunk_list[0].seq)
+                .expect("checked above")
+                .class;
+            let cookie = self.next_cookie;
+            self.next_cookie += 1;
+            let submitted = {
+                let rail = &self.rails[rail_idx];
+                let dst_nic = *rail
+                    .peers
+                    .get(&pending.dst)
+                    .expect("retransmit rail reaches destination");
+                let total: u64 = chunk_list.iter().map(|c| u64::from(c.len)).sum::<u64>()
+                    + framing_bytes(chunk_list.len());
+                let host_prep = if pending.linearize {
+                    rail.driver.cost_model().copy_time(total)
+                } else {
+                    simnet::SimDuration::ZERO
+                };
+                rail.driver.submit(
+                    ctx,
+                    TransferRequest {
+                        dst_nic,
+                        vchan: rail.classmap.vchan_for(class),
+                        kind: KIND_DATA,
+                        cookie,
+                        mode: ModeSel::Auto,
+                        host_prep,
+                        segments: encode_packet(&wire_chunks, pending.linearize),
+                    },
+                )
+            };
+            match submitted {
+                Ok(()) => {
+                    self.metrics.retransmits += 1;
+                    self.trace.push(
+                        now,
+                        EngineEvent::Retransmit {
+                            old_cookie,
+                            new_cookie: cookie,
+                            rail: rail_idx as u16,
+                            attempt: attempts,
+                        },
+                    );
+                }
+                // Queue full: the packet never left; the deadline sweep
+                // picks the (still-tracked) cookie up again.
+                Err(nicdrv::DriverError::Nic(simnet::SubmitError::QueueFull)) => {}
+                Err(_) => {
+                    self.metrics.driver_rejections += 1;
+                    self.note_fault(now, FlightTrigger::DriverRejection);
+                }
+            }
+            self.inflight.insert(cookie, chunk_list.clone());
+            self.retx.track(
+                cookie,
+                PendingTx {
+                    chunks: chunk_list,
+                    dst: pending.dst,
+                    rail: rail_idx,
+                    linearize: pending.linearize,
+                    sent_at: now,
+                    deadline,
+                    attempts,
+                },
+            );
+        }
     }
 
     /// Walk this engine's metric sources (engine counters, receiver stats)
@@ -690,6 +989,32 @@ impl EngineCore {
                 None => "armed".to_string(),
             },
         ));
+        out.push_str(&format!(
+            "             faults: express_violation={} driver_rejection={} proto_error={} timeout={}\n",
+            self.fault_counts[0], self.fault_counts[1], self.fault_counts[2], self.fault_counts[3],
+        ));
+        if self.config.reliability.acks_enabled() {
+            out.push_str(&format!(
+                "             madrel({:?}): {} unacked; timeouts={} retransmits={} acks={} lost={} rails_dead={}\n",
+                self.config.reliability,
+                self.retx.len(),
+                m.timeouts,
+                m.retransmits,
+                m.acks_received,
+                m.lost_msgs,
+                m.rails_dead,
+            ));
+            for (r, h) in self.rail_health.iter().enumerate() {
+                out.push_str(&format!(
+                    "               rail {r}: score={:.3}{}{} acks={} timeouts={}\n",
+                    h.score(),
+                    if h.is_degraded() { " DEGRADED" } else { "" },
+                    if h.is_dead() { " DEAD" } else { "" },
+                    h.acks(),
+                    h.timeouts(),
+                ));
+            }
+        }
         if !m.strategy_wins.is_empty() {
             out.push_str("strategy wins:");
             for (name, wins) in &m.strategy_wins {
@@ -860,6 +1185,7 @@ impl EngineBuilder {
             }
         }
         let policy = RailPolicy::new(self.policy_kind, rails.len());
+        let rail_health = vec![RailHealth::new(); rails.len()];
         let core = Rc::new(RefCell::new(EngineCore {
             node: self.node,
             config: self.config,
@@ -871,6 +1197,9 @@ impl EngineBuilder {
             receiver: Receiver::new(),
             inflight: HashMap::new(),
             next_cookie: 1,
+            retx: RetransmitTracker::new(),
+            rail_health,
+            fault_counts: [0; 4],
             nagle_armed: false,
             nagle_timer: None,
             adaptive_idle_epochs: 0,
@@ -934,7 +1263,14 @@ impl Endpoint for MadEngine {
     fn on_tx_done(&mut self, ctx: &mut SimCtx<'_>, _nic: NicId, cookie: u64) {
         let completed = {
             let mut core = self.core.borrow_mut();
-            let completed = core.complete_cookie(cookie);
+            // madrel: a tracked packet completes on its *ack*, not on
+            // injection — `tx_done` for it only frees queue space. (The
+            // lossless seed behavior is the untracked branch.)
+            let completed = if core.retx.is_pending(cookie) {
+                Vec::new()
+            } else {
+                core.complete_cookie(cookie)
+            };
             core.flush_ctrl(ctx);
             completed
         };
@@ -955,19 +1291,32 @@ impl Endpoint for MadEngine {
     }
 
     fn on_packet_rx(&mut self, ctx: &mut SimCtx<'_>, nic: NicId, pkt: WirePacket) {
-        let deliveries = self.core.borrow_mut().handle_packet(ctx, nic, pkt);
-        if deliveries.is_empty() {
+        let (deliveries, sent) = self.core.borrow_mut().handle_packet(ctx, nic, pkt);
+        if deliveries.is_empty() && sent.is_empty() {
             return;
         }
         self.with_app(ctx, |app, api| {
             for d in &deliveries {
                 app.on_message(api, d);
             }
+            for id in sent {
+                app.on_sent(api, id);
+            }
         });
     }
 
     fn on_timer(&mut self, ctx: &mut SimCtx<'_>, _timer: TimerId, tag: u64) {
         match tag {
+            RETX_TAG => {
+                let completed = self.core.borrow_mut().on_retx_timer(ctx);
+                if !completed.is_empty() {
+                    self.with_app(ctx, |app, api| {
+                        for id in completed {
+                            app.on_sent(api, id);
+                        }
+                    });
+                }
+            }
             NAGLE_TAG => {
                 let mut core = self.core.borrow_mut();
                 core.nagle_armed = false;
@@ -1122,6 +1471,24 @@ impl EngineHandle {
     /// on protocol errors) deterministically.
     pub fn inject_packet(&self, ctx: &mut SimCtx<'_>, nic: NicId, pkt: WirePacket) {
         let _ = self.core.borrow_mut().handle_packet(ctx, nic, pkt);
+    }
+
+    /// madrel: health snapshot of one rail as `(score, degraded, dead)`.
+    pub fn rail_health(&self, rail: usize) -> (f64, bool, bool) {
+        let core = self.core.borrow();
+        let h = &core.rail_health[rail];
+        (h.score(), h.is_degraded(), h.is_dead())
+    }
+
+    /// madrel: number of data packets currently awaiting acknowledgement.
+    pub fn unacked_packets(&self) -> usize {
+        self.core.borrow().retx.len()
+    }
+
+    /// Per-kind fault observation counts:
+    /// `[express_violation, driver_rejection, proto_error, timeout]`.
+    pub fn fault_counts(&self) -> [u64; 4] {
+        self.core.borrow().fault_counts
     }
 }
 

@@ -171,6 +171,8 @@ pub struct Cluster {
     pub nics: Vec<Vec<NicId>>,
     /// Engine handles per node.
     pub handles: Vec<NodeHandle>,
+    /// Network ids, one per rail in `spec.rails` order.
+    pub networks: Vec<simnet::NetworkId>,
 }
 
 impl Cluster {
@@ -244,7 +246,15 @@ impl Cluster {
             nodes,
             nics,
             handles,
+            networks,
         }
+    }
+
+    /// Install a deterministic fault plan (madrel) on one rail's network:
+    /// every packet crossing that rail is subject to the plan's loss
+    /// bursts, duplication, reordering, stalls and death schedule.
+    pub fn set_fault_plan(&mut self, rail: usize, plan: simnet::FaultPlan) {
+        self.sim.set_fault_plan(self.networks[rail], plan);
     }
 
     /// Run for a fixed span of virtual time.

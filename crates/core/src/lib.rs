@@ -72,6 +72,7 @@ pub mod plan;
 pub mod policy;
 pub mod proto;
 pub mod receiver;
+pub mod reliability;
 pub mod strategy;
 pub mod trace;
 
@@ -86,6 +87,7 @@ pub use legacy::{LegacyEngine, LegacyHandle};
 pub use message::{DeliveredMessage, Fragment, MessageBuilder, PackMode};
 pub use metrics::{EngineMetrics, MetricsRegistry};
 pub use policy::PolicyKind;
+pub use reliability::{plan_retransmit, RailHealth, ReliabilityMode, RetransmitTracker};
 pub use strategy::{Strategy, StrategyRegistry};
 pub use trace::{
     chrome_event_count, export_chrome_trace, ChromeExport, EngineEvent, EngineRecord, EventSink,

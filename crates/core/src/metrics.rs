@@ -84,6 +84,18 @@ pub struct EngineMetrics {
     /// into the last per-class histogram bucket (misclassified traffic;
     /// should be 0).
     pub class_clamped: u64,
+    /// Retransmit timeouts fired (madrel; each one means a data packet's
+    /// ack did not arrive in time).
+    pub timeouts: u64,
+    /// Data packets re-sent by the reliability layer.
+    pub retransmits: u64,
+    /// Acknowledgements received for tracked data packets.
+    pub acks_received: u64,
+    /// Messages abandoned after the retry budget was exhausted on every
+    /// live rail (should be 0 unless every rail died).
+    pub lost_msgs: u64,
+    /// Rails declared permanently dead by the reliability layer.
+    pub rails_dead: u64,
     /// Backlog depth (schedulable chunks visible to the rail) sampled at
     /// each optimizer activation — the paper's "pool of lookahead packets".
     pub backlog_depth: Summary,
@@ -123,6 +135,11 @@ impl Default for EngineMetrics {
             proto_errors: 0,
             driver_rejections: 0,
             class_clamped: 0,
+            timeouts: 0,
+            retransmits: 0,
+            acks_received: 0,
+            lost_msgs: 0,
+            rails_dead: 0,
             backlog_depth: Summary::new(),
             strategy_wins: BTreeMap::new(),
             app_blocking: SimDuration::ZERO,
@@ -237,6 +254,11 @@ impl EngineMetrics {
             .field("proto_errors", self.proto_errors)
             .field("driver_rejections", self.driver_rejections)
             .field("class_clamped", self.class_clamped)
+            .field("timeouts", self.timeouts)
+            .field("retransmits", self.retransmits)
+            .field("acks_received", self.acks_received)
+            .field("lost_msgs", self.lost_msgs)
+            .field("rails_dead", self.rails_dead)
             .field(
                 "backlog_depth",
                 obj()
@@ -312,6 +334,8 @@ impl MetricsRegistry {
                 .field("idle_transitions", s.idle_transitions)
                 .field("queue_full_rejections", s.queue_full_rejections)
                 .field("wire_drops", s.wire_drops)
+                .field("wire_dups", s.wire_dups)
+                .field("wire_stalls", s.wire_stalls)
                 .field("tx_segments", s.tx_segments)
                 .build(),
         ));

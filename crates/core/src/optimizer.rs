@@ -200,6 +200,7 @@ mod tests {
             groups: &groups,
             packet_limit: 1 << 16,
             rail_count: 1,
+            health_penalty: 1.0,
         };
         select_plan(&registry, &ctx, collect, 1 << 20, budget)
     }
@@ -259,6 +260,7 @@ mod tests {
             groups: &groups,
             packet_limit: 1 << 16,
             rail_count: 1,
+            health_penalty: 1.0,
         };
         let mut sink = crate::trace::EventSink::with_capacity(256);
         let out = select_plan_traced(&registry, &ctx, &c, 1 << 20, 256, &mut sink, 9);

@@ -30,6 +30,8 @@ pub const KIND_RNDV_REQ: u16 = 2;
 pub const KIND_RNDV_ACK: u16 = 3;
 /// Packet kind: library-internal control/signalling.
 pub const KIND_CTRL: u16 = 4;
+/// Packet kind: reliability acknowledgement of a data packet (madrel).
+pub const KIND_ACK: u16 = 5;
 
 /// Size of one encoded chunk header.
 pub const CHUNK_HEADER_BYTES: u64 = 34;
@@ -235,6 +237,37 @@ pub fn decode_rndv(pkt: &WirePacket) -> Result<ChunkHeader, ProtoError> {
     Ok(chunks[0].header)
 }
 
+/// Encode a reliability acknowledgement for the data packet that carried
+/// `cookie`. Rides the metadata-only packet shape: the acked cookie is
+/// carried in the header's `(flow, msg_seq)` pair as its high/low halves,
+/// so no new wire format is needed.
+pub fn encode_ack(cookie: u64) -> Vec<Bytes> {
+    encode_rndv(ack_header(cookie))
+}
+
+/// The metadata-only header an acknowledgement for `cookie` travels in
+/// (the engine queues these through its control-packet path).
+pub fn ack_header(cookie: u64) -> ChunkHeader {
+    ChunkHeader {
+        flow: FlowId((cookie >> 32) as u32),
+        msg_seq: cookie as u32,
+        frag_index: 0,
+        frag_count: 0,
+        express: false,
+        class: TrafficClass::DEFAULT,
+        frag_len: 0,
+        offset: 0,
+        chunk_len: 0,
+        submit_ns: 0,
+    }
+}
+
+/// Decode a reliability acknowledgement back to the acked data cookie.
+pub fn decode_ack(pkt: &WirePacket) -> Result<u64, ProtoError> {
+    let h = decode_rndv(pkt)?;
+    Ok(((h.flow.0 as u64) << 32) | h.msg_seq as u64)
+}
+
 /// Helper: a `ChunkHeader` stamped from message context.
 #[allow(clippy::too_many_arguments)]
 pub fn make_header(
@@ -361,6 +394,15 @@ mod tests {
         assert_eq!(back.flow, FlowId(9));
         assert_eq!(back.frag_len, 1 << 20);
         assert_eq!(back.chunk_len, 0);
+    }
+
+    #[test]
+    fn ack_roundtrip_carries_full_cookie() {
+        for cookie in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            let mut pkt = as_packet(encode_ack(cookie));
+            pkt.kind = KIND_ACK;
+            assert_eq!(decode_ack(&pkt).unwrap(), cookie);
+        }
     }
 
     #[test]

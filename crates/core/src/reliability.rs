@@ -1,0 +1,469 @@
+//! madrel — the reliability layer of the transfer engine.
+//!
+//! The paper assumes lossless high-speed fabrics, so the seed engine treats
+//! *injection* as *completion*: once the NIC reports `tx_done` the chunk is
+//! accounted as sent, and a packet lost on the wire silently loses its
+//! messages. madrel closes that gap:
+//!
+//! * every data packet is tracked in a [`RetransmitTracker`] until the
+//!   receiver's acknowledgement returns;
+//! * a sim-time timeout with exponential backoff re-sends the packet's
+//!   chunks (under a fresh cookie — the original commit accounting is
+//!   reused, never repeated);
+//! * a [`RailHealth`] EWMA of timeouts vs. acks per rail feeds the cost
+//!   model (degraded rails look slower, so the optimizer reroutes) and
+//!   declares a rail dead after the retry budget is exhausted;
+//! * retransmits rerouted to a different rail are re-chunked by
+//!   [`plan_retransmit`] so they respect the target driver's capabilities.
+//!
+//! Everything here is driven by the simulation clock and the engine's
+//! deterministic event order: identical seeds yield identical recovery
+//! traces.
+
+use std::collections::BTreeMap;
+
+use nicdrv::DriverCapabilities;
+use simnet::{NodeId, SimDuration, SimTime, TimerId};
+
+use crate::plan::PlannedChunk;
+use crate::proto;
+
+/// How the engine treats packet loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReliabilityMode {
+    /// The paper's lossless assumption: completion equals injection; a
+    /// dropped packet silently loses its chunks (the flight recorder and
+    /// wire-drop counters are the only witnesses).
+    Off,
+    /// Acks and timeouts run for diagnosis — a timeout raises a fault and
+    /// trips the flight recorder — but nothing is re-sent.
+    Detect,
+    /// Full recovery: ack tracking, timeout + backoff retransmission,
+    /// rail-death rerouting.
+    Recover,
+}
+
+impl ReliabilityMode {
+    /// Whether data packets are tracked and acknowledged.
+    pub fn acks_enabled(self) -> bool {
+        !matches!(self, ReliabilityMode::Off)
+    }
+
+    /// Whether lost packets are re-sent.
+    pub fn recovers(self) -> bool {
+        matches!(self, ReliabilityMode::Recover)
+    }
+}
+
+/// One unacked data packet awaiting its acknowledgement.
+#[derive(Clone, Debug)]
+pub struct PendingTx {
+    /// The chunks the packet carried (retransmission re-encodes these from
+    /// the collect layer's still-held payload).
+    pub chunks: Vec<PlannedChunk>,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Rail index the packet went out on.
+    pub rail: usize,
+    /// Whether the packet was linearized (copy) rather than gathered.
+    pub linearize: bool,
+    /// When the (latest attempt of the) packet entered the NIC.
+    pub sent_at: SimTime,
+    /// When the current attempt times out.
+    pub deadline: SimTime,
+    /// Transmission attempts so far (1 = original send).
+    pub attempts: u32,
+}
+
+/// Tracks unacked packets and owns the single retransmit timer.
+///
+/// The tracker keys by cookie in a `BTreeMap` so iteration — and therefore
+/// timer scheduling and retransmit order — is deterministic.
+#[derive(Debug, Default)]
+pub struct RetransmitTracker {
+    pending: BTreeMap<u64, PendingTx>,
+    timer: Option<TimerId>,
+    timer_deadline: SimTime,
+}
+
+impl RetransmitTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        RetransmitTracker::default()
+    }
+
+    /// Track a freshly sent data packet.
+    pub fn track(&mut self, cookie: u64, tx: PendingTx) {
+        self.pending.insert(cookie, tx);
+    }
+
+    /// Stop tracking `cookie` (ack received or given up). Returns the
+    /// entry when it was still tracked — a duplicate ack returns `None`.
+    pub fn acked(&mut self, cookie: u64) -> Option<PendingTx> {
+        self.pending.remove(&cookie)
+    }
+
+    /// Whether a cookie is still awaiting its ack.
+    pub fn is_pending(&self, cookie: u64) -> bool {
+        self.pending.contains_key(&cookie)
+    }
+
+    /// Number of unacked packets.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is awaiting an ack.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The earliest deadline over all pending packets.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+
+    /// Cookies whose deadline has passed at `now`, in cookie order.
+    pub fn expired(&self, now: SimTime) -> Vec<u64> {
+        self.pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Remove and return an expired entry for rework (re-track under the
+    /// retransmission's new cookie).
+    pub fn take(&mut self, cookie: u64) -> Option<PendingTx> {
+        self.pending.remove(&cookie)
+    }
+
+    /// Pending entries in cookie order (rail-death sweep).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &PendingTx)> {
+        self.pending.iter()
+    }
+
+    /// The armed timer, if any, with its deadline.
+    pub fn timer(&self) -> Option<(TimerId, SimTime)> {
+        self.timer.map(|t| (t, self.timer_deadline))
+    }
+
+    /// Record that a timer was armed for `deadline`.
+    pub fn set_timer(&mut self, timer: TimerId, deadline: SimTime) {
+        self.timer = Some(timer);
+        self.timer_deadline = deadline;
+    }
+
+    /// Forget the armed timer (it fired or was cancelled).
+    pub fn clear_timer(&mut self) -> Option<TimerId> {
+        self.timer.take()
+    }
+
+    /// Backoff for the `attempts`-th retry: `base << (attempts - 1)`,
+    /// saturating. Attempt 1 (the original send) waits `base`.
+    pub fn backoff(base: SimDuration, attempts: u32) -> SimDuration {
+        let shift = attempts.saturating_sub(1).min(20);
+        SimDuration::from_nanos(base.as_nanos().saturating_mul(1u64 << shift))
+    }
+}
+
+/// Exponentially weighted health of one rail, fed by ack/timeout outcomes.
+///
+/// The score sits in `[0, 1]`: 1.0 = every tracked packet acked, 0.0 =
+/// every tracked packet timed out. It decays with weight `ALPHA` per
+/// observation, so a rail recovers its reputation after a burst passes.
+#[derive(Clone, Debug)]
+pub struct RailHealth {
+    score: f64,
+    acks: u64,
+    timeouts: u64,
+    dead: bool,
+    degraded_announced: bool,
+}
+
+impl Default for RailHealth {
+    fn default() -> Self {
+        RailHealth {
+            score: 1.0,
+            acks: 0,
+            timeouts: 0,
+            dead: false,
+            degraded_announced: false,
+        }
+    }
+}
+
+impl RailHealth {
+    /// EWMA weight of one new observation.
+    const ALPHA: f64 = 0.2;
+    /// Health below this is "degraded": the cost model is penalized and a
+    /// `RailDegraded` event is announced (once per degradation episode).
+    const DEGRADED_BELOW: f64 = 0.6;
+
+    /// Fresh, fully healthy rail.
+    pub fn new() -> Self {
+        RailHealth::default()
+    }
+
+    /// Record a successful acknowledgement.
+    pub fn on_ack(&mut self) {
+        self.acks += 1;
+        self.score = (1.0 - Self::ALPHA) * self.score + Self::ALPHA;
+        if self.score >= Self::DEGRADED_BELOW {
+            self.degraded_announced = false;
+        }
+    }
+
+    /// Record a timeout. Returns `true` when this observation newly pushed
+    /// the rail into the degraded band (callers emit `RailDegraded` once).
+    pub fn on_timeout(&mut self) -> bool {
+        self.timeouts += 1;
+        self.score *= 1.0 - Self::ALPHA;
+        if self.score < Self::DEGRADED_BELOW && !self.degraded_announced && !self.dead {
+            self.degraded_announced = true;
+            return true;
+        }
+        false
+    }
+
+    /// Declare the rail permanently dead (retry budget exhausted).
+    pub fn declare_dead(&mut self) {
+        self.dead = true;
+        self.score = 0.0;
+    }
+
+    /// Whether the rail has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether the rail is currently in the degraded band.
+    pub fn is_degraded(&self) -> bool {
+        self.score < Self::DEGRADED_BELOW
+    }
+
+    /// Health score in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Acks observed.
+    pub fn acks(&self) -> u64 {
+        self.acks
+    }
+
+    /// Timeouts observed.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Multiplier (>= 1.0) applied to a plan's estimated busy time on this
+    /// rail, so degraded rails lose cost-model contests proportionally to
+    /// their unreliability. A healthy rail costs 1.0; the floor on `score`
+    /// keeps the penalty finite for merely-degraded rails.
+    pub fn cost_penalty(&self) -> f64 {
+        if self.dead {
+            // Effectively infinite: any live rail wins.
+            return 1e9;
+        }
+        1.0 / self.score.max(0.05)
+    }
+}
+
+/// Re-chunk a timed-out packet's chunks for (re)transmission on a rail
+/// with the given capabilities. Within one fragment the byte ranges are
+/// preserved exactly; they are only re-segmented so that every emitted
+/// packet respects the target driver's PIO size cap, gather width, and
+/// the rail's wire MTU. Returns one chunk list per packet to send.
+pub fn plan_retransmit(
+    chunks: &[PlannedChunk],
+    caps: &DriverCapabilities,
+    wire_mtu: u64,
+) -> Vec<Vec<PlannedChunk>> {
+    // The per-packet payload ceiling: the wire MTU minus worst-case framing
+    // for the chunks we pack, and the PIO cap when the driver cannot DMA.
+    let payload_cap = |n_chunks: usize| -> u64 {
+        let framing = proto::framing_bytes(n_chunks.max(1));
+        let mut cap = wire_mtu.saturating_sub(framing);
+        cap = cap.min(caps.max_packet_bytes.saturating_sub(framing));
+        if !caps.supports_dma {
+            cap = cap.min(caps.pio_max_bytes.saturating_sub(framing));
+        }
+        cap.max(1)
+    };
+    // Gather width: header block occupies one entry, each chunk one more.
+    // Linearized (copy) packets have no gather constraint, but splitting to
+    // the gather width is always safe, so we honor it unconditionally —
+    // this is what the madcheck conformance rule verifies.
+    let max_chunks = if caps.supports_dma && caps.max_gather_entries > 1 {
+        (caps.max_gather_entries - 1).max(1)
+    } else {
+        1
+    };
+
+    let mut packets: Vec<Vec<PlannedChunk>> = Vec::new();
+    let mut current: Vec<PlannedChunk> = Vec::new();
+    let mut current_bytes = 0u64;
+    for chunk in chunks {
+        // Split the chunk itself if it alone exceeds the single-chunk cap.
+        let single_cap = payload_cap(1) as u32;
+        let mut offset = chunk.offset;
+        let mut remaining = chunk.len;
+        while remaining > 0 {
+            let piece = remaining.min(single_cap);
+            let pc = PlannedChunk {
+                flow: chunk.flow,
+                seq: chunk.seq,
+                frag: chunk.frag,
+                offset,
+                len: piece,
+            };
+            let fits_count = current.len() < max_chunks;
+            let fits_bytes = current_bytes + piece as u64 <= payload_cap(current.len() + 1);
+            if !current.is_empty() && !(fits_count && fits_bytes) {
+                packets.push(std::mem::take(&mut current));
+                current_bytes = 0;
+            }
+            current_bytes += piece as u64;
+            current.push(pc);
+            offset += piece;
+            remaining -= piece;
+        }
+    }
+    if !current.is_empty() {
+        packets.push(current);
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use nicdrv::calib;
+
+    fn chunk(len: u32) -> PlannedChunk {
+        PlannedChunk {
+            flow: FlowId(1),
+            seq: 0,
+            frag: 0,
+            offset: 0,
+            len,
+        }
+    }
+
+    #[test]
+    fn tracker_orders_deadlines_and_acks() {
+        let mut t = RetransmitTracker::new();
+        for (c, ns) in [(3u64, 300u64), (1, 100), (2, 200)] {
+            t.track(
+                c,
+                PendingTx {
+                    chunks: vec![chunk(10)],
+                    dst: NodeId(1),
+                    rail: 0,
+                    linearize: false,
+                    sent_at: SimTime::ZERO,
+                    deadline: SimTime::from_nanos(ns),
+                    attempts: 1,
+                },
+            );
+        }
+        assert_eq!(t.next_deadline(), Some(SimTime::from_nanos(100)));
+        assert_eq!(t.expired(SimTime::from_nanos(250)), vec![1, 2]);
+        assert!(t.acked(2).is_some());
+        assert!(t.acked(2).is_none(), "duplicate ack is a no-op");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let base = SimDuration::from_micros(50);
+        assert_eq!(RetransmitTracker::backoff(base, 1), base);
+        assert_eq!(RetransmitTracker::backoff(base, 2), base * 2);
+        assert_eq!(RetransmitTracker::backoff(base, 4), base * 8);
+        // Deep attempts do not overflow.
+        assert!(RetransmitTracker::backoff(base, 200) > base);
+    }
+
+    #[test]
+    fn health_degrades_and_recovers() {
+        let mut h = RailHealth::new();
+        assert!(!h.is_degraded());
+        assert!((h.cost_penalty() - 1.0).abs() < 1e-9);
+        let mut announced = 0;
+        for _ in 0..5 {
+            if h.on_timeout() {
+                announced += 1;
+            }
+        }
+        assert!(h.is_degraded());
+        assert_eq!(announced, 1, "degradation announced exactly once");
+        assert!(h.cost_penalty() > 1.0);
+        for _ in 0..30 {
+            h.on_ack();
+        }
+        assert!(!h.is_degraded(), "acks restore the score");
+        // A later relapse announces again.
+        for _ in 0..10 {
+            if h.on_timeout() {
+                announced += 1;
+            }
+        }
+        assert_eq!(announced, 2);
+    }
+
+    #[test]
+    fn dead_rail_has_prohibitive_penalty() {
+        let mut h = RailHealth::new();
+        h.declare_dead();
+        assert!(h.is_dead());
+        assert!(h.cost_penalty() >= 1e9);
+        assert!(!h.on_timeout(), "dead rails do not re-announce degradation");
+    }
+
+    #[test]
+    fn plan_retransmit_respects_pio_cap() {
+        let mut caps = calib::synthetic_capabilities();
+        caps.supports_dma = false;
+        caps.pio_max_bytes = 1 << 10;
+        let packets = plan_retransmit(&[chunk(5_000)], &caps, 1 << 20);
+        assert!(packets.len() >= 5);
+        let total: u32 = packets.iter().flatten().map(|c| c.len).sum();
+        assert_eq!(total, 5_000, "no bytes lost in re-chunking");
+        for p in &packets {
+            assert_eq!(p.len(), 1, "no gather without DMA");
+            let payload: u64 = p.iter().map(|c| c.len as u64).sum();
+            assert!(payload + proto::framing_bytes(p.len()) <= caps.pio_max_bytes);
+        }
+        // Offsets stay contiguous.
+        let mut expect = 0u32;
+        for c in packets.iter().flatten() {
+            assert_eq!(c.offset, expect);
+            expect += c.len;
+        }
+    }
+
+    #[test]
+    fn plan_retransmit_respects_gather_width() {
+        let mut caps = calib::synthetic_capabilities();
+        caps.max_gather_entries = 3; // header + 2 chunks
+        let chunks: Vec<PlannedChunk> = (0..5).map(|_| chunk(64)).collect();
+        let packets = plan_retransmit(&chunks, &caps, 1 << 20);
+        for p in &packets {
+            assert!(p.len() <= 2);
+        }
+        let total: u32 = packets.iter().flatten().map(|c| c.len).sum();
+        assert_eq!(total, 5 * 64);
+    }
+
+    #[test]
+    fn plan_retransmit_respects_wire_mtu() {
+        let caps = calib::synthetic_capabilities();
+        let packets = plan_retransmit(&[chunk(10_000)], &caps, 4096);
+        for p in &packets {
+            let payload: u64 = p.iter().map(|c| c.len as u64).sum();
+            assert!(payload + proto::framing_bytes(p.len()) <= 4096);
+        }
+    }
+}

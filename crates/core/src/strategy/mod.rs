@@ -49,6 +49,11 @@ pub struct OptContext<'a> {
     /// Number of rails currently eligible for this traffic (≥ 1); used by
     /// splitting heuristics.
     pub rail_count: usize,
+    /// madrel: reliability penalty (≥ 1.0) for this rail — the inverse of
+    /// its ack/timeout health score. Scales estimated busy time in plan
+    /// scoring so degraded rails lose cost-model contests and the
+    /// optimizer reroutes around them.
+    pub health_penalty: f64,
 }
 
 impl<'a> OptContext<'a> {
@@ -241,6 +246,7 @@ pub(crate) mod testutil {
             groups,
             packet_limit: 1 << 16,
             rail_count: 1,
+            health_penalty: 1.0,
         }
     }
 }

@@ -162,6 +162,38 @@ pub enum EngineEvent {
         /// Submission→delivery latency (ns).
         latency_ns: u64,
     },
+    /// The reliability layer re-sent a timed-out data packet.
+    Retransmit {
+        /// Cookie of the timed-out packet.
+        old_cookie: u64,
+        /// Cookie of the re-sent packet.
+        new_cookie: u64,
+        /// Rail the retransmission left on.
+        rail: u16,
+        /// Transmission attempts so far (including this one).
+        attempt: u32,
+    },
+    /// An acknowledgement arrived for a tracked data packet.
+    AckReceived {
+        /// Cookie of the acked packet.
+        cookie: u64,
+        /// Rail the original packet left on.
+        rail: u16,
+        /// Round-trip time from injection to ack (ns).
+        rtt_ns: u64,
+    },
+    /// A rail's health EWMA crossed into the degraded band.
+    RailDegraded {
+        /// Degraded rail.
+        rail: u16,
+        /// Health score in thousandths (0–1000).
+        score_milli: u32,
+    },
+    /// A rail was declared permanently dead (retry budget exhausted).
+    RailDead {
+        /// Dead rail.
+        rail: u16,
+    },
 }
 
 impl EngineEvent {
@@ -178,6 +210,10 @@ impl EngineEvent {
             EngineEvent::PlanWon { .. } => "PlanWon",
             EngineEvent::PacketEncoded { .. } => "PacketEncoded",
             EngineEvent::Delivered { .. } => "Delivered",
+            EngineEvent::Retransmit { .. } => "Retransmit",
+            EngineEvent::AckReceived { .. } => "AckReceived",
+            EngineEvent::RailDegraded { .. } => "RailDegraded",
+            EngineEvent::RailDead { .. } => "RailDead",
         }
     }
 
@@ -308,6 +344,31 @@ impl EngineEvent {
                 .field("bytes", *bytes)
                 .field("latency_ns", *latency_ns)
                 .build(),
+            EngineEvent::Retransmit {
+                old_cookie,
+                new_cookie,
+                rail,
+                attempt,
+            } => obj()
+                .field("old_cookie", *old_cookie)
+                .field("new_cookie", *new_cookie)
+                .field("rail", *rail)
+                .field("attempt", *attempt)
+                .build(),
+            EngineEvent::AckReceived {
+                cookie,
+                rail,
+                rtt_ns,
+            } => obj()
+                .field("cookie", *cookie)
+                .field("rail", *rail)
+                .field("rtt_ns", *rtt_ns)
+                .build(),
+            EngineEvent::RailDegraded { rail, score_milli } => obj()
+                .field("rail", *rail)
+                .field("score_milli", *score_milli)
+                .build(),
+            EngineEvent::RailDead { rail } => obj().field("rail", *rail).build(),
         }
     }
 }
@@ -505,7 +566,16 @@ pub fn export_chrome_trace(
     // is already chronological; the sort key keeps merging deterministic.
     let mut timeline: Vec<(u64, u32, usize, Vec<Json>)> = Vec::new();
 
+    // madrel: tally injected wire faults so the export is self-describing
+    // about how hostile the run was (also surfaced by `trace-tool info`).
+    let (mut wire_drops, mut wire_dups, mut wire_stalls) = (0u64, 0u64, 0u64);
     for (idx, rec) in sim.iter().enumerate() {
+        match &rec.event {
+            SimEvent::WireDrop { .. } => wire_drops += 1,
+            SimEvent::WireDup { .. } => wire_dups += 1,
+            SimEvent::WireStall { .. } => wire_stalls += 1,
+            _ => {}
+        }
         // The unification hook: `TraceEvent::nic()` routes NIC-scoped
         // events onto their rail track; node-scoped events (timers) land
         // on the engine track.
@@ -524,9 +594,10 @@ pub fn export_chrome_trace(
                 .field("bytes", *bytes)
                 .field("cookie", *cookie)
                 .build(),
-            SimEvent::TxDone { cookie, .. } | SimEvent::WireDrop { cookie, .. } => {
-                obj().field("cookie", *cookie).build()
-            }
+            SimEvent::TxDone { cookie, .. }
+            | SimEvent::WireDrop { cookie, .. }
+            | SimEvent::WireDup { cookie, .. }
+            | SimEvent::WireStall { cookie, .. } => obj().field("cookie", *cookie).build(),
             SimEvent::NicIdle { .. } => obj().build(),
             SimEvent::RxDelivered { bytes, kind, .. } => {
                 obj().field("bytes", *bytes).field("kind", *kind).build()
@@ -615,6 +686,9 @@ pub fn export_chrome_trace(
                 .field("exporter", "madtrace")
                 .field("sim_retained", sim.len())
                 .field("sim_dropped", sim.dropped())
+                .field("wire_drops", wire_drops)
+                .field("wire_dups", wire_dups)
+                .field("wire_stalls", wire_stalls)
                 .field("engine_retained", engine_retained.build())
                 .field("engine_dropped", engine_dropped.build())
                 .build(),
@@ -689,6 +763,8 @@ pub enum FlightTrigger {
     DriverRejection,
     /// An undecodable packet arrived.
     ProtoError,
+    /// A reliability-tracked packet timed out awaiting its ack.
+    Timeout,
 }
 
 impl FlightTrigger {
@@ -698,6 +774,7 @@ impl FlightTrigger {
             FlightTrigger::ExpressViolation => "express_violations",
             FlightTrigger::DriverRejection => "driver_rejections",
             FlightTrigger::ProtoError => "proto_errors",
+            FlightTrigger::Timeout => "timeouts",
         }
     }
 }

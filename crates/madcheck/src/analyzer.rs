@@ -137,6 +137,7 @@ pub fn check_spec(
         groups: &groups,
         packet_limit: wire_mtu.min(caps.max_packet_bytes),
         rail_count: 1,
+        health_penalty: 1.0,
     };
     let mut proposals = Vec::new();
     strategy.propose(&ctx, &mut proposals);

@@ -34,9 +34,11 @@ pub mod capcheck;
 pub mod corpus;
 pub mod fixtures;
 pub mod report;
+pub mod retxcheck;
 
 pub use analyzer::{analyze, check_plan, check_spec, minimize, AnalyzeOptions, Defect, Failure};
 pub use backlog::{BacklogSpec, FragSpec, MsgSpec, RndvPhase, ANALYZED_RAIL};
 pub use capcheck::{check_plan_caps, CapViolation};
 pub use corpus::corpus;
 pub use report::{Finding, Report};
+pub use retxcheck::{check_retransmit, retx_sweep, verify_packets, RetxReport, RetxViolation};

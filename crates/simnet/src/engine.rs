@@ -24,6 +24,7 @@
 use std::collections::HashSet;
 
 use crate::event::{EventKind, EventQueue, TimerId};
+use crate::fault::{FaultPlan, FaultState};
 use crate::link::NetworkParams;
 use crate::nic::NicState;
 use crate::packet::{SubmitError, TxRequest, WirePacket};
@@ -60,11 +61,13 @@ pub trait Endpoint {
     fn on_timer(&mut self, ctx: &mut SimCtx<'_>, timer: TimerId, tag: u64) {}
 }
 
-/// A network fabric instance: parameters plus its private jitter/drop RNG.
+/// A network fabric instance: parameters plus its private jitter/drop RNG
+/// and, when installed, a scripted fault plan.
 #[derive(Debug)]
 struct NetworkState {
     params: NetworkParams,
     rng: SplitMix64,
+    fault: Option<FaultState>,
 }
 
 /// A node: the set of NICs it hosts.
@@ -276,8 +279,20 @@ impl Simulation {
         // Seed each network's RNG from its id so topology construction order
         // does not perturb unrelated networks' jitter streams.
         let rng = SplitMix64::new(0xC0FF_EE00 ^ id.0 as u64);
-        self.world.networks.push(NetworkState { params, rng });
+        self.world.networks.push(NetworkState {
+            params,
+            rng,
+            fault: None,
+        });
         id
+    }
+
+    /// Install (or replace) a deterministic [`FaultPlan`] on a network. The
+    /// plan's own seed drives a private RNG stream, independent of the
+    /// network's jitter stream, so adding faults does not perturb the
+    /// latency jitter of un-faulted packets.
+    pub fn set_fault_plan(&mut self, net: NetworkId, plan: FaultPlan) {
+        self.world.networks[net.0 as usize].fault = Some(FaultState::new(plan));
     }
 
     /// Add a node; returns its id.
@@ -466,7 +481,7 @@ impl Simulation {
         let cookie = req.cookie;
         let payload_len = req.payload_len();
         let seg_count = req.payload.len();
-        let (latency, jitter, overhead, dropped) = {
+        let (latency, jitter, overhead, dropped, fault) = {
             let net = &mut self.world.networks[net_idx];
             let jitter = if net.params.jitter.is_zero() {
                 SimDuration::ZERO
@@ -474,11 +489,19 @@ impl Simulation {
                 SimDuration::from_nanos(net.rng.next_below(net.params.jitter.as_nanos()))
             };
             let dropped = net.params.drop_rate > 0.0 && net.rng.next_bool(net.params.drop_rate);
+            // The scripted fault plan draws from its own RNG stream, and
+            // only for packets the legacy drop knob did not already claim,
+            // so fault decisions stay a pure function of (seed, tx order).
+            let fault = match net.fault.as_mut() {
+                Some(f) if !dropped => f.on_tx(now),
+                _ => crate::fault::FaultOutcome::default(),
+            };
             (
                 net.params.wire_latency,
                 jitter,
                 net.params.per_packet_overhead_bytes,
-                dropped,
+                dropped || fault.dropped,
+                fault,
             )
         };
 
@@ -502,6 +525,16 @@ impl Simulation {
                 },
             );
         } else {
+            if fault.stalled {
+                self.world.nics[nic_idx].stats.wire_stalls += 1;
+                self.world.trace.push(
+                    now,
+                    TraceEvent::WireStall {
+                        nic: nic_id,
+                        cookie,
+                    },
+                );
+            }
             let seq = {
                 let nic = &mut self.world.nics[nic_idx];
                 let s = nic.next_seq;
@@ -521,8 +554,34 @@ impl Simulation {
                 seq,
                 payload: req.payload,
             };
+            let arrive_at = now + latency + jitter + fault.extra_delay;
+            if fault.duplicate {
+                let dup_seq = {
+                    let nic = &mut self.world.nics[nic_idx];
+                    let s = nic.next_seq;
+                    nic.next_seq += 1;
+                    s
+                };
+                self.world.nics[nic_idx].stats.wire_dups += 1;
+                self.world.trace.push(
+                    now,
+                    TraceEvent::WireDup {
+                        nic: nic_id,
+                        cookie,
+                    },
+                );
+                let mut dup = packet.clone();
+                dup.seq = dup_seq;
+                self.queue.push(
+                    arrive_at + SimDuration::from_nanos(1),
+                    EventKind::Arrival {
+                        nic: dst_nic,
+                        packet: Box::new(dup),
+                    },
+                );
+            }
             self.queue.push(
-                now + latency + jitter,
+                arrive_at,
                 EventKind::Arrival {
                     nic: dst_nic,
                     packet: Box::new(packet),
@@ -846,6 +905,110 @@ mod tests {
         sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
         assert!(rx.borrow().is_empty());
         assert_eq!(sim.nic(na).stats.wire_drops, 1);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_and_counts() {
+        let (mut sim, a, b, na, nb) = two_nodes();
+        let net = NetworkId(0);
+        sim.set_fault_plan(net, crate::fault::FaultPlan::new(5).with_dup(1.0));
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                rx: rx.clone(),
+                ..Default::default()
+            }),
+        );
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 1, 9, b"twice")).unwrap());
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(rx.borrow().len(), 2, "duplicate copy must arrive too");
+        assert_eq!(sim.nic(na).stats.wire_dups, 1);
+        assert_eq!(sim.nic(nb).stats.rx_packets, 2);
+    }
+
+    #[test]
+    fn fault_plan_death_discards_everything_after() {
+        let (mut sim, a, b, na, nb) = two_nodes();
+        sim.set_fault_plan(
+            NetworkId(0),
+            crate::fault::FaultPlan::new(5).with_death(SimTime::ZERO),
+        );
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                rx: rx.clone(),
+                ..Default::default()
+            }),
+        );
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        sim.inject(a, |ctx| {
+            for i in 0..3 {
+                ctx.submit(na, req_to(nb, 0, i, b"rip")).unwrap();
+            }
+        });
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert!(rx.borrow().is_empty());
+        assert_eq!(sim.nic(na).stats.wire_drops, 3);
+    }
+
+    #[test]
+    fn fault_plan_stall_delays_delivery() {
+        let (mut sim, a, b, na, nb) = two_nodes();
+        // Stall everything sent in the first 10µs until the window closes.
+        sim.set_fault_plan(
+            NetworkId(0),
+            crate::fault::FaultPlan::new(5)
+                .with_stall(SimTime::ZERO, SimTime::from_nanos(1_000_000)),
+        );
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            b,
+            Box::new(Recorder {
+                rx: rx.clone(),
+                ..Default::default()
+            }),
+        );
+        sim.set_endpoint(a, Box::new(Recorder::default()));
+        sim.inject(a, |ctx| ctx.submit(na, req_to(nb, 0, 0, b"late")).unwrap());
+        let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        assert_eq!(rx.borrow().len(), 1);
+        assert!(end.as_nanos() > 1_000_000, "delivery held past the stall");
+        assert_eq!(sim.nic(na).stats.wire_stalls, 1);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        let run = || {
+            let (mut sim, a, b, na, nb) = two_nodes();
+            sim.set_fault_plan(
+                NetworkId(0),
+                crate::fault::FaultPlan::new(77)
+                    .with_loss(0.3)
+                    .with_dup(0.2),
+            );
+            let rx = Rc::new(RefCell::new(Vec::new()));
+            sim.set_endpoint(
+                b,
+                Box::new(Recorder {
+                    rx: rx.clone(),
+                    ..Default::default()
+                }),
+            );
+            sim.set_endpoint(a, Box::new(Recorder::default()));
+            sim.inject(a, |ctx| {
+                for i in 0..4u8 {
+                    ctx.submit(na, req_to(nb, i as u16, i as u64, &[i; 40]))
+                        .unwrap();
+                }
+            });
+            let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+            let received = rx.borrow().clone();
+            (end, received, sim.events_processed())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod nic;
 pub mod packet;
@@ -56,6 +57,7 @@ pub mod trace;
 
 pub use engine::{Endpoint, NetworkId, NicId, NodeId, SimCtx, Simulation};
 pub use event::TimerId;
+pub use fault::{FaultOutcome, FaultPlan, FaultState, LossBurst, StallWindow};
 pub use link::{NetworkParams, Technology};
 pub use nic::{NicState, NicStats};
 pub use packet::{SubmitError, TxMode, TxRequest, VChannel, WirePacket};

@@ -33,6 +33,10 @@ pub struct NicStats {
     pub queue_full_rejections: u64,
     /// Packets dropped on the wire (fault injection only).
     pub wire_drops: u64,
+    /// Packets duplicated on the wire (fault injection only).
+    pub wire_dups: u64,
+    /// Packets delayed by a fault-plan stall window.
+    pub wire_stalls: u64,
     /// Gather segments transmitted (for DMA descriptor accounting).
     pub tx_segments: u64,
 }

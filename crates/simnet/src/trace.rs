@@ -22,6 +22,10 @@ pub enum TraceEvent {
     RxDelivered { nic: NicId, bytes: u64, kind: u16 },
     /// A packet was dropped on the wire (fault injection).
     WireDrop { nic: NicId, cookie: u64 },
+    /// A packet was duplicated on the wire (fault injection).
+    WireDup { nic: NicId, cookie: u64 },
+    /// A packet was delayed by a fault-plan stall window.
+    WireStall { nic: NicId, cookie: u64 },
     /// A timer fired on a node.
     TimerFired { node: NodeId, tag: u64 },
 }
@@ -36,6 +40,8 @@ impl TraceEvent {
             TraceEvent::NicIdle { .. } => "NicIdle",
             TraceEvent::RxDelivered { .. } => "RxDelivered",
             TraceEvent::WireDrop { .. } => "WireDrop",
+            TraceEvent::WireDup { .. } => "WireDup",
+            TraceEvent::WireStall { .. } => "WireStall",
             TraceEvent::TimerFired { .. } => "TimerFired",
         }
     }
@@ -50,7 +56,9 @@ impl TraceEvent {
             | TraceEvent::TxDone { nic, .. }
             | TraceEvent::NicIdle { nic }
             | TraceEvent::RxDelivered { nic, .. }
-            | TraceEvent::WireDrop { nic, .. } => Some(*nic),
+            | TraceEvent::WireDrop { nic, .. }
+            | TraceEvent::WireDup { nic, .. }
+            | TraceEvent::WireStall { nic, .. } => Some(*nic),
             TraceEvent::TimerFired { .. } => None,
         }
     }

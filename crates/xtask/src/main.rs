@@ -110,6 +110,10 @@ fn analyze(args: &[String]) -> ExitCode {
     print!("{report}");
     ok &= report.is_clean();
 
+    let retx = madcheck::retx_sweep(opts.seed, opts.samples);
+    print!("{retx}");
+    ok &= retx.is_clean();
+
     ok &= trace_smoke();
 
     if ok {
@@ -203,6 +207,10 @@ const UNWRAP_BANNED_FILES: &[&str] = &[
     "crates/core/src/constraints.rs",
     "crates/core/src/cost.rs",
     "crates/core/src/proto.rs",
+    // madrel: retransmission and fault-injection paths run inside the
+    // drain loop; a panic there masquerades as a reliability bug.
+    "crates/core/src/reliability.rs",
+    "crates/simnet/src/fault.rs",
 ];
 
 /// Marker that suppresses source lints on the line carrying it.

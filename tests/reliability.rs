@@ -1,0 +1,187 @@
+//! madrel end-to-end: ack/retransmit recovery under seeded wire faults.
+//!
+//! * Property: any mix of drops and duplicates drawn from a seeded
+//!   [`FaultPlan`] yields exactly-once, byte-exact delivery per
+//!   `(flow, seq)` when recovery is on.
+//! * Integration: the E2-style eager-flow workload completes fully under
+//!   loss with madrel on; with recovery off (Detect), the loss trips the
+//!   flight recorder instead of silently vanishing.
+//! * Determinism: two same-seed lossy runs export byte-identical traces.
+
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madeleine::ids::TrafficClass;
+use madeleine::message::MessageBuilder;
+use madeleine::trace::FlightTrigger;
+use madeleine::{EngineConfig, PolicyKind, ReliabilityMode};
+use madware::pattern;
+use madware::scenario::eager_flows;
+use proptest::prelude::*;
+use simnet::{FaultPlan, SimDuration, Technology};
+
+fn engine(mode: ReliabilityMode) -> EngineKind {
+    EngineKind::Optimizing {
+        config: EngineConfig {
+            reliability: mode,
+            ..EngineConfig::default()
+        },
+        policy: PolicyKind::Pooled,
+    }
+}
+
+fn lossy_cluster(mode: ReliabilityMode, plan: FaultPlan) -> Cluster {
+    let mut c = Cluster::build(
+        &ClusterSpec {
+            nodes: 2,
+            rails: vec![Technology::MyrinetMx],
+            engine: engine(mode),
+            trace: None,
+            engine_trace: None,
+        },
+        vec![],
+    );
+    c.set_fault_plan(0, plan);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Retransmit idempotence: drops force retransmissions, duplicates
+    /// replay both data and acks, reordering shuffles arrivals — and every
+    /// message is still delivered exactly once, byte-exact.
+    #[test]
+    fn drops_and_dups_yield_exactly_once_delivery(
+        seed in any::<u64>(),
+        loss_pm in 0u32..300, // per-mille; the shim has no f64 ranges
+        dup_pm in 0u32..300,
+    ) {
+        const MSGS: u32 = 30;
+        let plan = FaultPlan::new(seed)
+            .with_loss(f64::from(loss_pm) / 1000.0)
+            .with_dup(f64::from(dup_pm) / 1000.0)
+            .with_reorder(0.15, SimDuration::from_micros(2));
+        let mut c = lossy_cluster(ReliabilityMode::Recover, plan);
+        let h = c.handle(0).clone();
+        let (src, dst) = (c.nodes[0], c.nodes[1]);
+        let f = h.open_flow(dst, TrafficClass::DEFAULT);
+        c.sim.inject(src, |ctx| {
+            for i in 0..MSGS {
+                h.send(
+                    ctx,
+                    f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&pattern(f.0, i, 0, 200))
+                        .build_parts(),
+                );
+            }
+        });
+        c.drain();
+        let got = c.handle(1).take_delivered();
+        prop_assert_eq!(got.len(), MSGS as usize, "exactly-once: no loss, no dup");
+        let mut seen = vec![false; MSGS as usize];
+        for m in &got {
+            let seq = m.id.seq.0;
+            prop_assert!(!seen[seq as usize], "seq {} delivered twice", seq);
+            seen[seq as usize] = true;
+            prop_assert_eq!(m.contiguous(), pattern(m.flow.0, seq, 0, 200));
+        }
+        prop_assert_eq!(c.handle(0).metrics().lost_msgs, 0);
+    }
+}
+
+#[test]
+fn eager_flows_complete_under_loss_with_madrel() {
+    // The E2-style scenario, but on a 2%-lossy wire: recovery must make it
+    // indistinguishable (in delivery terms) from a lossless run.
+    let (mut cluster, tx, rx) = eager_flows(
+        engine(ReliabilityMode::Recover),
+        Technology::MyrinetMx,
+        4,
+        64,
+        SimDuration::from_micros(10),
+        100,
+        5,
+    );
+    cluster.set_fault_plan(0, FaultPlan::new(5).with_loss(0.02));
+    cluster.drain();
+    let sent = tx.borrow().sent;
+    assert_eq!(sent, 400);
+    assert_eq!(rx.borrow().received, sent, "every flow completes");
+    assert!(rx.borrow().integrity.all_ok(), "payloads byte-exact");
+    let m = cluster.handle(0).metrics();
+    assert!(m.retransmits > 0, "completion was earned, not lucky");
+    assert_eq!(m.lost_msgs, 0);
+}
+
+#[test]
+fn loss_without_recovery_trips_the_flight_recorder() {
+    // Same wire, recovery off (Detect): messages go missing, and the
+    // first ack timeout captures a flight dump instead of hanging drain.
+    let plan = FaultPlan::new(11).with_loss(0.25);
+    let mut c = lossy_cluster(ReliabilityMode::Detect, plan);
+    let h = c.handle(0).clone();
+    let (src, dst) = (c.nodes[0], c.nodes[1]);
+    let f = h.open_flow(dst, TrafficClass::DEFAULT);
+    c.sim.inject(src, |ctx| {
+        for i in 0..200u32 {
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&pattern(f.0, i, 0, 96))
+                    .build_parts(),
+            );
+        }
+    });
+    c.drain(); // Detect mode must not hang on lost packets
+    let opt = c.handle(0).opt().expect("optimizing engine").clone();
+    assert!(c.handle(1).delivered_count() < 200, "losses stay lost");
+    assert!(opt.metrics().timeouts > 0, "loss detected via ack timeouts");
+    let dump = opt
+        .flight_dump()
+        .expect("first timeout captures a flight dump");
+    assert_eq!(dump.trigger, FlightTrigger::Timeout);
+    assert!(opt.fault_counts()[3] > 0, "timeout fault counter advanced");
+}
+
+#[test]
+fn same_seed_lossy_runs_export_identical_traces() {
+    let run = || {
+        let mut c = Cluster::build(
+            &ClusterSpec {
+                nodes: 2,
+                rails: vec![Technology::MyrinetMx],
+                engine: engine(ReliabilityMode::Recover),
+                trace: Some(1 << 14),
+                engine_trace: Some(1 << 14),
+            },
+            vec![],
+        );
+        c.set_fault_plan(0, FaultPlan::new(21).with_loss(0.03).with_dup(0.05));
+        let h = c.handle(0).clone();
+        let (src, dst) = (c.nodes[0], c.nodes[1]);
+        let f = h.open_flow(dst, TrafficClass::DEFAULT);
+        c.sim.inject(src, |ctx| {
+            for i in 0..60u32 {
+                h.send(
+                    ctx,
+                    f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&pattern(f.0, i, 0, 128))
+                        .build_parts(),
+                );
+            }
+        });
+        c.drain();
+        let drops: u64 = c
+            .nics
+            .iter()
+            .flatten()
+            .map(|&n| c.sim.nic(n).stats.wire_drops)
+            .sum();
+        assert!(drops > 0, "the plan must actually injure the wire");
+        assert_eq!(c.handle(1).delivered_count(), 60);
+        c.export_chrome_trace().json
+    };
+    assert_eq!(run(), run(), "same seed, byte-identical export");
+}
