@@ -8,12 +8,16 @@
 //! trace-tool compare <file.trace> [--tech ...]  # optimizer vs legacy, same input
 //! trace-tool export <file.trace> <out.json> [--legacy] [--tech ...]
 //! trace-tool explain <file.trace> [--activation N] [--tech ...]
+//! trace-tool stats <file.trace> [--tick US] [--csv out.csv] [--tech ...]
 //! ```
 //!
 //! `export` replays the workload with full madtrace instrumentation and
 //! writes a Chrome trace-event JSON (Perfetto / `about:tracing` loadable);
 //! `explain` prints, for one optimizer activation, every plan proposed,
-//! its veto or score, and the winner.
+//! its veto or score, and the winner; `stats` replays with the madscope
+//! sampler enabled and prints latency percentile tables plus ASCII
+//! backlog/utilization timelines (`--csv` also writes the raw
+//! time-series).
 
 use mad_bench::tracecli;
 use madware::trace::Trace;
@@ -26,7 +30,8 @@ fn fail(msg: &str) -> ! {
          trace-tool replay <file> [--legacy] [--tech mx|elan|ib|tcp|shm]\n  \
          trace-tool compare <file> [--tech mx|elan|ib|tcp|shm]\n  \
          trace-tool export <file> <out.json> [--legacy] [--tech mx|elan|ib|tcp|shm]\n  \
-         trace-tool explain <file> [--activation N] [--tech mx|elan|ib|tcp|shm]"
+         trace-tool explain <file> [--activation N] [--tech mx|elan|ib|tcp|shm]\n  \
+         trace-tool stats <file> [--tick US] [--csv out.csv] [--tech mx|elan|ib|tcp|shm]"
     );
     std::process::exit(2);
 }
@@ -120,6 +125,33 @@ fn main() {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
             let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
             print!("{}", tracecli::explain(t, tech, activation));
+        }
+        Some("stats") => {
+            let Some(path) = args.get(1) else {
+                fail("stats needs a trace file")
+            };
+            let tick = args
+                .iter()
+                .position(|a| a == "--tick")
+                .map(|i| {
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| fail("--tick needs a microsecond count"))
+                })
+                .unwrap_or(5);
+            let csv_out = args.iter().position(|a| a == "--csv").map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| fail("--csv needs a path"))
+            });
+            let tech = tech_arg(&args);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
+            let t = Trace::from_text(&text).unwrap_or_else(|e| fail(&e.to_string()));
+            let (report, csv) = tracecli::stats(t, tech, tick);
+            print!("{report}");
+            if let Some(out) = csv_out {
+                std::fs::write(out, &csv).unwrap_or_else(|e| fail(&e.to_string()));
+                println!("wrote sampler time-series to {out}");
+            }
         }
         _ => fail("missing or unknown subcommand"),
     }

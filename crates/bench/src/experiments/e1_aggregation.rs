@@ -19,6 +19,10 @@ pub struct Cell {
     pub makespan_us: f64,
     /// Mean delivery latency in microseconds.
     pub latency_us: f64,
+    /// Median delivery latency (µs, madscope histogram).
+    pub p50_us: f64,
+    /// Tail delivery latency (µs, madscope histogram).
+    pub p99_us: f64,
     /// Mean chunks per packet.
     pub agg_ratio: f64,
     /// Data packets sent.
@@ -50,6 +54,8 @@ pub fn run_cell(engine: EngineKind, flows: usize, size: usize, msgs: u64, seed: 
     Cell {
         makespan_us: end.as_micros_f64(),
         latency_us: rxm.latency.summary().mean(),
+        p50_us: rxm.latency.quantile(0.5).as_micros_f64(),
+        p99_us: rxm.latency.quantile(0.99).as_micros_f64(),
         agg_ratio: m.aggregation_ratio(),
         packets: m.packets_sent,
         intact: rx_stats.integrity.all_ok(),
@@ -76,6 +82,8 @@ pub fn run() -> Report {
                 "speedup",
                 "opt lat(us)",
                 "leg lat(us)",
+                "opt p50(us)",
+                "opt p99(us)",
                 "agg ratio",
                 "opt pkts",
                 "leg pkts",
@@ -94,6 +102,8 @@ pub fn run() -> Report {
                 format!("{speedup:.2}x"),
                 fmt_f(opt.latency_us),
                 fmt_f(leg.latency_us),
+                fmt_f(opt.p50_us),
+                fmt_f(opt.p99_us),
                 fmt_f(opt.agg_ratio),
                 opt.packets.to_string(),
                 leg.packets.to_string(),

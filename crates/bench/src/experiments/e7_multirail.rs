@@ -24,6 +24,10 @@ pub struct RailPoint {
     pub mbps: f64,
     /// Payload bytes that left via each sender NIC.
     pub per_nic_bytes: Vec<u64>,
+    /// Median delivery latency (µs, madscope histogram).
+    pub p50_us: f64,
+    /// Tail delivery latency (µs, madscope histogram).
+    pub p99_us: f64,
     /// All payloads verified.
     pub intact: bool,
 }
@@ -56,14 +60,19 @@ pub fn run_point(engine: EngineKind, rails: Vec<Technology>, msgs: u64) -> RailP
         .map(|&nic| cluster.sim.nic(nic).stats.tx_payload_bytes)
         .collect();
     let intact = rx.borrow().integrity.all_ok();
+    let rxm = cluster.handle(1).metrics();
     RailPoint {
         mbps: bytes as f64 / 1e6 / end.as_secs_f64(),
         per_nic_bytes,
+        p50_us: rxm.latency.quantile(0.5).as_micros_f64(),
+        p99_us: rxm.latency.quantile(0.99).as_micros_f64(),
         intact,
     }
 }
 
-fn opt() -> EngineKind {
+/// Pooled optimizer with rendezvous disabled (also the regression gate's
+/// engine for the E7 smoke point).
+pub fn opt() -> EngineKind {
     // Disable rendezvous so the stream is a continuous eager chunk supply
     // (rendezvous handshakes would serialize on the request rail and make
     // the comparison about protocol, not balancing).
@@ -77,7 +86,8 @@ fn opt() -> EngineKind {
     }
 }
 
-fn leg() -> EngineKind {
+/// Legacy engine under the same rendezvous-free configuration.
+pub fn leg() -> EngineKind {
     let config = EngineConfig {
         rndv_threshold: Some(u64::MAX),
         ..EngineConfig::default()
@@ -90,7 +100,14 @@ pub fn run() -> Report {
     let msgs = 300u64;
     let mut t = Table::new(
         "single bulk flow, 300 x 24KiB messages, homogeneous MX rails",
-        &["rails", "opt MB/s", "legacy MB/s", "gain"],
+        &[
+            "rails",
+            "opt MB/s",
+            "legacy MB/s",
+            "gain",
+            "opt p50(us)",
+            "opt p99(us)",
+        ],
     );
     for k in 1..=4usize {
         let rails = vec![Technology::MyrinetMx; k];
@@ -102,6 +119,8 @@ pub fn run() -> Report {
             fmt_f(o.mbps),
             fmt_f(l.mbps),
             format!("{:.2}x", o.mbps / l.mbps),
+            fmt_f(o.p50_us),
+            fmt_f(o.p99_us),
         ]);
     }
 

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod regression;
 pub mod table;
 pub mod tracecli;
 

@@ -3,7 +3,7 @@
 
 use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
 use madeleine::trace::{ChromeExport, EngineEvent};
-use madeleine::Json;
+use madeleine::{Json, LatencyHistogram, Sampler};
 use madware::apps::{FlowSpec, TrafficApp};
 use madware::trace::{Recorder, ReplayApp, Trace};
 use madware::workload::{Arrival, SizeDist};
@@ -151,6 +151,155 @@ pub fn compare(trace: Trace, tech: Technology) -> String {
         fmt_f(leg_rx.latency.quantile(0.99).as_micros_f64()),
     ]);
     t.render()
+}
+
+/// Replay a trace on the optimizing engine with the madscope sampler
+/// enabled, and render the run as percentile tables plus ASCII timelines
+/// of the backlog and per-rail utilization. Returns the rendered report
+/// and the sampler's CSV export (for `--csv`).
+pub fn stats(trace: Trace, tech: Technology, tick_us: u64) -> (String, String) {
+    let tick_us = tick_us.max(1);
+    let expected = trace.len() as u64;
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![tech],
+        engine: EngineKind::optimizing(),
+        trace: None,
+        engine_trace: None,
+    };
+    let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(trace))), None]);
+    c.enable_sampler(SimDuration::from_micros(tick_us));
+    let end = c.drain();
+    let tx = c.handle(0).metrics();
+    let rx = c.handle(1).metrics();
+
+    let mut out = format!(
+        "madscope stats: {} rail, delivered {}/{} messages, makespan {} us, \
+         sampler tick {tick_us} us\n\n",
+        tech.label(),
+        rx.delivered_msgs,
+        expected,
+        fmt_f(end.as_micros_f64()),
+    );
+
+    let mut t = crate::Table::new(
+        "delivery latency percentiles (us; log2-bucket upper bounds, max exact)",
+        &["scope", "count", "p50", "p90", "p99", "max"],
+    );
+    let row = |t: &mut crate::Table, name: String, h: &LatencyHistogram| {
+        if h.count() == 0 {
+            return;
+        }
+        t.row(vec![
+            name,
+            h.count().to_string(),
+            fmt_f(h.quantile(0.5).as_micros_f64()),
+            fmt_f(h.quantile(0.9).as_micros_f64()),
+            fmt_f(h.quantile(0.99).as_micros_f64()),
+            fmt_f(h.summary().max()),
+        ]);
+    };
+    row(&mut t, "all".into(), &rx.latency);
+    for (i, h) in rx.latency_by_class.iter().enumerate() {
+        row(
+            &mut t,
+            format!("class {}", madeleine::TrafficClass(i as u8).label()),
+            h,
+        );
+    }
+    for (flow, h) in &rx.latency_by_flow {
+        row(&mut t, format!("flow {flow}"), h);
+    }
+    for (r, h) in rx.latency_by_rail.iter().enumerate() {
+        row(&mut t, format!("rail {r}"), h);
+    }
+    row(&mut t, "queue delay (tx)".into(), &tx.queue_delay);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    if tx.decision_evals.count() > 0 {
+        out.push_str(&format!(
+            "optimizer decision work: {} activations, plans scored per \
+             activation p50 {} / p99 {} / max {}\n\n",
+            tx.decision_evals.count(),
+            tx.decision_evals.quantile(0.5),
+            tx.decision_evals.quantile(0.99),
+            tx.decision_evals.summary().max(),
+        ));
+    }
+
+    let csv = c.sampler_csv(0).unwrap_or_default();
+    if let Some(s) = c.handle(0).opt().and_then(|h| h.sampler_snapshot()) {
+        out.push_str(&timelines(&s));
+    }
+    (out, csv)
+}
+
+/// ASCII timelines of one sampler ring: backlog plus per-rail
+/// utilization, downsampled to a fixed width (each column shows the
+/// segment maximum).
+fn timelines(s: &Sampler) -> String {
+    let rows: Vec<_> = s.rows().collect();
+    if rows.is_empty() {
+        return "sampler recorded no ticks\n".to_string();
+    }
+    let span = format!(
+        "sampler timeline: {} ticks ({} dropped), {} -> {}\n",
+        rows.len(),
+        s.dropped(),
+        rows[0].at,
+        rows[rows.len() - 1].at,
+    );
+    let backlog: Vec<u64> = rows.iter().map(|r| r.stats.backlog_bytes).collect();
+    let inflight: Vec<u64> = rows.iter().map(|r| r.stats.inflight_pkts).collect();
+    let mut out = span;
+    out.push_str(&spark_line("backlog bytes", &backlog));
+    out.push_str(&spark_line("inflight pkts", &inflight));
+    let rails = rows[0].rails.len();
+    for r in 0..rails {
+        let util: Vec<u64> = rows
+            .iter()
+            .map(|row| u64::from(row.rails[r].util_milli))
+            .collect();
+        out.push_str(&spark_line(&format!("rail{r} util"), &util));
+        let last = &rows[rows.len() - 1].rails[r];
+        if last.dead {
+            out.push_str(&format!("    rail{r} is DEAD\n"));
+        } else if last.health_milli < 1000 {
+            out.push_str(&format!(
+                "    rail{r} final health {}.{:03}\n",
+                last.health_milli / 1000,
+                last.health_milli % 1000
+            ));
+        }
+    }
+    out
+}
+
+/// One labelled sparkline: `label  [.:-=+*#%@]  peak <max>`.
+fn spark_line(label: &str, vals: &[u64]) -> String {
+    const WIDTH: usize = 64;
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    let peak = vals.iter().copied().max().unwrap_or(0);
+    let cols = WIDTH.min(vals.len().max(1));
+    let mut bar = String::with_capacity(cols);
+    for i in 0..cols {
+        // Segment [start, end) of the input mapped onto column i.
+        let start = i * vals.len() / cols;
+        let end = ((i + 1) * vals.len() / cols).max(start + 1);
+        let seg = vals[start..end.min(vals.len())]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let idx = if peak == 0 {
+            0
+        } else {
+            (seg as usize * (LEVELS.len() - 1)).div_ceil(peak as usize)
+        };
+        bar.push(LEVELS[idx.min(LEVELS.len() - 1)] as char);
+    }
+    format!("  {label:>14} |{bar}| peak {peak}\n")
 }
 
 /// Build the fully-traced two-node replay cluster used by `export` and
@@ -436,6 +585,34 @@ mod tests {
         // Unknown activations are reported, not fabricated.
         let s = explain(sample(7), Technology::MyrinetMx, Some(u64::MAX));
         assert!(s.contains("not found"), "{s}");
+    }
+
+    #[test]
+    fn stats_renders_percentiles_timeline_and_csv() {
+        let (report, csv) = stats(sample(7), Technology::MyrinetMx, 5);
+        assert!(report.contains("delivered 200/200"), "{report}");
+        assert!(report.contains("p99"), "{report}");
+        assert!(report.contains("all"), "{report}");
+        assert!(report.contains("queue delay"), "{report}");
+        assert!(report.contains("backlog bytes"), "{report}");
+        assert!(report.contains("rail0 util"), "{report}");
+        assert!(report.contains("sampler timeline:"), "{report}");
+        assert!(csv.starts_with("t_us,"), "{csv}");
+        assert!(csv.lines().count() > 2, "CSV has data rows");
+        // Deterministic end to end.
+        let (r2, c2) = stats(sample(7), Technology::MyrinetMx, 5);
+        assert_eq!(report, r2);
+        assert_eq!(csv, c2);
+    }
+
+    #[test]
+    fn spark_line_scales_to_peak() {
+        let s = spark_line("x", &[0, 0, 5, 10]);
+        assert!(s.contains("peak 10"), "{s}");
+        assert!(s.contains('@'), "peak column saturates: {s}");
+        assert!(s.contains(' '), "zero column is blank: {s}");
+        let flat = spark_line("y", &[0, 0]);
+        assert!(flat.contains("peak 0"), "{flat}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::proto::{
 };
 use crate::receiver::{Receiver, ReceiverStats};
 use crate::reliability::{plan_retransmit, PendingTx, RailHealth, RetransmitTracker};
+use crate::scope::{RailTick, Sampler, TickStats};
 use crate::strategy::{OptContext, Strategy, StrategyRegistry};
 use crate::trace::{EngineEvent, EventSink, FlightDump, FlightTrigger};
 
@@ -53,6 +54,8 @@ const NAGLE_TAG: u64 = INTERNAL_TAG_BASE;
 const ADAPTIVE_TAG: u64 = INTERNAL_TAG_BASE + 1;
 /// Internal timer tag: retransmit-deadline sweep (madrel).
 const RETX_TAG: u64 = INTERNAL_TAG_BASE + 2;
+/// Internal timer tag: madscope sampler tick.
+const SAMPLER_TAG: u64 = INTERNAL_TAG_BASE + 3;
 /// Cookie used by control packets (no completion bookkeeping).
 const CTRL_COOKIE: u64 = 0;
 
@@ -106,6 +109,9 @@ pub struct EngineCore {
     pub trace: EventSink,
     /// Next optimizer activation id (correlates decision events).
     next_activation: u64,
+    /// madscope time-series sampler (disabled by default; one branch per
+    /// wake-probe when disabled, zero per-event cost).
+    sampler: Option<Sampler>,
     /// Flight-recorder capture: set once, when a should-stay-zero counter
     /// first leaves zero.
     flight: Option<FlightDump>,
@@ -160,6 +166,7 @@ impl EngineCore {
             self.adaptive_idle_epochs = 0;
             ctx.set_timer(self.config.adaptive_epoch, ADAPTIVE_TAG);
         }
+        self.wake_sampler(ctx);
         let id = self.collect.submit(flow, parts, ctx.now(), threshold);
         if self.trace.is_enabled() {
             let now = ctx.now();
@@ -318,6 +325,7 @@ impl EngineCore {
                 (outcome.best.map(|s| s.plan), outcome.evaluated as u64)
             };
             self.metrics.plans_evaluated += evaluated;
+            self.metrics.decision_evals.record(evaluated);
             budget = budget.saturating_sub(evaluated as usize);
             let Some(plan) = best else { break };
             *self.metrics.strategy_wins.entry(plan.strategy).or_insert(0) += 1;
@@ -430,7 +438,11 @@ impl EngineCore {
                         segments,
                     },
                 )?;
+                let now = ctx.now();
                 for c in chunks {
+                    if let Some(msg) = self.collect.find_msg(c.flow, c.seq) {
+                        self.metrics.queue_delay.record(now.since(msg.submitted_at));
+                    }
                     self.collect.commit_chunk(c, ChannelId(rail_idx as u16));
                 }
                 self.trace.push(
@@ -570,6 +582,7 @@ impl EngineCore {
         nic: NicId,
         pkt: WirePacket,
     ) -> (Vec<DeliveredMessage>, Vec<MsgId>) {
+        self.wake_sampler(ctx);
         match pkt.kind {
             KIND_DATA => {
                 self.receiver.record_vchan(pkt.vchan);
@@ -603,9 +616,15 @@ impl EngineCore {
                 if self.receiver.stats.express_violations > violations_before {
                     self.note_fault(ctx.now(), FlightTrigger::ExpressViolation);
                 }
+                let rx_rail = self.rail_of(nic);
                 for d in &out {
-                    self.metrics
-                        .record_delivery(d.class, d.total_len(), d.latency);
+                    self.metrics.record_delivery(
+                        d.class,
+                        d.flow,
+                        rx_rail,
+                        d.total_len(),
+                        d.latency,
+                    );
                     self.trace.push(
                         ctx.now(),
                         EngineEvent::Delivered {
@@ -934,14 +953,92 @@ impl EngineCore {
         }
     }
 
-    /// Walk this engine's metric sources (engine counters, receiver stats)
-    /// into one [`MetricsRegistry`]. NIC stats live in the simulator and
-    /// are appended by the harness, which can see them.
+    /// Register every metric source this engine owns — engine counters,
+    /// receiver stats and (when enabled) the madscope sampler digest —
+    /// under `prefix` (e.g. `""` or `"node0/"`). This is the **single**
+    /// place engine gauges join a registry: [`EngineCore::metrics_registry`],
+    /// [`EngineHandle::metrics_registry`] and the cluster harness all call
+    /// it, so a new madscope gauge registers exactly once, everywhere.
+    pub fn register_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.add_engine(&format!("{prefix}engine"), &self.metrics);
+        reg.add_receiver(&format!("{prefix}receiver"), &self.receiver.stats);
+        if let Some(s) = &self.sampler {
+            reg.add_section(&format!("{prefix}sampler"), s.to_json());
+        }
+    }
+
+    /// Walk this engine's metric sources (engine counters, receiver stats,
+    /// sampler digest) into one [`MetricsRegistry`]. NIC stats live in the
+    /// simulator and are appended by the harness, which can see them.
     pub fn metrics_registry(&self) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
-        reg.add_engine("engine", &self.metrics);
-        reg.add_receiver("receiver", &self.receiver.stats);
+        self.register_metrics(&mut reg, "");
         reg
+    }
+
+    /// True when nothing is pending: no backlog, no in-flight packets, no
+    /// unacked data, no queued control messages.
+    fn drained(&self) -> bool {
+        self.collect.is_empty()
+            && self.inflight.is_empty()
+            && self.retx.is_empty()
+            && self.pending_ctrl.is_empty()
+    }
+
+    /// Re-arm the sampler tick timer if a sampler is installed and its
+    /// timer went to sleep. One `Option` branch when sampling is off;
+    /// called from the submit and receive paths so traffic wakes a
+    /// sleeping sampler.
+    #[inline]
+    fn wake_sampler(&mut self, ctx: &mut SimCtx<'_>) {
+        if let Some(s) = self.sampler.as_mut() {
+            if !s.is_armed() {
+                s.set_armed(true);
+                ctx.set_timer(s.tick(), SAMPLER_TAG);
+            }
+        }
+    }
+
+    /// One madscope sampler tick: snapshot backlog/occupancy/counters and
+    /// per-rail state into the ring, then re-arm unless the engine has
+    /// been drained long enough for the timer to sleep (preserving
+    /// quiescence of idle simulations).
+    fn on_sampler_tick(&mut self, ctx: &mut SimCtx<'_>) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let drained = self.drained();
+        let stats = TickStats {
+            backlog_bytes: self.collect.backlog_bytes(),
+            backlog_msgs: self
+                .collect
+                .flows()
+                .iter()
+                .map(|f| f.queue.len() as u64)
+                .sum(),
+            inflight_pkts: self.inflight.len() as u64,
+            retx_pending: self.retx.len() as u64,
+            submitted_msgs: self.metrics.submitted_msgs,
+            delivered_msgs: self.metrics.delivered_msgs,
+            packets_sent: self.metrics.packets_sent,
+            plans_evaluated: self.metrics.plans_evaluated,
+            strategy_wins: self.metrics.strategy_wins.values().sum(),
+        };
+        let rails: Vec<RailTick> = (0..self.rails.len())
+            .map(|r| RailTick {
+                busy: !self.rails[r].driver.is_idle(ctx),
+                health_milli: (self.rail_health[r].score() * 1000.0).round() as u32,
+                dead: self.rail_health[r].is_dead(),
+            })
+            .collect();
+        let Some(s) = self.sampler.as_mut() else {
+            return;
+        };
+        if s.record_tick(ctx.now(), stats, &rails, drained) {
+            ctx.set_timer(s.tick(), SAMPLER_TAG);
+        } else {
+            s.set_armed(false);
+        }
     }
 
     /// Human-readable snapshot of the engine's state, for debugging stuck
@@ -968,6 +1065,17 @@ impl EngineCore {
             m.plans_evaluated,
             m.plans_submitted,
         );
+        if m.latency.count() > 0 {
+            out.push_str(&format!(
+                "             latency us: p50={:.1} p90={:.1} p99={:.1} max={:.1}; queue delay p99={:.1}us; decision evals p99={}\n",
+                m.latency.quantile(0.5).as_micros_f64(),
+                m.latency.quantile(0.9).as_micros_f64(),
+                m.latency.quantile(0.99).as_micros_f64(),
+                m.latency.summary().max(),
+                m.queue_delay.quantile(0.99).as_micros_f64(),
+                m.decision_evals.quantile(0.99),
+            ));
+        }
         if self.trace.is_enabled() {
             out.push_str(&format!(
                 "             trace: {}/{} events retained, {} dropped\n",
@@ -977,6 +1085,17 @@ impl EngineCore {
             ));
         } else {
             out.push_str("             trace: disabled\n");
+        }
+        match &self.sampler {
+            Some(s) => out.push_str(&format!(
+                "             sampler: {}/{} rows retained, {} dropped, tick {}us, {}\n",
+                s.len(),
+                s.capacity(),
+                s.dropped(),
+                s.tick().as_micros_f64(),
+                if s.is_armed() { "armed" } else { "sleeping" },
+            )),
+            None => out.push_str("             sampler: disabled\n"),
         }
         out.push_str(&format!(
             "             health: proto_errors={} driver_rejections={} express_violations={} class_clamped={}; flight recorder {}\n",
@@ -1209,6 +1328,7 @@ impl EngineBuilder {
             delivered: Vec::new(),
             trace: EventSink::disabled(),
             next_activation: 0,
+            sampler: None,
             flight: None,
         }));
         let handle = EngineHandle { core: core.clone() };
@@ -1256,6 +1376,7 @@ impl Endpoint for MadEngine {
                 core.adaptive_sleeping = false;
                 ctx.set_timer(epoch, ADAPTIVE_TAG);
             }
+            core.wake_sampler(ctx);
         }
         self.with_app(ctx, |app, api| app.on_start(api));
     }
@@ -1323,6 +1444,7 @@ impl Endpoint for MadEngine {
                 core.nagle_timer = None;
                 core.optimize_all_idle(ctx, Activation::Timer);
             }
+            SAMPLER_TAG => self.core.borrow_mut().on_sampler_tick(ctx),
             ADAPTIVE_TAG => {
                 let mut core = self.core.borrow_mut();
                 let traffic = core.policy.epoch_traffic();
@@ -1460,9 +1582,46 @@ impl EngineHandle {
     }
 
     /// Walk this engine's metric sources into one [`MetricsRegistry`]
-    /// (engine counters + receiver stats; the harness appends NIC stats).
+    /// (engine counters + receiver stats + sampler digest; the harness
+    /// appends NIC stats).
     pub fn metrics_registry(&self) -> MetricsRegistry {
         self.core.borrow().metrics_registry()
+    }
+
+    /// Register this engine's metric sources into an existing registry
+    /// under `prefix` (the single registration path; see
+    /// [`EngineCore::register_metrics`]).
+    pub fn register_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        self.core.borrow().register_metrics(reg, prefix);
+    }
+
+    /// madscope: install a time-series sampler ticking every `tick` of
+    /// virtual time into a ring of `capacity` rows (replacing any previous
+    /// sampler and its contents). Effective immediately when the engine is
+    /// already running — the next submission or received packet arms the
+    /// tick timer; enabling before the run starts arms it at `on_start`.
+    pub fn enable_sampler(&self, tick: simnet::SimDuration, capacity: usize) {
+        let mut core = self.core.borrow_mut();
+        let rails = core.rails.len();
+        core.sampler = Some(Sampler::new(tick, capacity, rails));
+    }
+
+    /// madscope: clone of the sampler state (rows, drop accounting), or
+    /// `None` when sampling is disabled.
+    pub fn sampler_snapshot(&self) -> Option<Sampler> {
+        self.core.borrow().sampler.clone()
+    }
+
+    /// madscope: the sampler ring as deterministic CSV, or `None` when
+    /// sampling is disabled.
+    pub fn sampler_csv(&self) -> Option<String> {
+        self.core.borrow().sampler.as_ref().map(Sampler::csv)
+    }
+
+    /// madscope: this engine's metrics registry rendered as Prometheus
+    /// text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        crate::scope::prometheus_render(&self.metrics_registry())
     }
 
     /// Test hook: feed a raw wire packet straight into the receive path,

@@ -290,13 +290,19 @@ impl Cluster {
         crate::trace::export_chrome_trace(self.sim.trace(), &borrowed, &self.nics)
     }
 
-    /// Walk every node's engine/receiver metrics plus every NIC's counters
-    /// into one [`crate::metrics::MetricsRegistry`].
+    /// Walk every node's engine/receiver metrics (plus sampler digests,
+    /// via the single [`EngineHandle::register_metrics`] path) and every
+    /// NIC's counters into one [`crate::metrics::MetricsRegistry`].
     pub fn metrics_registry(&self) -> crate::metrics::MetricsRegistry {
         let mut reg = crate::metrics::MetricsRegistry::new();
         for (i, h) in self.handles.iter().enumerate() {
-            reg.add_engine(&format!("node{i}/engine"), &h.metrics());
-            reg.add_receiver(&format!("node{i}/receiver"), &h.receiver_stats());
+            match h {
+                NodeHandle::Opt(h) => h.register_metrics(&mut reg, &format!("node{i}/")),
+                NodeHandle::Legacy(h) => {
+                    reg.add_engine(&format!("node{i}/engine"), &h.metrics());
+                    reg.add_receiver(&format!("node{i}/receiver"), &h.receiver_stats());
+                }
+            }
         }
         for (i, nics) in self.nics.iter().enumerate() {
             for (r, &nic) in nics.iter().enumerate() {
@@ -304,6 +310,29 @@ impl Cluster {
             }
         }
         reg
+    }
+
+    /// madscope: install a sampler ticking every `tick` on every
+    /// optimizing-engine node
+    /// ([`crate::scope::DEFAULT_SAMPLER_CAPACITY`] rows each). Legacy
+    /// nodes have no sampler and are skipped.
+    pub fn enable_sampler(&self, tick: SimDuration) {
+        for h in &self.handles {
+            if let NodeHandle::Opt(h) = h {
+                h.enable_sampler(tick, crate::scope::DEFAULT_SAMPLER_CAPACITY);
+            }
+        }
+    }
+
+    /// madscope: node `i`'s sampler ring as deterministic CSV (`None` for
+    /// legacy nodes or when sampling is disabled).
+    pub fn sampler_csv(&self, i: usize) -> Option<String> {
+        self.handles[i].opt().and_then(|h| h.sampler_csv())
+    }
+
+    /// The whole cluster registry rendered as Prometheus text format.
+    pub fn prometheus_text(&self) -> String {
+        crate::scope::prometheus_render(&self.metrics_registry())
     }
 
     /// Flight-recorder dumps captured so far, in node order.

@@ -294,8 +294,13 @@ impl LegacyCore {
                     out.extend(self.receiver.on_chunk(pkt.src, ch, ctx.now()));
                 }
                 for d in &out {
-                    self.metrics
-                        .record_delivery(d.class, d.total_len(), d.latency);
+                    self.metrics.record_delivery(
+                        d.class,
+                        d.flow,
+                        rail_idx,
+                        d.total_len(),
+                        d.latency,
+                    );
                 }
                 if self.config.record_deliveries {
                     self.delivered.extend(out.iter().cloned());

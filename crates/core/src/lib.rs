@@ -62,6 +62,7 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod harness;
+pub mod hist;
 pub mod ids;
 pub mod json;
 pub mod legacy;
@@ -73,6 +74,7 @@ pub mod policy;
 pub mod proto;
 pub mod receiver;
 pub mod reliability;
+pub mod scope;
 pub mod strategy;
 pub mod trace;
 
@@ -81,6 +83,7 @@ pub use config::EngineConfig;
 pub use engine::{EngineBuilder, EngineHandle, MadEngine};
 pub use error::EngineError;
 pub use harness::{Cluster, ClusterSpec, EngineKind, NodeHandle};
+pub use hist::{LatencyHistogram, LogHistogram};
 pub use ids::{ChannelId, FlowId, MsgId, TrafficClass};
 pub use json::Json;
 pub use legacy::{LegacyEngine, LegacyHandle};
@@ -88,6 +91,7 @@ pub use message::{DeliveredMessage, Fragment, MessageBuilder, PackMode};
 pub use metrics::{EngineMetrics, MetricsRegistry};
 pub use policy::PolicyKind;
 pub use reliability::{plan_retransmit, RailHealth, ReliabilityMode, RetransmitTracker};
+pub use scope::{flatten_registry, prometheus_render, PromSample, Sampler};
 pub use strategy::{Strategy, StrategyRegistry};
 pub use trace::{
     chrome_event_count, export_chrome_trace, ChromeExport, EngineEvent, EngineRecord, EventSink,

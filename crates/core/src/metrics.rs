@@ -1,16 +1,22 @@
 //! Engine-level metrics: everything the experiment harness reports is
 //! accumulated here, on both the sending and receiving sides.
 
-use simnet::{LatencyHistogram, NicStats, SimDuration, Summary};
+use simnet::{NicStats, SimDuration, Summary};
 use std::collections::BTreeMap;
 
-use crate::ids::TrafficClass;
+use crate::hist::{LatencyHistogram, LogHistogram};
+use crate::ids::{FlowId, TrafficClass};
 use crate::json::{obj, Json};
 use crate::receiver::ReceiverStats;
 
 /// Histogram of chunks-per-packet (index = chunk count, capped at the last
 /// bucket). `chunks/packets > 1` is aggregation happening.
 const AGG_BUCKETS: usize = 17;
+
+/// Distinct per-flow latency histograms retained before further flows are
+/// pooled into the overflow histogram (madscope; bounds hot-path memory on
+/// workloads with unbounded flow churn).
+pub const MAX_FLOW_HISTS: usize = 64;
 
 /// Why the optimizer ran.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +55,27 @@ pub struct EngineMetrics {
     pub latency: LatencyHistogram,
     /// Latency split by traffic class.
     pub latency_by_class: Vec<LatencyHistogram>,
+    /// Latency split by flow (receive side; keyed by the sender's flow
+    /// id). Bounded to [`MAX_FLOW_HISTS`] distinct flows; later flows pool
+    /// into [`EngineMetrics::latency_flow_overflow`].
+    pub latency_by_flow: BTreeMap<u32, LatencyHistogram>,
+    /// Pooled latency of flows beyond the per-flow histogram budget.
+    pub latency_flow_overflow: LatencyHistogram,
+    /// Latency split by the rail the completing packet arrived on (grown
+    /// on demand; rail-less deliveries, e.g. injected packets on unknown
+    /// NICs, only count in the aggregate histogram).
+    pub latency_by_rail: Vec<LatencyHistogram>,
+    /// Submit→wire-commit delay of every scheduled chunk: how long payload
+    /// waited in the collect backlog before the optimizer put it on a
+    /// wire. This is the sender-side share of delivery latency that the
+    /// scheduler controls.
+    pub queue_delay: LatencyHistogram,
+    /// Plans scored per optimizer activation (the decision-work
+    /// distribution behind `plans_evaluated`). Virtual-time decisions are
+    /// instantaneous by construction, so decision *work* — not wall time —
+    /// is the observable cost; the `select_plan` Criterion bench converts
+    /// it to host nanoseconds.
+    pub decision_evals: LogHistogram,
     /// Wire packets sent (data only).
     pub packets_sent: u64,
     /// Chunks sent (aggregation ratio = chunks / packets).
@@ -119,6 +146,11 @@ impl Default for EngineMetrics {
             latency_by_class: (0..TrafficClass::COUNT)
                 .map(|_| LatencyHistogram::new())
                 .collect(),
+            latency_by_flow: BTreeMap::new(),
+            latency_flow_overflow: LatencyHistogram::new(),
+            latency_by_rail: Vec::new(),
+            queue_delay: LatencyHistogram::new(),
+            decision_evals: LogHistogram::new(),
             packets_sent: 0,
             chunks_sent: 0,
             agg_histogram: [0; AGG_BUCKETS],
@@ -172,10 +204,19 @@ impl EngineMetrics {
         }
     }
 
-    /// Record a delivered message. Out-of-range classes are clamped into
-    /// the last per-class bucket and counted in `class_clamped` (and, with
-    /// the `debug-invariants` feature, assert immediately).
-    pub fn record_delivery(&mut self, class: TrafficClass, bytes: u64, latency: SimDuration) {
+    /// Record a delivered message, attributed to its traffic class, flow
+    /// and (when known) the rail the completing packet arrived on.
+    /// Out-of-range classes are clamped into the last per-class bucket and
+    /// counted in `class_clamped` (and, with the `debug-invariants`
+    /// feature, assert immediately).
+    pub fn record_delivery(
+        &mut self,
+        class: TrafficClass,
+        flow: FlowId,
+        rail: Option<usize>,
+        bytes: u64,
+        latency: SimDuration,
+    ) {
         self.delivered_msgs += 1;
         self.delivered_bytes += bytes;
         self.latency.record(latency);
@@ -191,6 +232,22 @@ impl EngineMetrics {
         }
         let idx = idx.min(self.latency_by_class.len() - 1);
         self.latency_by_class[idx].record(latency);
+        if self.latency_by_flow.len() < MAX_FLOW_HISTS || self.latency_by_flow.contains_key(&flow.0)
+        {
+            self.latency_by_flow
+                .entry(flow.0)
+                .or_default()
+                .record(latency);
+        } else {
+            self.latency_flow_overflow.record(latency);
+        }
+        if let Some(r) = rail {
+            if r >= self.latency_by_rail.len() {
+                self.latency_by_rail
+                    .resize_with(r + 1, LatencyHistogram::new);
+            }
+            self.latency_by_rail[r].record(latency);
+        }
     }
 
     /// Mean chunks per data packet (1.0 = no aggregation).
@@ -224,14 +281,18 @@ impl EngineMetrics {
         }
         let mut per_class = obj();
         for (i, h) in self.latency_by_class.iter().enumerate() {
-            per_class = per_class.field(
-                TrafficClass(i as u8).label(),
-                obj()
-                    .field("count", h.count())
-                    .field("mean_us", h.summary().mean())
-                    .field("p99_us", h.quantile(0.99).as_micros_f64())
-                    .build(),
-            );
+            per_class = per_class.field(TrafficClass(i as u8).label(), h.to_json_us());
+        }
+        let mut per_flow = obj();
+        for (flow, h) in &self.latency_by_flow {
+            per_flow = per_flow.field(&format!("flow{flow}"), h.to_json_us());
+        }
+        if self.latency_flow_overflow.count() > 0 {
+            per_flow = per_flow.field("overflow", self.latency_flow_overflow.to_json_us());
+        }
+        let mut per_rail = obj();
+        for (r, h) in self.latency_by_rail.iter().enumerate() {
+            per_rail = per_rail.field(&format!("rail{r}"), h.to_json_us());
         }
         obj()
             .field("submitted_msgs", self.submitted_msgs)
@@ -268,16 +329,12 @@ impl EngineMetrics {
                     .build(),
             )
             .field("strategy_wins", wins.build())
-            .field(
-                "latency_us",
-                obj()
-                    .field("count", self.latency.count())
-                    .field("mean", self.latency.summary().mean())
-                    .field("p50", self.latency.quantile(0.5).as_micros_f64())
-                    .field("p99", self.latency.quantile(0.99).as_micros_f64())
-                    .build(),
-            )
+            .field("latency_us", self.latency.to_json_us())
             .field("latency_by_class_us", per_class.build())
+            .field("latency_by_flow_us", per_flow.build())
+            .field("latency_by_rail_us", per_rail.build())
+            .field("queue_delay_us", self.queue_delay.to_json_us())
+            .field("decision_evals", self.decision_evals.to_json())
             .field("app_blocking_ns", self.app_blocking.as_nanos())
             .build()
     }
@@ -407,8 +464,20 @@ mod tests {
     #[test]
     fn delivery_updates_class_histograms() {
         let mut m = EngineMetrics::default();
-        m.record_delivery(TrafficClass::CONTROL, 64, SimDuration::from_micros(3));
-        m.record_delivery(TrafficClass::BULK, 1 << 20, SimDuration::from_millis(2));
+        m.record_delivery(
+            TrafficClass::CONTROL,
+            FlowId(1),
+            Some(0),
+            64,
+            SimDuration::from_micros(3),
+        );
+        m.record_delivery(
+            TrafficClass::BULK,
+            FlowId(2),
+            Some(1),
+            1 << 20,
+            SimDuration::from_millis(2),
+        );
         assert_eq!(m.delivered_msgs, 2);
         assert_eq!(m.latency.count(), 2);
         assert_eq!(
@@ -429,10 +498,22 @@ mod tests {
     #[cfg(not(feature = "debug-invariants"))]
     fn user_class_out_of_range_clamps_and_counts() {
         let mut m = EngineMetrics::default();
-        m.record_delivery(TrafficClass(200), 1, SimDuration::from_nanos(1));
+        m.record_delivery(
+            TrafficClass(200),
+            FlowId(1),
+            None,
+            1,
+            SimDuration::from_nanos(1),
+        );
         assert_eq!(m.latency_by_class.last().unwrap().count(), 1);
         assert_eq!(m.class_clamped, 1);
-        m.record_delivery(TrafficClass::CONTROL, 1, SimDuration::from_nanos(1));
+        m.record_delivery(
+            TrafficClass::CONTROL,
+            FlowId(1),
+            None,
+            1,
+            SimDuration::from_nanos(1),
+        );
         assert_eq!(m.class_clamped, 1, "in-range classes do not count");
     }
 
@@ -441,14 +522,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn user_class_out_of_range_asserts_under_invariants() {
         let mut m = EngineMetrics::default();
-        m.record_delivery(TrafficClass(200), 1, SimDuration::from_nanos(1));
+        m.record_delivery(
+            TrafficClass(200),
+            FlowId(1),
+            None,
+            1,
+            SimDuration::from_nanos(1),
+        );
     }
 
     #[test]
     fn metrics_json_is_deterministic_and_complete() {
         let mut m = EngineMetrics::default();
         m.record_packet(2, false);
-        m.record_delivery(TrafficClass::CONTROL, 64, SimDuration::from_micros(3));
+        m.record_delivery(
+            TrafficClass::CONTROL,
+            FlowId(1),
+            Some(0),
+            64,
+            SimDuration::from_micros(3),
+        );
         *m.strategy_wins.entry("aggregate").or_insert(0) += 1;
         let doc = m.to_json();
         assert_eq!(doc.get("packets_sent").unwrap().as_u64(), Some(1));

@@ -62,6 +62,6 @@ pub use link::{NetworkParams, Technology};
 pub use nic::{NicState, NicStats};
 pub use packet::{SubmitError, TxMode, TxRequest, VChannel, WirePacket};
 pub use rng::SplitMix64;
-pub use stats::{LatencyHistogram, Summary, Throughput, Utilization};
+pub use stats::{Summary, Throughput, Utilization};
 pub use time::{transfer_time, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceRecord};

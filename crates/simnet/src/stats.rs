@@ -116,75 +116,11 @@ impl Summary {
     }
 }
 
-/// Log2-bucketed histogram for durations, covering 1 ns .. ~584 s in 64
-/// buckets. Approximate quantiles are exact to within one power of two, which
-/// is enough to compare scheduling policies whose effects span decades.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    summary: Summary,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: [0; 64],
-            summary: Summary::new(),
-        }
-    }
-
-    /// Record one duration sample.
-    pub fn record(&mut self, d: SimDuration) {
-        let ns = d.as_nanos();
-        let idx = 63u32.saturating_sub(ns.max(1).leading_zeros()) as usize;
-        self.buckets[idx] += 1;
-        self.summary.record_duration(d);
-    }
-
-    /// Total samples.
-    pub fn count(&self) -> u64 {
-        self.summary.count()
-    }
-
-    /// Scalar summary over the same samples.
-    pub fn summary(&self) -> &Summary {
-        &self.summary
-    }
-
-    /// Approximate quantile (`q` in `[0,1]`) as a duration. Returns the upper
-    /// bound of the bucket containing the q-th sample.
-    pub fn quantile(&self, q: f64) -> SimDuration {
-        let total = self.count();
-        if total == 0 {
-            return SimDuration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return SimDuration::from_nanos(upper);
-            }
-        }
-        SimDuration::from_nanos(u64::MAX)
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.summary.merge(&other.summary);
-    }
-}
+// NOTE: the log2-bucketed `LatencyHistogram` that used to live here was
+// promoted to `madeleine::hist` (madscope), which depends on this crate
+// and re-exports the shared implementation for every consumer. Only the
+// scalar `Summary` (and the time-weighted trackers below) remain in
+// simnet.
 
 /// Tracks the fraction of virtual time a binary resource (e.g. a NIC transmit
 /// engine) spends busy, with exact time weighting.
@@ -322,32 +258,6 @@ mod tests {
         assert_eq!(s.stddev(), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
-    }
-
-    #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let mut h = LatencyHistogram::new();
-        for us in 1..=1000u64 {
-            h.record(SimDuration::from_micros(us));
-        }
-        assert_eq!(h.count(), 1000);
-        let p50 = h.quantile(0.5).as_nanos();
-        // Median sample is 500 µs; bucket upper bound must be >= that and
-        // within one power of two.
-        assert!(p50 >= 500_000, "p50={p50}");
-        assert!(p50 < 2 * 1_048_576 * 1000, "p50={p50}");
-        let p100 = h.quantile(1.0).as_nanos();
-        assert!(p100 >= 1_000_000);
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(SimDuration::from_micros(10));
-        b.record(SimDuration::from_micros(20));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
     }
 
     #[test]

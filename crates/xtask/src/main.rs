@@ -6,11 +6,18 @@
 //!   analyzer over every registered strategy × every driver capability
 //!   profile. Exits non-zero (printing a minimized counterexample) if any
 //!   strategy can emit a plan that violates the plan constraints or a
-//!   driver capability bound. Finishes with a madtrace smoke test: a small
+//!   driver capability bound, then checks the madscope metrics export
+//!   (unique sample keys, no silent drops). Finishes with a madtrace
+//!   smoke test: a small
 //!   traced workload is exported to Chrome trace-event JSON, re-parsed,
 //!   and the event count must round-trip (bit-identically across runs).
 //! * `lint` — run only the source lints (determinism and hot-path
 //!   hygiene), plus `cargo fmt --check` when rustfmt is installed.
+//! * `bench` — run the madscope smoke suite (one point each of E1, E2,
+//!   E7 and E12 plus a sampler-instrumented replay) and write the
+//!   schema-versioned `BENCH_<label>.json` gate document and the sampler
+//!   CSV; `--check <baseline>` compares the fresh run against a committed
+//!   baseline and exits non-zero on regression.
 //!
 //! No external dependencies: argument parsing is by hand and the analyzer
 //! runs in-process.
@@ -27,6 +34,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("lint") => {
             if lint(repo_root().as_path(), true) {
                 ExitCode::SUCCESS
@@ -57,6 +65,15 @@ commands:
               --seed <u64>       corpus seed (default: stable)
               --samples <n>      sampled backlogs per profile (default 64)
               --skip-lints       conformance analysis only
+  bench     madscope regression gate: run the E1/E2/E7/E12 smoke suite
+            plus a sampler replay, write BENCH_<label>.json and
+            BENCH_<label>_sampler.csv
+              --label <name>     document label / file stem (default: baseline)
+              --out <dir>        output directory (default: repo root)
+              --check <file>     compare against a baseline BENCH_*.json
+                                 and exit non-zero on any regression
+              --threshold <f>    per-metric regression budget as a
+                                 fraction of the baseline (default 0.05)
   lint      source lints only (+ cargo fmt --check when available)
   help      this text
 ";
@@ -114,6 +131,10 @@ fn analyze(args: &[String]) -> ExitCode {
     print!("{retx}");
     ok &= retx.is_clean();
 
+    let metrics = madcheck::metrics_check();
+    print!("{metrics}");
+    ok &= metrics.is_clean();
+
     ok &= trace_smoke();
 
     if ok {
@@ -125,6 +146,118 @@ fn analyze(args: &[String]) -> ExitCode {
 
 fn flag_error(msg: &str) -> ExitCode {
     eprintln!("xtask analyze: {msg}");
+    ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// bench (madscope regression gate)
+// ---------------------------------------------------------------------------
+
+fn bench(args: &[String]) -> ExitCode {
+    use mad_bench::regression::{self, BenchDoc, Direction};
+
+    let mut label = String::from("baseline");
+    let mut out_dir = repo_root();
+    let mut check_path: Option<PathBuf> = None;
+    let mut threshold = regression::DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => match it.next() {
+                Some(v)
+                    if !v.is_empty()
+                        && v.chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') =>
+                {
+                    label = v.clone();
+                }
+                _ => return bench_error("--label expects [A-Za-z0-9_-]+"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return bench_error("--out expects a directory"),
+            },
+            "--check" => match it.next() {
+                Some(v) => check_path = Some(PathBuf::from(v)),
+                None => return bench_error("--check expects a baseline file"),
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 && v.is_finite() => threshold = v,
+                _ => return bench_error("--threshold expects a non-negative fraction"),
+            },
+            other => return bench_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    println!("xtask bench: running madscope smoke suite (label `{label}`)");
+    let suite = regression::run_suite(&label);
+    for m in &suite.doc.metrics {
+        println!(
+            "  {:<28} {:>14.3}  [{}]",
+            m.name,
+            m.value,
+            m.direction.label()
+        );
+    }
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        return bench_error(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    let json_path = out_dir.join(format!("BENCH_{label}.json"));
+    let csv_path = out_dir.join(format!("BENCH_{label}_sampler.csv"));
+    let mut doc_text = suite.doc.render();
+    doc_text.push('\n');
+    if let Err(e) = fs::write(&json_path, &doc_text) {
+        return bench_error(&format!("cannot write {}: {e}", json_path.display()));
+    }
+    if let Err(e) = fs::write(&csv_path, &suite.sampler_csv) {
+        return bench_error(&format!("cannot write {}: {e}", csv_path.display()));
+    }
+    println!(
+        "xtask bench: wrote {} and {}",
+        json_path.display(),
+        csv_path.display()
+    );
+
+    let Some(base_path) = check_path else {
+        return ExitCode::SUCCESS;
+    };
+    let base_text = match fs::read_to_string(&base_path) {
+        Ok(t) => t,
+        Err(e) => return bench_error(&format!("cannot read {}: {e}", base_path.display())),
+    };
+    let base = match BenchDoc::parse(&base_text) {
+        Ok(d) => d,
+        Err(e) => return bench_error(&format!("{}: {e}", base_path.display())),
+    };
+    let violations = regression::check(&base, &suite.doc, threshold);
+    if violations.is_empty() {
+        let gated = base
+            .metrics
+            .iter()
+            .filter(|m| m.direction != Direction::Info)
+            .count();
+        println!(
+            "xtask bench: gate passed vs {} ({gated} gated metrics within {:.1}%)",
+            base_path.display(),
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask bench: gate FAILED vs {} ({} violations):",
+            base_path.display(),
+            violations.len()
+        );
+        for v in &violations {
+            println!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn bench_error(msg: &str) -> ExitCode {
+    eprintln!("xtask bench: {msg}");
     ExitCode::FAILURE
 }
 
