@@ -38,7 +38,7 @@ fn bench_select(c: &mut Criterion) {
     let cost = CostModel::from_params(&calib::params(Technology::MyrinetMx));
     let mut group = c.benchmark_group("select_plan");
     for &msgs in &[4usize, 16, 64, 256] {
-        let collect = backlog(msgs, 8);
+        let mut collect = backlog(msgs, 8);
         let cfg = EngineConfig::default();
         let registry = StrategyRegistry::standard(&cfg);
         group.bench_with_input(BenchmarkId::new("backlog", msgs), &msgs, |b, _| {
@@ -69,7 +69,7 @@ fn bench_select(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("select_plan_budget");
-    let collect = backlog(128, 8);
+    let mut collect = backlog(128, 8);
     for &budget in &[1usize, 8, 64, 1024] {
         let cfg = EngineConfig::default().with_budget(budget);
         let registry = StrategyRegistry::standard(&cfg);
@@ -100,7 +100,7 @@ fn bench_select(c: &mut Criterion) {
     // "tracing off costs one branch"; off-vs-on is the price of the
     // decision log itself.
     let mut group = c.benchmark_group("select_plan_trace");
-    let collect = backlog(64, 8);
+    let mut collect = backlog(64, 8);
     let cfg = EngineConfig::default();
     let registry = StrategyRegistry::standard(&cfg);
     for &traced in &[false, true] {

@@ -2,8 +2,9 @@
 //!
 //! `run_suite` drives one smoke point of each flagship experiment
 //! (E1 aggregation, E2 NIC-idle batching, E7 multi-rail balancing,
-//! E12 loss recovery) plus a sampler-instrumented replay, and collects
-//! the headline numbers into a schema-versioned [`BenchDoc`].
+//! E12 loss recovery, E13 flow scale + admission) plus a
+//! sampler-instrumented replay, and collects the headline numbers into
+//! a schema-versioned [`BenchDoc`].
 //! `cargo xtask bench` serializes it as `BENCH_<label>.json`;
 //! `cargo xtask bench --check <baseline>` re-runs the suite and feeds
 //! both documents to [`check`], which fails the build when any gated
@@ -25,10 +26,11 @@
 
 use madeleine::harness::EngineKind;
 use madeleine::json::{obj, Json};
+use madeleine::{AdmissionPolicy, FairnessMode};
 use madware::scenario::eager_flows;
 use simnet::{SimDuration, Technology};
 
-use crate::experiments::{e12_loss, e1_aggregation, e7_multirail};
+use crate::experiments::{e12_loss, e13_flowscale, e1_aggregation, e7_multirail};
 
 /// Document schema tag; bump when metric names or semantics change so a
 /// stale committed baseline fails loudly instead of comparing garbage.
@@ -342,6 +344,56 @@ pub fn run_suite(label: &str) -> SuiteOutput {
         Direction::Info,
     );
 
+    // E13: madflow flow scale + admission. One smoke-sized open-loop
+    // scale point, the DRR mice-protection cell, and the lossless
+    // Block-policy overload cell.
+    let s = e13_flowscale::run_scale(e13_flowscale::SMOKE_FLOWS, 2, e13_flowscale::SEED, false);
+    assert_eq!(s.violations, 0, "E13 smoke: express ordering violated");
+    push(
+        &mut metrics,
+        "e13_scale_makespan_us",
+        s.makespan_us,
+        Direction::LowerIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e13_scale_p99_us",
+        s.p99_us,
+        Direction::LowerIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e13_delivered_fraction",
+        s.delivered as f64 / s.expected as f64,
+        Direction::HigherIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e13_peak_backlog_bytes",
+        s.peak_backlog as f64,
+        Direction::Info,
+    );
+    let fair = e13_flowscale::run_fairness(FairnessMode::Drr);
+    push(
+        &mut metrics,
+        "e13_drr_mice_p99_us",
+        fair.mice_p99_us,
+        Direction::LowerIsBetter,
+    );
+    let ov = e13_flowscale::run_overload(AdmissionPolicy::Block, false);
+    push(
+        &mut metrics,
+        "e13_overload_delivered_fraction",
+        ov.delivered as f64 / ov.stats.attempts as f64,
+        Direction::HigherIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e13_overload_unblocked_events",
+        ov.unblocked_events as f64,
+        Direction::Info,
+    );
+
     // Sampler replay of the E2 workload: time-series digest + CSV. Kept
     // out of the gated makespans (the tick timer outlives the last
     // delivery by up to SAMPLER_SLEEP_TICKS ticks).
@@ -535,12 +587,14 @@ mod tests {
             a.doc.get("madscope_sampler_rows").map(|m| m.value) > Some(0.0),
             "sampler replay recorded no rows"
         );
-        // Spot-check the suite covers all four experiments.
+        // Spot-check the suite covers all five experiments.
         for name in [
             "e1_opt_makespan_us",
             "e2_submits_per_activation",
             "e7_2rail_opt_mbps",
             "e12_delivered_fraction",
+            "e13_scale_makespan_us",
+            "e13_overload_delivered_fraction",
         ] {
             assert!(a.doc.get(name).is_some(), "missing {name}");
         }

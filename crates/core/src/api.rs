@@ -3,6 +3,7 @@
 
 use simnet::{NodeId, SimDuration, SimTime};
 
+use crate::flowmgr::SendOutcome;
 use crate::ids::{FlowId, MsgId, TrafficClass};
 use crate::message::{DeliveredMessage, Fragment};
 
@@ -23,7 +24,19 @@ pub trait CommApi {
     /// Open a flow toward `dst` with a traffic class.
     fn open_flow(&mut self, dst: NodeId, class: TrafficClass) -> FlowId;
     /// Submit a packed message on a flow; returns its id. Never blocks.
+    ///
+    /// # Panics
+    /// With madflow admission control enabled
+    /// ([`crate::flowmgr::AdmissionConfig`]), panics when the submission
+    /// is refused (`WouldBlock`/`Rejected`) — budget-aware applications
+    /// must use [`CommApi::try_send`] instead.
     fn send(&mut self, flow: FlowId, parts: Vec<Fragment>) -> MsgId;
+    /// Submit a packed message, reporting the madflow admission outcome
+    /// instead of panicking under backpressure. Engines without admission
+    /// control always return [`SendOutcome::Admitted`].
+    fn try_send(&mut self, flow: FlowId, parts: Vec<Fragment>) -> SendOutcome {
+        SendOutcome::Admitted(self.send(flow, parts))
+    }
     /// Arm a one-shot timer; `tag` (< [`INTERNAL_TAG_BASE`]) is echoed to
     /// [`AppDriver::on_timer`].
     fn set_timer(&mut self, delay: SimDuration, tag: u64);
@@ -49,6 +62,10 @@ pub trait AppDriver {
     /// A locally submitted message finished transmission (its last chunk
     /// completed injection). Local completion, not a delivery receipt.
     fn on_sent(&mut self, api: &mut dyn CommApi, msg: MsgId) {}
+    /// A traffic class that previously returned
+    /// [`SendOutcome::WouldBlock`] regained backlog headroom — the
+    /// application may retry its deferred submissions.
+    fn on_unblocked(&mut self, api: &mut dyn CommApi, class: TrafficClass) {}
 }
 
 /// A no-op application (receive-only nodes).

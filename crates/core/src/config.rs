@@ -5,6 +5,7 @@
 
 use simnet::SimDuration;
 
+use crate::flowmgr::{AdmissionConfig, FairnessMode, CLASS_SLOTS};
 use crate::reliability::ReliabilityMode;
 
 /// Configuration of the optimizing engine.
@@ -60,6 +61,22 @@ pub struct EngineConfig {
     /// dead and remaining chunks are rerouted (or the message abandoned
     /// when no live rail remains).
     pub retry_budget: u32,
+    /// madflow flow-iteration order for candidate collection: pack order
+    /// (historical, default) or weighted deficit round robin.
+    pub fairness: FairnessMode,
+    /// DRR byte quantum granted per flow visit (only used with
+    /// [`FairnessMode::Drr`]).
+    pub drr_quantum: u64,
+    /// Per-class-slot weights splitting the lookahead window under
+    /// [`FairnessMode::Drr`].
+    pub class_weights: [u32; CLASS_SLOTS],
+    /// madflow admission control budgets; the default is unlimited
+    /// (admission disabled, `send` never blocks).
+    pub admission: AdmissionConfig,
+    /// Bound on the delivered-message buffer drained via
+    /// `take_delivered`; overflow drops the oldest entry and counts it
+    /// in the `deliveries_dropped` metric.
+    pub delivered_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +99,11 @@ impl Default for EngineConfig {
             reliability: ReliabilityMode::Off,
             retransmit_timeout: SimDuration::from_micros(50),
             retry_budget: 6,
+            fairness: FairnessMode::PackOrder,
+            drr_quantum: 4096,
+            class_weights: [1; CLASS_SLOTS],
+            admission: AdmissionConfig::default(),
+            delivered_capacity: 1 << 20,
         }
     }
 }
@@ -142,6 +164,16 @@ impl EngineConfig {
                 return Err("retry_budget must be >= 1 when reliability is on".into());
             }
         }
+        if self.fairness == FairnessMode::Drr && self.drr_quantum == 0 {
+            return Err("drr_quantum must be >= 1 under DRR fairness".into());
+        }
+        if self.delivered_capacity == 0 {
+            return Err("delivered_capacity must be >= 1".into());
+        }
+        if self.admission.max_backlog_bytes == 0 || self.admission.class_backlog_bytes.contains(&0)
+        {
+            return Err("admission budgets must be >= 1 (0 admits nothing)".into());
+        }
         Ok(())
     }
 }
@@ -190,6 +222,24 @@ mod tests {
         c.retry_budget = 0;
         assert!(c.validate().is_err());
         c.retry_budget = 4;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn madflow_knobs_validated() {
+        let mut c = EngineConfig::default();
+        assert!(c.validate().is_ok(), "madflow defaults are off/unlimited");
+        c.fairness = FairnessMode::Drr;
+        c.drr_quantum = 0;
+        assert!(c.validate().is_err());
+        c.drr_quantum = 4096;
+        assert!(c.validate().is_ok());
+        c.delivered_capacity = 0;
+        assert!(c.validate().is_err());
+        c.delivered_capacity = 16;
+        c.admission.class_backlog_bytes[2] = 0;
+        assert!(c.validate().is_err(), "zero budget admits nothing");
+        c.admission.class_backlog_bytes[2] = 1 << 16;
         assert!(c.validate().is_ok());
     }
 

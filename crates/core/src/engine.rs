@@ -32,6 +32,9 @@ use crate::classes::ClassMap;
 use crate::collect::{CollectLayer, RndvState};
 use crate::config::EngineConfig;
 use crate::error::EngineError;
+use crate::flowmgr::{
+    class_slot, AdmissionPolicy, AdmissionState, FairnessMode, SendOutcome, CLASS_SLOTS,
+};
 use crate::ids::{ChannelId, FlowId, MsgId, TrafficClass};
 use crate::message::{DeliveredMessage, Fragment};
 use crate::metrics::{Activation, EngineMetrics, MetricsRegistry};
@@ -39,8 +42,9 @@ use crate::optimizer::{select_plan_traced, submit_action, SubmitAction};
 use crate::plan::{PlanBody, PlannedChunk, TransferPlan};
 use crate::policy::{PolicyKind, RailPolicy};
 use crate::proto::{
-    ack_header, decode_ack, decode_packet, decode_rndv, encode_packet, encode_rndv, framing_bytes,
-    make_header, ChunkHeader, WireChunk, KIND_ACK, KIND_DATA, KIND_RNDV_ACK, KIND_RNDV_REQ,
+    ack_header, cancel_header, decode_ack, decode_packet, decode_rndv, encode_packet, encode_rndv,
+    framing_bytes, make_header, ChunkHeader, WireChunk, KIND_ACK, KIND_CTRL, KIND_DATA,
+    KIND_RNDV_ACK, KIND_RNDV_REQ,
 };
 use crate::receiver::{Receiver, ReceiverStats};
 use crate::reliability::{plan_retransmit, PendingTx, RailHealth, RetransmitTracker};
@@ -102,8 +106,13 @@ pub struct EngineCore {
     pending_ctrl: VecDeque<(usize, NodeId, u16, ChunkHeader)>,
     /// Counters and distributions.
     pub metrics: EngineMetrics,
-    /// Delivered messages (retained when `config.record_deliveries`).
-    pub delivered: Vec<DeliveredMessage>,
+    /// Delivered messages (retained when `config.record_deliveries`;
+    /// bounded by `config.delivered_capacity` with oldest-drop).
+    pub delivered: VecDeque<DeliveredMessage>,
+    /// madflow admission pressure episodes (one `Unblocked` per episode).
+    admission_state: AdmissionState,
+    /// Classes that regained headroom since the application was last told.
+    newly_unblocked: Vec<TrafficClass>,
     /// Structured madtrace event sink (disabled by default; one branch per
     /// event when disabled).
     pub trace: EventSink,
@@ -156,7 +165,123 @@ impl EngineCore {
 
     /// Submit a packed message: enqueue into the collect layer and apply
     /// the submit-time activation policy. Returns immediately (§3).
+    ///
+    /// # Panics
+    /// Panics when madflow admission control refuses the submission —
+    /// budget-aware callers must use [`EngineCore::try_send`].
     pub fn send(&mut self, ctx: &mut SimCtx<'_>, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
+        match self.try_send(ctx, flow, parts) {
+            SendOutcome::Admitted(id) | SendOutcome::Shed { admitted: id, .. } => id,
+            refused => panic!(
+                "send refused by madflow admission control ({refused:?}); \
+                 use try_send for budget-aware submission"
+            ),
+        }
+    }
+
+    /// Submit a packed message under madflow admission control, reporting
+    /// the typed outcome instead of panicking under backpressure. With
+    /// admission disabled (the default) every submission is admitted.
+    pub fn try_send(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        flow: FlowId,
+        parts: Vec<Fragment>,
+    ) -> SendOutcome {
+        let admission = self.config.admission.clone();
+        if !admission.enabled() {
+            return SendOutcome::Admitted(self.send_admitted(ctx, flow, parts));
+        }
+        let class = self.collect.flow(flow).class;
+        let slot = class_slot(class);
+        let incoming: u64 = parts.iter().map(|p| p.data.len() as u64).sum();
+        let engine_backlog = self.collect.backlog_bytes();
+        let class_backlog = self.collect.class_backlog_bytes(class);
+        match admission.over_budget(slot, engine_backlog, class_backlog, incoming) {
+            None => {
+                let id = self.send_admitted(ctx, flow, parts);
+                self.trace_admitted(ctx.now(), id, incoming);
+                SendOutcome::Admitted(id)
+            }
+            Some(AdmissionPolicy::Block) => {
+                self.metrics.blocked_sends += 1;
+                self.admission_state.note_pressure(slot);
+                SendOutcome::WouldBlock
+            }
+            Some(AdmissionPolicy::Reject) => {
+                self.metrics.rejected_sends += 1;
+                SendOutcome::Rejected
+            }
+            Some(AdmissionPolicy::ShedOldest) => {
+                let need = engine_backlog
+                    .saturating_add(incoming)
+                    .saturating_sub(admission.max_backlog_bytes)
+                    .max(
+                        class_backlog
+                            .saturating_add(incoming)
+                            .saturating_sub(admission.class_backlog_bytes[slot]),
+                    );
+                let shed = self.collect.shed_oldest(class, need);
+                let now = ctx.now();
+                let mut shed_ids = Vec::with_capacity(shed.len());
+                for (sid, bytes) in shed {
+                    self.metrics.shed_msgs += 1;
+                    self.metrics.shed_bytes += bytes;
+                    self.trace.push(
+                        now,
+                        EngineEvent::Shed {
+                            flow: sid.flow,
+                            seq: sid.seq.0,
+                            bytes,
+                            class,
+                        },
+                    );
+                    // Tell the receiver the sequence will never arrive, or
+                    // its per-flow ordered delivery would wait forever at
+                    // the gap. Rides the control path (queued and retried
+                    // like rendezvous traffic when the NIC is full).
+                    let dst = self.collect.flow(sid.flow).dst;
+                    if let Some(rail_idx) = (0..self.rails.len()).find(|&r| {
+                        !self.rail_health[r].is_dead() && self.rails[r].peers.contains_key(&dst)
+                    }) {
+                        let _ = self.send_ctrl(
+                            ctx,
+                            rail_idx,
+                            dst,
+                            KIND_CTRL,
+                            cancel_header(sid.flow, sid.seq.0, class),
+                        );
+                    }
+                    shed_ids.push(sid);
+                }
+                let id = self.send_admitted(ctx, flow, parts);
+                self.trace_admitted(now, id, incoming);
+                SendOutcome::Shed {
+                    admitted: id,
+                    shed: shed_ids,
+                }
+            }
+        }
+    }
+
+    /// Trace an admission (only while admission control is active, so the
+    /// default path stays event-free and byte-identical to the seed).
+    fn trace_admitted(&mut self, now: SimTime, id: MsgId, bytes: u64) {
+        if self.trace.is_enabled() {
+            let backlog = self.collect.backlog_bytes();
+            self.trace.push(
+                now,
+                EngineEvent::Admitted {
+                    flow: id.flow,
+                    seq: id.seq.0,
+                    bytes,
+                    backlog,
+                },
+            );
+        }
+    }
+
+    fn send_admitted(&mut self, ctx: &mut SimCtx<'_>, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
         assert!(!parts.is_empty(), "message must have at least one fragment");
         let threshold = self.rndv_threshold_for(flow);
         self.metrics.submitted_msgs += 1;
@@ -260,10 +385,14 @@ impl EngineCore {
             let (best, evaluated) = {
                 let rail = &self.rails[rail_idx];
                 let caps = rail.driver.capabilities();
+                // Disjoint-field borrows: the collect layer is mutable
+                // (DRR cursors advance per activation) while the policy
+                // only answers eligibility queries.
+                let policy = &self.policy;
                 let groups = self.collect.collect_candidates(
                     ChannelId(rail_idx as u16),
                     self.config.lookahead_window,
-                    |f, c| self.policy.eligible(f, c, rail_idx),
+                    |f, c| policy.eligible(f, c, rail_idx),
                 );
                 if groups.is_empty() {
                     if first_pass {
@@ -445,6 +574,9 @@ impl EngineCore {
                     }
                     self.collect.commit_chunk(c, ChannelId(rail_idx as u16));
                 }
+                // Committing bytes is the only place backlog shrinks, so
+                // this is where blocked classes can regain headroom.
+                self.check_admission_release(now);
                 self.trace.push(
                     ctx.now(),
                     EngineEvent::PacketEncoded {
@@ -504,6 +636,37 @@ impl EngineCore {
                 Ok(())
             }
         }
+    }
+
+    /// End pressure episodes for class slots that regained backlog
+    /// headroom: emit one `Unblocked` trace event and queue the class for
+    /// the application's `on_unblocked` callback.
+    fn check_admission_release(&mut self, now: SimTime) {
+        if !self.config.admission.enabled() {
+            return;
+        }
+        let engine_backlog = self.collect.backlog_bytes();
+        for slot in 0..CLASS_SLOTS {
+            let class = TrafficClass(slot as u8);
+            if self.admission_state.is_blocked(slot)
+                && self.config.admission.has_headroom(
+                    slot,
+                    engine_backlog,
+                    self.collect.class_backlog_bytes(class),
+                )
+            {
+                self.admission_state.release(slot);
+                self.metrics.unblocked_events += 1;
+                self.trace.push(now, EngineEvent::Unblocked { class });
+                self.newly_unblocked.push(class);
+            }
+        }
+    }
+
+    /// Classes that regained headroom since the last drain (consumed by
+    /// the engine's endpoint callbacks to fire `on_unblocked`).
+    fn take_unblocked(&mut self) -> Vec<TrafficClass> {
+        std::mem::take(&mut self.newly_unblocked)
     }
 
     /// Send (or queue) a control packet on a rail's control channel.
@@ -573,6 +736,34 @@ impl EngineCore {
         done
     }
 
+    /// Record metrics, trace events and the optional delivery buffer for
+    /// messages that just became deliverable.
+    fn note_deliveries(&mut self, now: SimTime, rx_rail: Option<usize>, out: &[DeliveredMessage]) {
+        for d in out {
+            self.metrics
+                .record_delivery(d.class, d.flow, rx_rail, d.total_len(), d.latency);
+            self.trace.push(
+                now,
+                EngineEvent::Delivered {
+                    src: d.src,
+                    flow: d.flow,
+                    seq: d.id.seq.0,
+                    bytes: d.total_len(),
+                    latency_ns: d.latency.as_nanos(),
+                },
+            );
+        }
+        if self.config.record_deliveries {
+            for d in out {
+                if self.delivered.len() >= self.config.delivered_capacity {
+                    self.delivered.pop_front();
+                    self.metrics.deliveries_dropped += 1;
+                }
+                self.delivered.push_back(d.clone());
+            }
+        }
+    }
+
     /// Process an incoming wire packet; returns messages that became
     /// deliverable, plus the ids of our own sends whose acknowledgement
     /// this packet completed (madrel).
@@ -617,27 +808,22 @@ impl EngineCore {
                     self.note_fault(ctx.now(), FlightTrigger::ExpressViolation);
                 }
                 let rx_rail = self.rail_of(nic);
-                for d in &out {
-                    self.metrics.record_delivery(
-                        d.class,
-                        d.flow,
-                        rx_rail,
-                        d.total_len(),
-                        d.latency,
-                    );
-                    self.trace.push(
-                        ctx.now(),
-                        EngineEvent::Delivered {
-                            src: d.src,
-                            flow: d.flow,
-                            seq: d.id.seq.0,
-                            bytes: d.total_len(),
-                            latency_ns: d.latency.as_nanos(),
-                        },
-                    );
-                }
-                if self.config.record_deliveries {
-                    self.delivered.extend(out.iter().cloned());
+                self.note_deliveries(ctx.now(), rx_rail, &out);
+                (out, Vec::new())
+            }
+            KIND_CTRL => {
+                // Shed-cancel notification: the sender dropped (flow, seq)
+                // before committing any byte; ordered delivery skips it.
+                let mut out = Vec::new();
+                if let Ok(header) = decode_rndv(&pkt) {
+                    out = self
+                        .receiver
+                        .on_cancel(pkt.src, header.flow, header.msg_seq, ctx.now());
+                    let rx_rail = self.rail_of(nic);
+                    self.note_deliveries(ctx.now(), rx_rail, &out);
+                } else {
+                    self.metrics.proto_errors += 1;
+                    self.note_fault(ctx.now(), FlightTrigger::ProtoError);
                 }
                 (out, Vec::new())
             }
@@ -1010,12 +1196,7 @@ impl EngineCore {
         let drained = self.drained();
         let stats = TickStats {
             backlog_bytes: self.collect.backlog_bytes(),
-            backlog_msgs: self
-                .collect
-                .flows()
-                .iter()
-                .map(|f| f.queue.len() as u64)
-                .sum(),
+            backlog_msgs: self.collect.pending_msgs(),
             inflight_pkts: self.inflight.len() as u64,
             retx_pending: self.retx.len() as u64,
             submitted_msgs: self.metrics.submitted_msgs,
@@ -1112,6 +1293,19 @@ impl EngineCore {
             "             faults: express_violation={} driver_rejection={} proto_error={} timeout={}\n",
             self.fault_counts[0], self.fault_counts[1], self.fault_counts[2], self.fault_counts[3],
         ));
+        out.push_str(&format!(
+            "             madflow: {} active / {} total flows, {} pending msgs, fairness {:?}, admission {}; blocked={} rejected={} shed={} unblocked={} deliveries_dropped={}\n",
+            self.collect.index().active_count(),
+            self.collect.flows().len(),
+            self.collect.pending_msgs(),
+            self.config.fairness,
+            if self.config.admission.enabled() { "on" } else { "off" },
+            m.blocked_sends,
+            m.rejected_sends,
+            m.shed_msgs,
+            m.unblocked_events,
+            m.deliveries_dropped,
+        ));
         if self.config.reliability.acks_enabled() {
             out.push_str(&format!(
                 "             madrel({:?}): {} unacked; timeouts={} retransmits={} acks={} lost={} rails_dead={}\n",
@@ -1141,15 +1335,24 @@ impl EngineCore {
             }
             out.push('\n');
         }
-        for fs in self.collect.flows() {
-            if !fs.queue.is_empty() {
-                out.push_str(&format!(
-                    "  {}: {} pending messages toward {:?}\n",
-                    fs.id,
-                    fs.queue.len(),
-                    fs.dst
-                ));
-            }
+        // O(active) walk, capped so a 100k-flow stall doesn't produce a
+        // 100k-line report.
+        const MAX_FLOW_LINES: usize = 16;
+        for id in self.collect.active_flow_ids().take(MAX_FLOW_LINES) {
+            let fs = self.collect.flow(id);
+            out.push_str(&format!(
+                "  {}: {} pending messages toward {:?}\n",
+                fs.id,
+                fs.queue.len(),
+                fs.dst
+            ));
+        }
+        let active = self.collect.index().active_count();
+        if active > MAX_FLOW_LINES {
+            out.push_str(&format!(
+                "  ... and {} more active flows\n",
+                active - MAX_FLOW_LINES
+            ));
         }
         out
     }
@@ -1176,6 +1379,10 @@ impl CommApi for MadApi<'_, '_> {
 
     fn send(&mut self, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
         self.core.send(self.ctx, flow, parts)
+    }
+
+    fn try_send(&mut self, flow: FlowId, parts: Vec<Fragment>) -> SendOutcome {
+        self.core.try_send(self.ctx, flow, parts)
     }
 
     fn set_timer(&mut self, delay: simnet::SimDuration, tag: u64) {
@@ -1305,6 +1512,14 @@ impl EngineBuilder {
         }
         let policy = RailPolicy::new(self.policy_kind, rails.len());
         let rail_health = vec![RailHealth::new(); rails.len()];
+        let mut collect = CollectLayer::new();
+        if self.config.fairness == FairnessMode::Drr {
+            collect.set_fairness(
+                FairnessMode::Drr,
+                self.config.drr_quantum,
+                self.config.class_weights,
+            );
+        }
         let core = Rc::new(RefCell::new(EngineCore {
             node: self.node,
             config: self.config,
@@ -1312,7 +1527,7 @@ impl EngineBuilder {
             nic_to_rail,
             policy,
             registry,
-            collect: CollectLayer::new(),
+            collect,
             receiver: Receiver::new(),
             inflight: HashMap::new(),
             next_cookie: 1,
@@ -1325,7 +1540,9 @@ impl EngineBuilder {
             adaptive_sleeping: true,
             pending_ctrl: VecDeque::new(),
             metrics: EngineMetrics::default(),
-            delivered: Vec::new(),
+            delivered: VecDeque::new(),
+            admission_state: AdmissionState::default(),
+            newly_unblocked: Vec::new(),
             trace: EventSink::disabled(),
             next_activation: 0,
             sampler: None,
@@ -1365,6 +1582,23 @@ impl MadEngine {
             self.app = Some(app);
         }
     }
+
+    /// Deliver queued madflow `on_unblocked` callbacks. Must be called
+    /// with the core borrow released; drains until quiet so callbacks
+    /// whose retries trigger further releases are also delivered.
+    fn notify_unblocked(&mut self, ctx: &mut SimCtx<'_>) {
+        loop {
+            let pending = self.core.borrow_mut().take_unblocked();
+            if pending.is_empty() {
+                return;
+            }
+            self.with_app(ctx, |app, api| {
+                for class in pending {
+                    app.on_unblocked(api, class);
+                }
+            });
+        }
+    }
 }
 
 impl Endpoint for MadEngine {
@@ -1402,28 +1636,32 @@ impl Endpoint for MadEngine {
                 }
             });
         }
+        self.notify_unblocked(ctx);
     }
 
     fn on_nic_idle(&mut self, ctx: &mut SimCtx<'_>, nic: NicId) {
-        let mut core = self.core.borrow_mut();
-        if let Some(rail) = core.rail_of(nic) {
-            core.optimize_rail(ctx, rail, Activation::NicIdle);
+        {
+            let mut core = self.core.borrow_mut();
+            if let Some(rail) = core.rail_of(nic) {
+                core.optimize_rail(ctx, rail, Activation::NicIdle);
+            }
         }
+        self.notify_unblocked(ctx);
     }
 
     fn on_packet_rx(&mut self, ctx: &mut SimCtx<'_>, nic: NicId, pkt: WirePacket) {
         let (deliveries, sent) = self.core.borrow_mut().handle_packet(ctx, nic, pkt);
-        if deliveries.is_empty() && sent.is_empty() {
-            return;
+        if !deliveries.is_empty() || !sent.is_empty() {
+            self.with_app(ctx, |app, api| {
+                for d in &deliveries {
+                    app.on_message(api, d);
+                }
+                for id in sent {
+                    app.on_sent(api, id);
+                }
+            });
         }
-        self.with_app(ctx, |app, api| {
-            for d in &deliveries {
-                app.on_message(api, d);
-            }
-            for id in sent {
-                app.on_sent(api, id);
-            }
-        });
+        self.notify_unblocked(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut SimCtx<'_>, _timer: TimerId, tag: u64) {
@@ -1466,6 +1704,7 @@ impl Endpoint for MadEngine {
             }
             t => self.with_app(ctx, |app, api| app.on_timer(api, t)),
         }
+        self.notify_unblocked(ctx);
     }
 }
 
@@ -1487,7 +1726,7 @@ impl EngineHandle {
 
     /// Drain the recorded delivered messages.
     pub fn take_delivered(&self) -> Vec<DeliveredMessage> {
-        std::mem::take(&mut self.core.borrow_mut().delivered)
+        self.core.borrow_mut().delivered.drain(..).collect()
     }
 
     /// Number of messages delivered so far.
@@ -1509,6 +1748,17 @@ impl EngineHandle {
     /// [`simnet::Simulation::inject`]).
     pub fn send(&self, ctx: &mut SimCtx<'_>, flow: FlowId, parts: Vec<Fragment>) -> MsgId {
         self.core.borrow_mut().send(ctx, flow, parts)
+    }
+
+    /// Submit a packed message under madflow admission control, returning
+    /// the typed outcome instead of panicking under backpressure.
+    pub fn try_send(
+        &self,
+        ctx: &mut SimCtx<'_>,
+        flow: FlowId,
+        parts: Vec<Fragment>,
+    ) -> SendOutcome {
+        self.core.borrow_mut().try_send(ctx, flow, parts)
     }
 
     /// Pin a traffic class to a rail subset (ClassPinned policy).

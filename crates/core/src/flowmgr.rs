@@ -1,0 +1,529 @@
+//! **madflow** — flow-scale management for the collect layer.
+//!
+//! The paper's engine exists to mix "multiple independent communication
+//! flows", but a naive collect layer walks *every* flow on *every*
+//! optimizer activation, so activation cost grows with the number of
+//! flows that merely *exist*. madflow keeps activation cost proportional
+//! to the number of flows that can actually emit candidates:
+//!
+//! * [`FlowIndex`] — the **active-flow index**: ordered sets of flows
+//!   with a non-empty pending queue (global and per traffic class),
+//!   maintained incrementally on submit / commit / complete / shed, plus
+//!   O(1) backlog-byte and pending-message counters.
+//! * [`AdmissionConfig`] / [`AdmissionPolicy`] / [`SendOutcome`] —
+//!   **admission control with backpressure**: per-engine and per-class
+//!   backlog byte budgets; over budget, a class either blocks
+//!   ([`SendOutcome::WouldBlock`]), sheds its oldest uncommitted
+//!   messages, or rejects the submission.
+//! * [`DrrScheduler`] — **weighted-fair candidate ordering**:
+//!   deficit-round-robin across the flows of a class plus configurable
+//!   weights across classes, replacing pack-order iteration when
+//!   [`FairnessMode::Drr`] is selected (pack order remains the default,
+//!   byte-identical to the pre-madflow walk).
+
+use std::collections::BTreeSet;
+
+use crate::ids::{MsgId, TrafficClass};
+
+/// Number of class slots tracked by the index, budgets and weights.
+/// User-defined classes above the predefined range share the last slot
+/// (the same clamping rule the policy and metrics layers use).
+pub const CLASS_SLOTS: usize = TrafficClass::COUNT;
+
+/// The class slot a flow's traffic class maps to.
+#[inline]
+pub fn class_slot(class: TrafficClass) -> usize {
+    (class.0 as usize).min(CLASS_SLOTS - 1)
+}
+
+/// How `collect_candidates` orders flows within an activation window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FairnessMode {
+    /// Flow-id ascending, messages oldest-first — the historical order.
+    #[default]
+    PackOrder,
+    /// Deficit round robin across flows within each class, with
+    /// configurable weights across classes.
+    Drr,
+}
+
+/// What happens to a submission that would push a class over budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse the submission; the caller retries after
+    /// [`crate::api::AppDriver::on_unblocked`].
+    #[default]
+    Block,
+    /// Drop the oldest fully-uncommitted messages of the class until the
+    /// new message fits, then admit it.
+    ShedOldest,
+    /// Refuse the submission permanently (no retry signal).
+    Reject,
+}
+
+/// Per-engine and per-class backlog budgets. `u64::MAX` means unlimited;
+/// the default configuration is fully unlimited, so admission control is
+/// opt-in and the legacy `send` contract ("never blocks") holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Whole-engine backlog byte budget across all classes.
+    pub max_backlog_bytes: u64,
+    /// Per-class-slot backlog byte budgets.
+    pub class_backlog_bytes: [u64; CLASS_SLOTS],
+    /// Per-class-slot over-budget policy.
+    pub policy: [AdmissionPolicy; CLASS_SLOTS],
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_backlog_bytes: u64::MAX,
+            class_backlog_bytes: [u64::MAX; CLASS_SLOTS],
+            policy: [AdmissionPolicy::Block; CLASS_SLOTS],
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// True when any budget is finite (the admission path is active).
+    pub fn enabled(&self) -> bool {
+        self.max_backlog_bytes != u64::MAX
+            || self.class_backlog_bytes.iter().any(|&b| b != u64::MAX)
+    }
+
+    /// Returns the policy to apply when admitting `incoming` bytes into
+    /// class slot `slot` would exceed the engine or class budget, or
+    /// `None` when the submission fits.
+    pub fn over_budget(
+        &self,
+        slot: usize,
+        engine_backlog: u64,
+        class_backlog: u64,
+        incoming: u64,
+    ) -> Option<AdmissionPolicy> {
+        let over_engine = engine_backlog.saturating_add(incoming) > self.max_backlog_bytes;
+        let over_class = class_backlog.saturating_add(incoming) > self.class_backlog_bytes[slot];
+        (over_engine || over_class).then_some(self.policy[slot])
+    }
+
+    /// Whether slot `slot` currently has headroom (strictly below both
+    /// its own and the engine budget).
+    pub fn has_headroom(&self, slot: usize, engine_backlog: u64, class_backlog: u64) -> bool {
+        engine_backlog < self.max_backlog_bytes && class_backlog < self.class_backlog_bytes[slot]
+    }
+}
+
+/// Typed outcome of [`crate::api::CommApi::try_send`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message was admitted into the collect layer.
+    Admitted(MsgId),
+    /// The class is over budget under [`AdmissionPolicy::Block`]; nothing
+    /// was enqueued. Retry after
+    /// [`crate::api::AppDriver::on_unblocked`] fires for the class.
+    WouldBlock,
+    /// The message was admitted after shedding older backlog
+    /// ([`AdmissionPolicy::ShedOldest`]).
+    Shed {
+        /// Id of the newly admitted message.
+        admitted: MsgId,
+        /// The messages dropped to make room, oldest first.
+        shed: Vec<MsgId>,
+    },
+    /// The class is over budget under [`AdmissionPolicy::Reject`];
+    /// nothing was enqueued and no retry signal will fire.
+    Rejected,
+}
+
+impl SendOutcome {
+    /// The admitted message id, when one was enqueued.
+    pub fn msg_id(&self) -> Option<MsgId> {
+        match self {
+            SendOutcome::Admitted(id) | SendOutcome::Shed { admitted: id, .. } => Some(*id),
+            SendOutcome::WouldBlock | SendOutcome::Rejected => None,
+        }
+    }
+
+    /// True when the message entered the collect layer.
+    pub fn is_admitted(&self) -> bool {
+        self.msg_id().is_some()
+    }
+}
+
+/// Tracks which class slots are currently over budget, so the engine
+/// emits exactly one `Unblocked` signal per pressure episode.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionState {
+    blocked: [bool; CLASS_SLOTS],
+}
+
+impl AdmissionState {
+    /// Record budget pressure on a slot; true when the slot was not
+    /// already marked (the start of a pressure episode).
+    pub fn note_pressure(&mut self, slot: usize) -> bool {
+        !std::mem::replace(&mut self.blocked[slot], true)
+    }
+
+    /// True when the slot is inside a pressure episode.
+    pub fn is_blocked(&self, slot: usize) -> bool {
+        self.blocked[slot]
+    }
+
+    /// Clear a slot's pressure mark (headroom reappeared); true when it
+    /// was marked.
+    pub fn release(&mut self, slot: usize) -> bool {
+        std::mem::replace(&mut self.blocked[slot], false)
+    }
+}
+
+/// The active-flow index: which flows have a non-empty pending queue
+/// (globally and per class slot), plus O(1) aggregate counters. A flow is
+/// *active* exactly while its queue is non-empty — including messages
+/// whose bytes are fully committed but not yet acknowledged, matching the
+/// flows a full-table walk would visit. Sets iterate in ascending flow-id
+/// order, so an index-driven pack-order walk reproduces the full-table
+/// walk's candidate order exactly.
+#[derive(Clone, Debug, Default)]
+pub struct FlowIndex {
+    active: BTreeSet<u32>,
+    by_class: [BTreeSet<u32>; CLASS_SLOTS],
+    backlog_bytes: u64,
+    backlog_by_class: [u64; CLASS_SLOTS],
+    pending_msgs: u64,
+}
+
+impl FlowIndex {
+    /// A message with `bytes` uncommitted payload entered `flow`'s queue.
+    pub fn note_submit(&mut self, flow: u32, slot: usize, bytes: u64) {
+        self.active.insert(flow);
+        self.by_class[slot].insert(flow);
+        self.backlog_bytes += bytes;
+        self.backlog_by_class[slot] += bytes;
+        self.pending_msgs += 1;
+    }
+
+    /// `bytes` of a slot's backlog were committed to a NIC.
+    pub fn note_commit(&mut self, slot: usize, bytes: u64) {
+        debug_assert!(self.backlog_bytes >= bytes, "backlog counter underflow");
+        debug_assert!(
+            self.backlog_by_class[slot] >= bytes,
+            "class backlog counter underflow"
+        );
+        self.backlog_bytes = self.backlog_bytes.saturating_sub(bytes);
+        self.backlog_by_class[slot] = self.backlog_by_class[slot].saturating_sub(bytes);
+    }
+
+    /// A message left `flow`'s queue (completed or shed). `freed_backlog`
+    /// is the uncommitted payload it still held (zero for completions);
+    /// `queue_empty` reports whether the flow's queue is now empty.
+    pub fn note_remove(&mut self, flow: u32, slot: usize, freed_backlog: u64, queue_empty: bool) {
+        debug_assert!(self.pending_msgs > 0, "pending counter underflow");
+        self.pending_msgs = self.pending_msgs.saturating_sub(1);
+        self.note_commit(slot, freed_backlog);
+        if queue_empty {
+            self.active.remove(&flow);
+            self.by_class[slot].remove(&flow);
+        }
+    }
+
+    /// Total uncommitted payload bytes (O(1)).
+    pub fn backlog_bytes(&self) -> u64 {
+        self.backlog_bytes
+    }
+
+    /// Uncommitted payload bytes of one class slot (O(1)).
+    pub fn class_backlog_bytes(&self, slot: usize) -> u64 {
+        self.backlog_by_class[slot]
+    }
+
+    /// Pending (not fully transmitted) messages across all flows (O(1)).
+    pub fn pending_msgs(&self) -> u64 {
+        self.pending_msgs
+    }
+
+    /// True when no flow has anything queued (O(1)).
+    pub fn is_idle(&self) -> bool {
+        self.pending_msgs == 0
+    }
+
+    /// Number of active flows.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of active flows in one class slot.
+    pub fn class_active_count(&self, slot: usize) -> usize {
+        self.by_class[slot].len()
+    }
+
+    /// Active flow ids, ascending.
+    pub fn active_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Active flow ids of one class slot, ascending.
+    pub fn class_ids(&self, slot: usize) -> impl Iterator<Item = u32> + '_ {
+        self.by_class[slot].iter().copied()
+    }
+
+    /// Active flow ids of one class slot in circular order starting at
+    /// the first id `>= cursor` and wrapping around.
+    pub fn class_ids_from(&self, slot: usize, cursor: u32) -> impl Iterator<Item = u32> + '_ {
+        self.by_class[slot]
+            .range(cursor..)
+            .chain(self.by_class[slot].range(..cursor))
+            .copied()
+    }
+}
+
+/// Credit a flow may accumulate, in quanta, while it has nothing
+/// schedulable or loses window races — bounds burst size after idling.
+const MAX_CREDIT_QUANTA: u64 = 8;
+
+/// Deficit-round-robin scheduler state: one rotating cursor per class
+/// slot, a byte deficit per flow, and the class weights that split the
+/// lookahead window. All state is deterministic — cursors advance only in
+/// `collect_candidates`, deficits only on visits and offers.
+#[derive(Clone, Debug)]
+pub struct DrrScheduler {
+    /// Byte quantum granted per visit.
+    pub quantum: u64,
+    /// Per-class-slot share weights for splitting the window.
+    pub weights: [u32; CLASS_SLOTS],
+    cursors: [u32; CLASS_SLOTS],
+    deficits: Vec<u64>,
+}
+
+impl Default for DrrScheduler {
+    fn default() -> Self {
+        DrrScheduler::new(4096, [1; CLASS_SLOTS])
+    }
+}
+
+impl DrrScheduler {
+    /// New scheduler with the given quantum and class weights.
+    pub fn new(quantum: u64, weights: [u32; CLASS_SLOTS]) -> Self {
+        DrrScheduler {
+            quantum,
+            weights,
+            cursors: [0; CLASS_SLOTS],
+            deficits: Vec::new(),
+        }
+    }
+
+    /// Make sure deficit slots exist for flows `0..n`.
+    pub fn ensure_flows(&mut self, n: usize) {
+        if self.deficits.len() < n {
+            self.deficits.resize(n, 0);
+        }
+    }
+
+    /// A visit grants one quantum (capped) and returns the flow's budget.
+    pub fn visit(&mut self, flow: usize) -> u64 {
+        let cap = self.quantum.saturating_mul(MAX_CREDIT_QUANTA);
+        let d = &mut self.deficits[flow];
+        *d = (*d + self.quantum).min(cap);
+        *d
+    }
+
+    /// Store the budget left after an offer pass.
+    pub fn store(&mut self, flow: usize, remaining: u64) {
+        self.deficits[flow] = remaining;
+    }
+
+    /// Current cursor of a class slot.
+    pub fn cursor(&self, slot: usize) -> u32 {
+        self.cursors[slot]
+    }
+
+    /// Advance a class slot's cursor.
+    pub fn set_cursor(&mut self, slot: usize, next: u32) {
+        self.cursors[slot] = next;
+    }
+
+    /// Split `window` candidate slots across class slots proportionally
+    /// to their weights, counting only slots with active flows. Shares
+    /// are soft targets: the global window cap still bounds the total,
+    /// and a class with little work simply yields fewer candidates.
+    pub fn shares(&self, window: usize, active: &[usize; CLASS_SLOTS]) -> [usize; CLASS_SLOTS] {
+        let mut w = [0u64; CLASS_SLOTS];
+        for s in 0..CLASS_SLOTS {
+            if active[s] > 0 {
+                w[s] = u64::from(self.weights[s]);
+            }
+        }
+        let total: u64 = w.iter().sum();
+        let mut shares = [0usize; CLASS_SLOTS];
+        if total == 0 {
+            // All-zero weights (or no active flows): fall back to an even
+            // split over active slots.
+            let live = active.iter().filter(|&&a| a > 0).count().max(1);
+            for s in 0..CLASS_SLOTS {
+                if active[s] > 0 {
+                    shares[s] = (window / live).max(1);
+                }
+            }
+            return shares;
+        }
+        let mut assigned = 0usize;
+        for s in 0..CLASS_SLOTS {
+            if w[s] > 0 {
+                shares[s] = ((window as u64 * w[s]) / total) as usize;
+                assigned += shares[s];
+            }
+        }
+        // Hand leftover slots (rounding loss) to weighted slots in order,
+        // and guarantee every weighted active slot at least one.
+        let mut leftover = window.saturating_sub(assigned);
+        for s in 0..CLASS_SLOTS {
+            if w[s] > 0 && shares[s] == 0 {
+                shares[s] = 1;
+            } else if w[s] > 0 && leftover > 0 {
+                shares[s] += 1;
+                leftover -= 1;
+            }
+        }
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, MsgSeq};
+
+    #[test]
+    fn class_slot_clamps_user_classes() {
+        assert_eq!(class_slot(TrafficClass::DEFAULT), 0);
+        assert_eq!(class_slot(TrafficClass::CONTROL), 3);
+        assert_eq!(class_slot(TrafficClass(17)), CLASS_SLOTS - 1);
+    }
+
+    #[test]
+    fn index_tracks_active_flows_and_counters() {
+        let mut ix = FlowIndex::default();
+        assert!(ix.is_idle());
+        ix.note_submit(3, 0, 100);
+        ix.note_submit(1, 1, 50);
+        ix.note_submit(3, 0, 10);
+        assert_eq!(ix.backlog_bytes(), 160);
+        assert_eq!(ix.class_backlog_bytes(0), 110);
+        assert_eq!(ix.class_backlog_bytes(1), 50);
+        assert_eq!(ix.pending_msgs(), 3);
+        assert_eq!(ix.active_count(), 2);
+        // Ascending iteration regardless of insertion order.
+        assert_eq!(ix.active_ids().collect::<Vec<_>>(), vec![1, 3]);
+
+        ix.note_commit(0, 100);
+        assert_eq!(ix.backlog_bytes(), 60);
+        // First message of flow 3 completes; queue still holds one more.
+        ix.note_remove(3, 0, 0, false);
+        assert_eq!(ix.active_count(), 2);
+        // Second completes; flow 3 leaves the active set.
+        ix.note_remove(3, 0, 10, true);
+        assert_eq!(ix.active_ids().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(ix.class_active_count(0), 0);
+        ix.note_remove(1, 1, 50, true);
+        assert!(ix.is_idle());
+        assert_eq!(ix.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn circular_class_iteration_wraps() {
+        let mut ix = FlowIndex::default();
+        for f in [2u32, 5, 9] {
+            ix.note_submit(f, 0, 1);
+        }
+        assert_eq!(ix.class_ids_from(0, 5).collect::<Vec<_>>(), vec![5, 9, 2]);
+        assert_eq!(ix.class_ids_from(0, 6).collect::<Vec<_>>(), vec![9, 2, 5]);
+        assert_eq!(ix.class_ids_from(0, 0).collect::<Vec<_>>(), vec![2, 5, 9]);
+        assert_eq!(ix.class_ids_from(0, 10).collect::<Vec<_>>(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn drr_deficit_accumulates_and_caps() {
+        let mut drr = DrrScheduler::new(100, [1; CLASS_SLOTS]);
+        drr.ensure_flows(2);
+        assert_eq!(drr.visit(0), 100);
+        drr.store(0, 0); // spent everything
+        assert_eq!(drr.visit(0), 100);
+        // Unspent credit accumulates up to the cap.
+        for _ in 0..20 {
+            drr.visit(1);
+        }
+        assert_eq!(drr.visit(1), 100 * MAX_CREDIT_QUANTA);
+    }
+
+    #[test]
+    fn drr_shares_follow_weights() {
+        let drr = DrrScheduler::new(4096, [3, 1, 0, 0]);
+        let shares = drr.shares(64, &[10, 10, 0, 0]);
+        assert!(shares[0] > shares[1], "{shares:?}");
+        assert_eq!(shares[2], 0, "no weight, no share");
+        assert!(shares[0] + shares[1] >= 60, "window mostly assigned");
+        // A weighted active slot never starves entirely.
+        let tiny = DrrScheduler::new(4096, [100, 1, 0, 0]);
+        let shares = tiny.shares(8, &[5, 5, 0, 0]);
+        assert!(shares[1] >= 1, "{shares:?}");
+    }
+
+    #[test]
+    fn drr_shares_even_split_on_zero_weights() {
+        let drr = DrrScheduler::new(4096, [0; CLASS_SLOTS]);
+        let shares = drr.shares(64, &[4, 0, 4, 0]);
+        assert_eq!(shares[0], 32);
+        assert_eq!(shares[2], 32);
+        assert_eq!(shares[1], 0);
+    }
+
+    #[test]
+    fn admission_budget_checks() {
+        let mut cfg = AdmissionConfig::default();
+        assert!(!cfg.enabled());
+        assert_eq!(cfg.over_budget(0, u64::MAX - 1, 0, 10), None);
+
+        cfg.max_backlog_bytes = 1000;
+        cfg.class_backlog_bytes[1] = 100;
+        cfg.policy[1] = AdmissionPolicy::ShedOldest;
+        assert!(cfg.enabled());
+        assert_eq!(cfg.over_budget(0, 500, 500, 100), None);
+        assert_eq!(
+            cfg.over_budget(0, 950, 950, 100),
+            Some(AdmissionPolicy::Block)
+        );
+        assert_eq!(
+            cfg.over_budget(1, 0, 90, 20),
+            Some(AdmissionPolicy::ShedOldest)
+        );
+        assert!(cfg.has_headroom(1, 0, 99));
+        assert!(!cfg.has_headroom(1, 0, 100));
+        assert!(!cfg.has_headroom(0, 1000, 0));
+    }
+
+    #[test]
+    fn admission_state_one_signal_per_episode() {
+        let mut st = AdmissionState::default();
+        assert!(st.note_pressure(2), "first pressure starts an episode");
+        assert!(!st.note_pressure(2), "repeat pressure is silent");
+        assert!(st.is_blocked(2));
+        assert!(st.release(2), "release ends the episode");
+        assert!(!st.release(2), "double release is silent");
+        assert!(st.note_pressure(2), "a new episode can start");
+    }
+
+    #[test]
+    fn send_outcome_accessors() {
+        let id = MsgId {
+            flow: FlowId(1),
+            seq: MsgSeq(4),
+        };
+        assert_eq!(SendOutcome::Admitted(id).msg_id(), Some(id));
+        assert!(SendOutcome::Shed {
+            admitted: id,
+            shed: vec![],
+        }
+        .is_admitted());
+        assert!(!SendOutcome::WouldBlock.is_admitted());
+        assert!(!SendOutcome::Rejected.is_admitted());
+    }
+}

@@ -26,6 +26,7 @@ use simnet::{Endpoint, NicId, NodeId, SimCtx, SimTime, Technology, TimerId, Wire
 
 use crate::api::{AppDriver, CommApi, INTERNAL_TAG_BASE};
 use crate::classes::ClassMap;
+use crate::collect::flow_id_for_index;
 use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::ids::{FlowId, MsgId, MsgSeq, TrafficClass};
@@ -79,8 +80,9 @@ pub struct LegacyCore {
     pub receiver: Receiver,
     /// Counters (subset of fields are meaningful for the legacy engine).
     pub metrics: EngineMetrics,
-    /// Delivered messages (when `config.record_deliveries`).
-    pub delivered: Vec<DeliveredMessage>,
+    /// Delivered messages (when `config.record_deliveries`), capped at
+    /// `config.delivered_capacity` (oldest dropped, counted in metrics).
+    pub delivered: VecDeque<DeliveredMessage>,
 }
 
 impl LegacyCore {
@@ -99,7 +101,7 @@ impl LegacyCore {
             "node {dst:?} is not a registered peer on any rail of node {:?}",
             self.node
         );
-        let id = FlowId(self.flows.len() as u32);
+        let id = FlowId(flow_id_for_index(self.flows.len()));
         let rail = self.next_rail_rr % self.rails.len();
         self.next_rail_rr += 1;
         self.flows.push(LegacyFlow {
@@ -303,7 +305,13 @@ impl LegacyCore {
                     );
                 }
                 if self.config.record_deliveries {
-                    self.delivered.extend(out.iter().cloned());
+                    for d in &out {
+                        if self.delivered.len() >= self.config.delivered_capacity {
+                            self.delivered.pop_front();
+                            self.metrics.deliveries_dropped += 1;
+                        }
+                        self.delivered.push_back(d.clone());
+                    }
                 }
                 out
             }
@@ -473,7 +481,7 @@ impl LegacyBuilder {
             rndv_waiting: HashMap::new(),
             receiver: Receiver::new(),
             metrics: EngineMetrics::default(),
-            delivered: Vec::new(),
+            delivered: VecDeque::new(),
         }));
         let handle = LegacyHandle { core: core.clone() };
         Ok((
@@ -593,7 +601,7 @@ impl LegacyHandle {
 
     /// Drain recorded deliveries.
     pub fn take_delivered(&self) -> Vec<DeliveredMessage> {
-        std::mem::take(&mut self.core.borrow_mut().delivered)
+        self.core.borrow_mut().delivered.drain(..).collect()
     }
 
     /// Messages delivered so far.

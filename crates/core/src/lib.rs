@@ -61,6 +61,7 @@ pub mod constraints;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod flowmgr;
 pub mod harness;
 pub mod hist;
 pub mod ids;
@@ -82,6 +83,7 @@ pub use api::{AppDriver, CommApi, NullApp};
 pub use config::EngineConfig;
 pub use engine::{EngineBuilder, EngineHandle, MadEngine};
 pub use error::EngineError;
+pub use flowmgr::{AdmissionConfig, AdmissionPolicy, FairnessMode, FlowIndex, SendOutcome};
 pub use harness::{Cluster, ClusterSpec, EngineKind, NodeHandle};
 pub use hist::{LatencyHistogram, LogHistogram};
 pub use ids::{ChannelId, FlowId, MsgId, TrafficClass};

@@ -123,6 +123,20 @@ pub struct EngineMetrics {
     pub lost_msgs: u64,
     /// Rails declared permanently dead by the reliability layer.
     pub rails_dead: u64,
+    /// Submissions refused with `WouldBlock` by madflow admission control.
+    pub blocked_sends: u64,
+    /// Submissions refused permanently under the `Reject` policy.
+    pub rejected_sends: u64,
+    /// Messages shed from the backlog under the `ShedOldest` policy.
+    pub shed_msgs: u64,
+    /// Backlog bytes freed by shedding.
+    pub shed_bytes: u64,
+    /// Pressure episodes that ended (classes regaining headroom after a
+    /// `WouldBlock`).
+    pub unblocked_events: u64,
+    /// Delivered messages dropped because the delivered buffer was full
+    /// (oldest-drop, mirrors the EventSink ring convention).
+    pub deliveries_dropped: u64,
     /// Backlog depth (schedulable chunks visible to the rail) sampled at
     /// each optimizer activation — the paper's "pool of lookahead packets".
     pub backlog_depth: Summary,
@@ -172,6 +186,12 @@ impl Default for EngineMetrics {
             acks_received: 0,
             lost_msgs: 0,
             rails_dead: 0,
+            blocked_sends: 0,
+            rejected_sends: 0,
+            shed_msgs: 0,
+            shed_bytes: 0,
+            unblocked_events: 0,
+            deliveries_dropped: 0,
             backlog_depth: Summary::new(),
             strategy_wins: BTreeMap::new(),
             app_blocking: SimDuration::ZERO,
@@ -320,6 +340,12 @@ impl EngineMetrics {
             .field("acks_received", self.acks_received)
             .field("lost_msgs", self.lost_msgs)
             .field("rails_dead", self.rails_dead)
+            .field("blocked_sends", self.blocked_sends)
+            .field("rejected_sends", self.rejected_sends)
+            .field("shed_msgs", self.shed_msgs)
+            .field("shed_bytes", self.shed_bytes)
+            .field("unblocked_events", self.unblocked_events)
+            .field("deliveries_dropped", self.deliveries_dropped)
             .field(
                 "backlog_depth",
                 obj()

@@ -1,6 +1,14 @@
 //! The optimizer's decision procedures: plan selection under a
 //! rearrangement budget, and the submit-time activation policy (send now,
 //! wait for NIC idle, or arm a Nagle-style delay).
+//!
+//! Candidate order is owned by the collect layer's madflow machinery
+//! ([`crate::flowmgr`]): under the default pack-order fairness the groups
+//! handed to `select_plan` enumerate flows in ascending id exactly as the
+//! historical full-table walk did, while DRR fairness rotates flows within
+//! each class and splits the lookahead window by class weight *before*
+//! strategies ever see the backlog. Strategies therefore stay
+//! order-preserving and fairness lives in one place.
 
 use simnet::SimDuration;
 
@@ -185,7 +193,7 @@ mod tests {
         c
     }
 
-    fn run_selection(collect: &CollectLayer, budget: usize) -> SelectionOutcome {
+    fn run_selection(collect: &mut CollectLayer, budget: usize) -> SelectionOutcome {
         let caps = calib::synthetic_capabilities();
         let cost = CostModel::from_params(&NetworkParams::synthetic());
         let cfg = EngineConfig::default();
@@ -207,8 +215,8 @@ mod tests {
 
     #[test]
     fn multi_flow_backlog_selects_aggregation() {
-        let c = backlog(6, 64);
-        let out = run_selection(&c, 256);
+        let mut c = backlog(6, 64);
+        let out = run_selection(&mut c, 256);
         let best = out.best.expect("a plan must be selected");
         assert!(
             best.plan.chunk_count() >= 2,
@@ -220,24 +228,24 @@ mod tests {
 
     #[test]
     fn single_message_backlog_selects_something() {
-        let c = backlog(1, 64);
-        let out = run_selection(&c, 256);
+        let mut c = backlog(1, 64);
+        let out = run_selection(&mut c, 256);
         let best = out.best.expect("fifo fallback must fire");
         assert_eq!(best.plan.chunk_count(), 1);
     }
 
     #[test]
     fn empty_backlog_selects_nothing() {
-        let c = CollectLayer::new();
-        let out = run_selection(&c, 256);
+        let mut c = CollectLayer::new();
+        let out = run_selection(&mut c, 256);
         assert!(out.best.is_none());
         assert_eq!(out.evaluated, 0);
     }
 
     #[test]
     fn budget_bounds_evaluations() {
-        let c = backlog(10, 64);
-        let out = run_selection(&c, 1);
+        let mut c = backlog(10, 64);
+        let out = run_selection(&mut c, 1);
         assert_eq!(out.evaluated, 1);
         assert!(out.skipped > 0, "other proposals should be skipped");
         assert!(out.best.is_some(), "budget 1 still returns the first plan");
@@ -245,7 +253,7 @@ mod tests {
 
     #[test]
     fn traced_selection_records_the_decision_log() {
-        let c = backlog(6, 64);
+        let mut c = backlog(6, 64);
         let caps = calib::synthetic_capabilities();
         let cost = CostModel::from_params(&NetworkParams::synthetic());
         let cfg = EngineConfig::default();

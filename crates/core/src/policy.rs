@@ -234,6 +234,44 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_elephant_shifts_rails_without_starving_mice() {
+        let mut p = RailPolicy::new(PolicyKind::Adaptive, 8);
+        // Epoch 1: thousands of mice messages on DEFAULT, no elephant yet.
+        for _ in 0..4_000 {
+            p.record_traffic(TrafficClass::DEFAULT, 64);
+        }
+        p.rebalance();
+        let mice_alone = p.eligible_rails(FlowId(0), TrafficClass::DEFAULT).len();
+        assert_eq!(mice_alone, 8, "sole active class owns every rail");
+
+        // Epochs 2..=4: one elephant class joins at ~100x the mice volume.
+        // Rails must shift toward it while the mice keep at least one rail
+        // every epoch (no starvation).
+        let mut elephant_rails = 0;
+        for _ in 0..3 {
+            for _ in 0..4_000 {
+                p.record_traffic(TrafficClass::DEFAULT, 64);
+            }
+            p.record_traffic(TrafficClass::BULK, 4_000 * 64 * 100);
+            p.rebalance();
+            elephant_rails = p.eligible_rails(FlowId(0), TrafficClass::BULK).len();
+            let mice = p.eligible_rails(FlowId(0), TrafficClass::DEFAULT).len();
+            assert!(elephant_rails >= 6, "elephant got {elephant_rails} rails");
+            assert!(mice >= 1, "mice starved");
+            assert!(elephant_rails > mice, "rails did not shift to the elephant");
+        }
+
+        // Elephant drains; the next epoch hands the rails back to the mice.
+        for _ in 0..4_000 {
+            p.record_traffic(TrafficClass::DEFAULT, 64);
+        }
+        p.rebalance();
+        let mice_after = p.eligible_rails(FlowId(0), TrafficClass::DEFAULT).len();
+        assert_eq!(mice_after, 8, "rails return once the elephant drains");
+        assert_eq!(p.rebalances(), 5);
+    }
+
+    #[test]
     fn adaptive_rebalance_with_no_traffic_is_noop() {
         let mut p = RailPolicy::new(PolicyKind::Adaptive, 2);
         p.rebalance();

@@ -268,6 +268,25 @@ pub fn decode_ack(pkt: &WirePacket) -> Result<u64, ProtoError> {
     Ok(((h.flow.0 as u64) << 32) | h.msg_seq as u64)
 }
 
+/// The metadata-only header a shed-cancel notification travels in
+/// (`KIND_CTRL`). It tells the receiver that `(flow, msg_seq)` was shed
+/// before any byte was committed and will never arrive, so per-flow
+/// ordered delivery must skip that sequence instead of waiting forever.
+pub fn cancel_header(flow: FlowId, msg_seq: u32, class: TrafficClass) -> ChunkHeader {
+    ChunkHeader {
+        flow,
+        msg_seq,
+        frag_index: 0,
+        frag_count: 0,
+        express: false,
+        class,
+        frag_len: 0,
+        offset: 0,
+        chunk_len: 0,
+        submit_ns: 0,
+    }
+}
+
 /// Helper: a `ChunkHeader` stamped from message context.
 #[allow(clippy::too_many_arguments)]
 pub fn make_header(

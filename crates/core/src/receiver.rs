@@ -11,7 +11,7 @@
 //! reorder packets, which is why the sender pins express-constrained
 //! messages to one rail until their express fragments complete.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bytes::Bytes;
 use simnet::{NodeId, SimDuration, SimTime};
@@ -93,6 +93,10 @@ impl MessageAssembly {
 struct FlowRx {
     next_deliver: u32,
     pending: BTreeMap<u32, MessageAssembly>,
+    /// Sequences the sender shed before committing any byte
+    /// (`KIND_CTRL` cancel notifications): ordered delivery skips these
+    /// instead of waiting for data that will never arrive.
+    cancelled: BTreeSet<u32>,
 }
 
 /// Receive-side counters.
@@ -104,12 +108,71 @@ pub struct ReceiverStats {
     pub completed: u64,
     /// Messages delivered in flow order.
     pub delivered: u64,
+    /// Sequences skipped because the sender shed them (madflow
+    /// `ShedOldest` admission; see [`Receiver::on_cancel`]).
+    pub cancelled: u64,
     /// Express-ordering violations observed (see module docs).
     pub express_violations: u64,
     /// Overlapping/duplicate chunks rejected.
     pub overlaps: u64,
     /// Packets received per virtual channel (receiver pre-sorting, §2).
     pub per_vchan_packets: Vec<u64>,
+}
+
+/// Deliver every message at the head of `fx`'s sequence space that is
+/// either complete (delivered) or cancelled (skipped), stopping at the
+/// first gap still waiting for data. The caller adds `out.len()` to
+/// `stats.delivered`; cancelled skips are counted here.
+fn drain_ready(
+    fx: &mut FlowRx,
+    src: NodeId,
+    flow: FlowId,
+    now: SimTime,
+    stats: &mut ReceiverStats,
+) -> Vec<DeliveredMessage> {
+    let mut out = Vec::new();
+    loop {
+        if fx.cancelled.remove(&fx.next_deliver) {
+            fx.next_deliver += 1;
+            stats.cancelled += 1;
+            continue;
+        }
+        let Some(ready) = fx.pending.get(&fx.next_deliver) else {
+            break;
+        };
+        if !ready.complete() {
+            break;
+        }
+        let seq = fx.next_deliver;
+        let asm = fx.pending.remove(&seq).expect("checked present");
+        fx.next_deliver += 1;
+        let latency = SimDuration::from_nanos(now.as_nanos().saturating_sub(asm.submit_ns));
+        out.push(DeliveredMessage {
+            src,
+            flow,
+            id: MsgId {
+                flow,
+                seq: MsgSeq(seq),
+            },
+            class: asm.class,
+            fragments: asm
+                .frags
+                .into_iter()
+                .map(|f| {
+                    let f = f.expect("complete message has all fragments");
+                    let mode = if f.express {
+                        PackMode::Express
+                    } else {
+                        PackMode::Cheaper
+                    };
+                    (mode, Bytes::from(f.buf))
+                })
+                .collect(),
+            latency,
+            delivered_at: now,
+        });
+    }
+    out
 }
 
 /// The reassembly and ordered-delivery engine of one node.
@@ -146,8 +209,9 @@ impl Receiver {
         let h = &chunk.header;
         let key = (src, h.flow);
         let fx = self.flows.entry(key).or_default();
-        // Late chunk for an already-delivered message (duplicate) — drop.
-        if h.msg_seq < fx.next_deliver {
+        // Late chunk for an already-delivered message (duplicate) or a
+        // sequence the sender announced as shed — drop.
+        if h.msg_seq < fx.next_deliver || fx.cancelled.contains(&h.msg_seq) {
             self.stats.overlaps += 1;
             return Vec::new();
         }
@@ -191,42 +255,35 @@ impl Receiver {
         }
         self.stats.completed += 1;
 
-        // Deliver every consecutive completed message starting at
-        // next_deliver.
-        let mut out = Vec::new();
-        while let Some(ready) = fx.pending.get(&fx.next_deliver) {
-            if !ready.complete() {
-                break;
-            }
-            let seq = fx.next_deliver;
-            let asm = fx.pending.remove(&seq).expect("checked present");
-            fx.next_deliver += 1;
-            let latency = SimDuration::from_nanos(now.as_nanos().saturating_sub(asm.submit_ns));
-            out.push(DeliveredMessage {
-                src,
-                flow: h.flow,
-                id: MsgId {
-                    flow: h.flow,
-                    seq: MsgSeq(seq),
-                },
-                class: asm.class,
-                fragments: asm
-                    .frags
-                    .into_iter()
-                    .map(|f| {
-                        let f = f.expect("complete message has all fragments");
-                        let mode = if f.express {
-                            PackMode::Express
-                        } else {
-                            PackMode::Cheaper
-                        };
-                        (mode, Bytes::from(f.buf))
-                    })
-                    .collect(),
-                latency,
-                delivered_at: now,
-            });
+        let out = drain_ready(fx, src, h.flow, now, &mut self.stats);
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+
+    /// Ingest a shed-cancel notification from `src`: `(flow, seq)` was
+    /// dropped by the sender before any byte was committed and will never
+    /// arrive. Ordered delivery skips the sequence; returns any later
+    /// messages the skip made deliverable.
+    pub fn on_cancel(
+        &mut self,
+        src: NodeId,
+        flow: FlowId,
+        seq: u32,
+        now: SimTime,
+    ) -> Vec<DeliveredMessage> {
+        let fx = self.flows.entry((src, flow)).or_default();
+        // Cancel for an already-delivered sequence: a protocol violation
+        // (shed messages never commit bytes) — surface, don't apply.
+        if seq < fx.next_deliver {
+            self.stats.overlaps += 1;
+            return Vec::new();
         }
+        // Drop any partial reassembly state (none should exist for a
+        // fully-uncommitted message; duplicates under fault injection can
+        // leave some) and mark the gap.
+        fx.pending.remove(&seq);
+        fx.cancelled.insert(seq);
+        let out = drain_ready(fx, src, flow, now, &mut self.stats);
         self.stats.delivered += out.len() as u64;
         out
     }
@@ -395,6 +452,73 @@ mod tests {
         let out = r.on_chunk(SRC, &chunk(0, 0, 1, 2, false, 1, 0, b"x"), NOW);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].fragments[0].1.len(), 0);
+    }
+
+    #[test]
+    fn cancel_skips_gap_and_releases_held_messages() {
+        let mut r = Receiver::new();
+        // seq 0 delivers; seq 2 completes but is held behind missing seq 1.
+        assert_eq!(
+            r.on_chunk(SRC, &chunk(0, 0, 0, 1, false, 2, 0, b"m0"), NOW)
+                .len(),
+            1
+        );
+        assert!(r
+            .on_chunk(SRC, &chunk(0, 2, 0, 1, false, 2, 0, b"m2"), NOW)
+            .is_empty());
+        assert_eq!(r.held_messages(), 1);
+        // The sender shed seq 1: the cancel releases seq 2.
+        let out = r.on_cancel(SRC, FlowId(0), 1, NOW);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.seq.0, 2);
+        assert_eq!(r.stats.cancelled, 1);
+        assert_eq!(r.stats.delivered, 2);
+        assert_eq!(r.held_messages(), 0);
+    }
+
+    #[test]
+    fn cancel_ahead_of_data_is_remembered() {
+        let mut r = Receiver::new();
+        // Cancel for seq 1 arrives before any data (control channel can
+        // outrun data under load).
+        assert!(r.on_cancel(SRC, FlowId(0), 1, NOW).is_empty());
+        // seq 0 then arrives and delivery crosses the cancelled gap when
+        // seq 2 completes.
+        assert_eq!(
+            r.on_chunk(SRC, &chunk(0, 0, 0, 1, false, 2, 0, b"m0"), NOW)
+                .len(),
+            1
+        );
+        let out = r.on_chunk(SRC, &chunk(0, 2, 0, 1, false, 2, 0, b"m2"), NOW);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.seq.0, 2);
+        assert_eq!(r.stats.cancelled, 1);
+        // Late chunks for the cancelled sequence are rejected.
+        assert!(r
+            .on_chunk(SRC, &chunk(0, 1, 0, 1, false, 2, 0, b"m1"), NOW)
+            .is_empty());
+        assert_eq!(r.stats.overlaps, 1);
+    }
+
+    #[test]
+    fn cancel_for_delivered_sequence_is_surfaced_not_applied() {
+        let mut r = Receiver::new();
+        r.on_chunk(SRC, &chunk(0, 0, 0, 1, false, 2, 0, b"m0"), NOW);
+        assert!(r.on_cancel(SRC, FlowId(0), 0, NOW).is_empty());
+        assert_eq!(r.stats.overlaps, 1);
+        assert_eq!(r.stats.cancelled, 0);
+    }
+
+    #[test]
+    fn consecutive_cancels_drain_in_one_step() {
+        let mut r = Receiver::new();
+        for seq in [0u32, 1, 2] {
+            assert!(r.on_cancel(SRC, FlowId(0), seq, NOW).is_empty());
+        }
+        let out = r.on_chunk(SRC, &chunk(0, 3, 0, 1, false, 2, 0, b"m3"), NOW);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.seq.0, 3);
+        assert_eq!(r.stats.cancelled, 3);
     }
 
     #[test]

@@ -194,6 +194,33 @@ pub enum EngineEvent {
         /// Dead rail.
         rail: u16,
     },
+    /// madflow admitted a submission while admission control is active.
+    Admitted {
+        /// Flow of the message.
+        flow: FlowId,
+        /// Sequence within the flow.
+        seq: u32,
+        /// Payload bytes admitted.
+        bytes: u64,
+        /// Engine backlog bytes after admission.
+        backlog: u64,
+    },
+    /// madflow shed a queued message to make room under a backlog budget.
+    Shed {
+        /// Flow of the shed message.
+        flow: FlowId,
+        /// Sequence within the flow.
+        seq: u32,
+        /// Backlog bytes freed.
+        bytes: u64,
+        /// Traffic class the budget belongs to.
+        class: TrafficClass,
+    },
+    /// A class that reported `WouldBlock` regained backlog headroom.
+    Unblocked {
+        /// The class with headroom again.
+        class: TrafficClass,
+    },
 }
 
 impl EngineEvent {
@@ -214,6 +241,9 @@ impl EngineEvent {
             EngineEvent::AckReceived { .. } => "AckReceived",
             EngineEvent::RailDegraded { .. } => "RailDegraded",
             EngineEvent::RailDead { .. } => "RailDead",
+            EngineEvent::Admitted { .. } => "Admitted",
+            EngineEvent::Shed { .. } => "Shed",
+            EngineEvent::Unblocked { .. } => "Unblocked",
         }
     }
 
@@ -369,6 +399,29 @@ impl EngineEvent {
                 .field("score_milli", *score_milli)
                 .build(),
             EngineEvent::RailDead { rail } => obj().field("rail", *rail).build(),
+            EngineEvent::Admitted {
+                flow,
+                seq,
+                bytes,
+                backlog,
+            } => obj()
+                .field("flow", flow.0)
+                .field("seq", *seq)
+                .field("bytes", *bytes)
+                .field("backlog", *backlog)
+                .build(),
+            EngineEvent::Shed {
+                flow,
+                seq,
+                bytes,
+                class,
+            } => obj()
+                .field("flow", flow.0)
+                .field("seq", *seq)
+                .field("bytes", *bytes)
+                .field("class", class.label())
+                .build(),
+            EngineEvent::Unblocked { class } => obj().field("class", class.label()).build(),
         }
     }
 }

@@ -120,7 +120,7 @@ pub fn check_spec(
     wire_mtu: u64,
     cfg: &EngineConfig,
 ) -> CheckOutcome {
-    let collect = spec.build();
+    let mut collect = spec.build();
     let groups = collect.collect_candidates(ANALYZED_RAIL, cfg.lookahead_window, |_, _| true);
     if groups.is_empty() {
         return CheckOutcome {

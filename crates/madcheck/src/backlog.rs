@@ -230,7 +230,7 @@ mod tests {
             }],
             rndv_threshold: 1 << 20,
         };
-        let c = spec.build();
+        let mut c = spec.build();
         let groups = c.collect_candidates(ANALYZED_RAIL, 64, |_, _| true);
         assert_eq!(groups[0].candidates[0].offset, 37);
         assert_eq!(groups[0].candidates[0].remaining, 63);
@@ -251,12 +251,12 @@ mod tests {
             }],
             rndv_threshold: 1 << 10,
         };
-        let pending = mk(RndvPhase::Pending).build();
+        let mut pending = mk(RndvPhase::Pending).build();
         let groups = pending.collect_candidates(ANALYZED_RAIL, 64, |_, _| true);
         assert_eq!(groups[0].rndv.len(), 1);
         assert!(groups[0].candidates.is_empty());
 
-        let granted = mk(RndvPhase::Granted).build();
+        let mut granted = mk(RndvPhase::Granted).build();
         let groups = granted.collect_candidates(ANALYZED_RAIL, 64, |_, _| true);
         assert!(groups[0].rndv.is_empty());
         assert_eq!(groups[0].candidates.len(), 1);

@@ -204,7 +204,7 @@ mod tests {
         let caps = calib::capabilities(simnet::Technology::TcpEthernet);
         let c = corpus(7, caps.rndv_threshold_hint, &caps, 1 << 16, 0);
         for spec in &c {
-            let layer = spec.build();
+            let mut layer = spec.build();
             let groups = layer.collect_candidates(crate::ANALYZED_RAIL, 64, |_, _| true);
             assert!(groups.iter().all(|g| g.rndv.is_empty()));
         }

@@ -33,6 +33,7 @@ pub mod backlog;
 pub mod capcheck;
 pub mod corpus;
 pub mod fixtures;
+pub mod flowcheck;
 pub mod metricscheck;
 pub mod report;
 pub mod retxcheck;
@@ -41,6 +42,7 @@ pub use analyzer::{analyze, check_plan, check_spec, minimize, AnalyzeOptions, De
 pub use backlog::{BacklogSpec, FragSpec, MsgSpec, RndvPhase, ANALYZED_RAIL};
 pub use capcheck::{check_plan_caps, CapViolation};
 pub use corpus::corpus;
+pub use flowcheck::{flow_check, FlowReport};
 pub use metricscheck::{check_registry, metrics_check, MetricsReport};
 pub use report::{Finding, Report};
 pub use retxcheck::{check_retransmit, retx_sweep, verify_packets, RetxReport, RetxViolation};

@@ -22,6 +22,18 @@ pub enum SizeDist {
         /// Probability of a large message.
         p_large: f64,
     },
+    /// Bounded Pareto on `[min, max]` with tail index `alpha` — the
+    /// heavy-tailed ("mice and elephants") size mix of datacenter flows.
+    /// Smaller `alpha` means heavier tail; `alpha` around 1.1–1.5 is
+    /// typical for flow-size measurements.
+    Pareto {
+        /// Smallest message size (the mode of the distribution).
+        min: usize,
+        /// Truncation point: no draw exceeds this.
+        max: usize,
+        /// Tail index (> 0; must not be exactly 1 for `mean`).
+        alpha: f64,
+    },
 }
 
 impl SizeDist {
@@ -41,6 +53,15 @@ impl SizeDist {
                     small
                 }
             }
+            SizeDist::Pareto { min, max, alpha } => {
+                debug_assert!(min >= 1 && max >= min && alpha > 0.0);
+                // Inverse CDF of the bounded Pareto:
+                //   x = L / (1 - u * (1 - (L/H)^a))^(1/a)
+                let (l, h) = (min as f64, max as f64);
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = l / (1.0 - u * (1.0 - (l / h).powf(alpha))).powf(1.0 / alpha);
+                (x as usize).clamp(min, max)
+            }
         }
     }
 
@@ -54,6 +75,18 @@ impl SizeDist {
                 large,
                 p_large,
             } => small as f64 * (1.0 - p_large) + large as f64 * p_large,
+            SizeDist::Pareto { min, max, alpha } => {
+                let (l, h) = (min as f64, max as f64);
+                if (alpha - 1.0).abs() < 1e-9 {
+                    // alpha -> 1 limit of the bounded Pareto mean.
+                    (l * h / (h - l)) * (h / l).ln()
+                } else {
+                    let la = l.powf(alpha);
+                    (la / (1.0 - (l / h).powf(alpha)))
+                        * (alpha / (alpha - 1.0))
+                        * (1.0 / l.powf(alpha - 1.0) - 1.0 / h.powf(alpha - 1.0))
+                }
+            }
         }
     }
 }
@@ -151,6 +184,30 @@ mod tests {
         let n_large = (0..10_000).filter(|_| d.sample(&mut rng) == 4096).count();
         assert!((2_500..3_500).contains(&n_large), "{n_large}");
         assert!((d.mean() - (8.0 * 0.7 + 4096.0 * 0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_is_bounded_heavy_tailed_and_matches_its_mean() {
+        let mut rng = rng_for(11, 0);
+        let d = SizeDist::Pareto {
+            min: 64,
+            max: 1 << 20,
+            alpha: 1.2,
+        };
+        let n = 200_000;
+        let draws: Vec<usize> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&s| (64..=1 << 20).contains(&s)));
+        // Heavy tail: most draws are mice, a visible minority are >= 100x min.
+        let mice = draws.iter().filter(|&&s| s < 640).count();
+        let elephants = draws.iter().filter(|&&s| s >= 6400).count();
+        assert!(mice > n * 8 / 10, "mice {mice}/{n}");
+        assert!(elephants > n / 500, "elephants {elephants}/{n}");
+        let measured = draws.iter().map(|&s| s as f64).sum::<f64>() / n as f64;
+        let expected = d.mean();
+        assert!(
+            (measured - expected).abs() / expected < 0.15,
+            "measured {measured}, expected {expected}"
+        );
     }
 
     #[test]

@@ -59,7 +59,8 @@ usage: cargo xtask <command>
 
 commands:
   analyze   source lints + static conformance analysis of all registered
-            strategies against every driver capability profile
+            strategies against every driver capability profile, plus the
+            madflow flow-index, retransmit and metrics-export rules
               --broken-fixture   also register the deliberately broken
                                  fixture strategies (expected to fail)
               --seed <u64>       corpus seed (default: stable)
@@ -134,6 +135,10 @@ fn analyze(args: &[String]) -> ExitCode {
     let metrics = madcheck::metrics_check();
     print!("{metrics}");
     ok &= metrics.is_clean();
+
+    let flow = madcheck::flow_check(opts.seed, opts.samples);
+    print!("{flow}");
+    ok &= flow.is_clean();
 
     ok &= trace_smoke();
 
@@ -336,6 +341,9 @@ const DETERMINISM_BANNED: &[(&str, &str)] = &[
 /// via `.expect`, not an anonymous panic.
 const UNWRAP_BANNED_FILES: &[&str] = &[
     "crates/core/src/collect.rs",
+    // madflow: the flow index runs on every submit/commit/complete; an
+    // anonymous panic there is indistinguishable from index corruption.
+    "crates/core/src/flowmgr.rs",
     "crates/core/src/optimizer.rs",
     "crates/core/src/constraints.rs",
     "crates/core/src/cost.rs",
