@@ -6,6 +6,8 @@
 //! here as a *backlog*; each optimizer activation views a window of that
 //! backlog as schedulable chunk candidates.
 
+// madlint: file: hot-path
+
 use std::collections::VecDeque;
 
 use bytes::Bytes;
@@ -167,6 +169,7 @@ pub struct FlowState {
 /// active-flow index so activation cost tracks schedulable work, not the
 /// number of flows that merely exist.
 #[derive(Clone, Debug, Default)]
+// madlint: send-sync — owned per engine core, must shard with it
 pub struct CollectLayer {
     flows: Vec<FlowState>,
     index: FlowIndex,

@@ -8,6 +8,8 @@
 //! buggy (or user-supplied) strategy cannot corrupt message semantics or
 //! exceed hardware capabilities.
 
+// madlint: file: hot-path
+
 use std::collections::HashMap;
 
 use nicdrv::DriverCapabilities;

@@ -19,6 +19,9 @@
 //! is inside the ratio, old backlogs do not drown the efficiency
 //! comparison between plan variants carrying the same chunks.
 
+// madlint: file: hot-path
+// madlint: file: scoring
+
 use simnet::{SimDuration, TxMode};
 
 use crate::plan::{PlanBody, TransferPlan};
@@ -33,6 +36,17 @@ pub struct ScoredPlan {
     pub score: f64,
     /// Estimated transmit-engine occupancy.
     pub est_busy: SimDuration,
+}
+
+impl ScoredPlan {
+    /// Total-order "strictly better" test used by plan selection. Scores
+    /// are compared with [`f64::total_cmp`] so a NaN (which the cost
+    /// model should never produce) orders deterministically instead of
+    /// making the winner depend on evaluation order. Ties keep the
+    /// incumbent, so earlier proposals win among equals.
+    pub fn beats(&self, incumbent: &ScoredPlan) -> bool {
+        self.score.total_cmp(&incumbent.score) == std::cmp::Ordering::Greater
+    }
 }
 
 /// Estimate how long the transmit engine will be occupied by this plan,

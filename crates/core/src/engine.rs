@@ -20,8 +20,12 @@
 //! a shared [`EngineCore`] so tests and harnesses hold an [`EngineHandle`]
 //! onto a running engine.
 
+// madlint: file: hot-path
+// madlint: file: deterministic-output
+// madlint: file: trace-covered
+
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use nicdrv::{Driver, ModeSel, SimDriver, TransferRequest};
@@ -75,6 +79,8 @@ pub struct Rail {
 }
 
 /// The engine's mutable state (shared behind an [`EngineHandle`]).
+// madlint: send-sync — sharded across madpar workers; interior
+// mutability belongs on MadEngine/EngineHandle, not here
 pub struct EngineCore {
     node: NodeId,
     config: EngineConfig,
@@ -87,7 +93,7 @@ pub struct EngineCore {
     pub collect: CollectLayer,
     /// Receive-side reassembly.
     pub receiver: Receiver,
-    inflight: HashMap<u64, Vec<PlannedChunk>>,
+    inflight: BTreeMap<u64, Vec<PlannedChunk>>,
     next_cookie: u64,
     /// madrel: unacked data packets awaiting acknowledgement (empty when
     /// `config.reliability` is `Off`).
@@ -670,6 +676,8 @@ impl EngineCore {
     }
 
     /// Send (or queue) a control packet on a rail's control channel.
+    // madlint: allow(trace-coverage) — control-plane send; rndv gate/grant
+    // transitions are traced by the callers that build the header
     fn send_ctrl(
         &mut self,
         ctx: &mut SimCtx<'_>,
@@ -718,6 +726,8 @@ impl EngineCore {
 
     /// Returns the ids of messages whose transmission completed with this
     /// packet.
+    // madlint: allow(trace-coverage) — send-side accounting only; the
+    // PacketCompleted/Delivered events are pushed by the on_sent callers
     fn complete_cookie(&mut self, cookie: u64) -> Vec<MsgId> {
         let mut done = Vec::new();
         if cookie == CTRL_COOKIE {
@@ -959,14 +969,14 @@ impl EngineCore {
 
     /// The healthiest live rail that can reach `dst` (lowest index on
     /// ties), or `None` when every route is dead.
+    // madlint: scoring
     fn live_rail_for(&self, dst: NodeId) -> Option<usize> {
         (0..self.rails.len())
             .filter(|&r| !self.rail_health[r].is_dead() && self.rails[r].peers.contains_key(&dst))
             .max_by(|&a, &b| {
                 self.rail_health[a]
                     .score()
-                    .partial_cmp(&self.rail_health[b].score())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&self.rail_health[b].score())
                     .then(b.cmp(&a))
             })
     }
@@ -1414,7 +1424,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     policy_kind: PolicyKind,
     rails: Vec<(SimDriver, u64)>,
-    peers: Vec<(NodeId, Vec<NicId>)>,
+    peer_nics: Vec<(NodeId, Vec<NicId>)>,
     app: Option<Box<dyn AppDriver>>,
     extra_strategies: Vec<Box<dyn Strategy>>,
 }
@@ -1427,7 +1437,7 @@ impl EngineBuilder {
             config: EngineConfig::default(),
             policy_kind: PolicyKind::Pooled,
             rails: Vec::new(),
-            peers: Vec::new(),
+            peer_nics: Vec::new(),
             app: None,
             extra_strategies: Vec::new(),
         }
@@ -1459,7 +1469,7 @@ impl EngineBuilder {
 
     /// Register a peer's NIC addresses, one per rail in rail order.
     pub fn peer(mut self, node: NodeId, nics: Vec<NicId>) -> Self {
-        self.peers.push((node, nics));
+        self.peer_nics.push((node, nics));
         self
     }
 
@@ -1498,7 +1508,7 @@ impl EngineBuilder {
                 peers: HashMap::new(),
             });
         }
-        for (peer, nics) in self.peers {
+        for (peer, nics) in self.peer_nics {
             if nics.len() != rails.len() {
                 return Err(EngineError::Config(format!(
                     "peer {peer:?} supplied {} NICs for {} rails",
@@ -1529,7 +1539,7 @@ impl EngineBuilder {
             registry,
             collect,
             receiver: Receiver::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_cookie: 1,
             retx: RetransmitTracker::new(),
             rail_health,

@@ -21,6 +21,8 @@
 //!   [`FairnessMode::Drr`] is selected (pack order remains the default,
 //!   byte-identical to the pre-madflow walk).
 
+// madlint: file: hot-path
+
 use std::collections::BTreeSet;
 
 use crate::ids::{MsgId, TrafficClass};

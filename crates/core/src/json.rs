@@ -20,6 +20,8 @@
 //! floats; virtual time is integer nanoseconds; `Fixed3` renders ns as µs
 //! exactly, without ever going through floating point.
 
+// madlint: file: deterministic-output
+
 use std::fmt;
 
 /// A JSON value.

@@ -94,7 +94,7 @@ pub use metrics::{EngineMetrics, MetricsRegistry};
 pub use policy::PolicyKind;
 pub use reliability::{plan_retransmit, RailHealth, ReliabilityMode, RetransmitTracker};
 pub use scope::{flatten_registry, prometheus_render, PromSample, Sampler};
-pub use strategy::{Strategy, StrategyRegistry};
+pub use strategy::{effective_strategy_mask, Strategy, StrategyMask, StrategyRegistry};
 pub use trace::{
     chrome_event_count, export_chrome_trace, ChromeExport, EngineEvent, EngineRecord, EventSink,
     FlightDump, FlightTrigger,

@@ -1,6 +1,8 @@
 //! Engine-level metrics: everything the experiment harness reports is
 //! accumulated here, on both the sending and receiving sides.
 
+// madlint: file: deterministic-output
+
 use simnet::{NicStats, SimDuration, Summary};
 use std::collections::BTreeMap;
 

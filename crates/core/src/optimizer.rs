@@ -10,6 +10,9 @@
 //! strategies ever see the backlog. Strategies therefore stay
 //! order-preserving and fairness lives in one place.
 
+// madlint: file: hot-path
+// madlint: file: scoring
+
 use simnet::SimDuration;
 
 use crate::collect::CollectLayer;
@@ -111,7 +114,7 @@ pub fn select_plan_traced(
         }
         evaluated += 1;
         match &best {
-            Some(b) if b.score >= scored.score => {}
+            Some(b) if !scored.beats(b) => {}
             _ => best = Some(scored),
         }
     }

@@ -17,6 +17,8 @@
 //! real bytes: aggregation's framing overhead costs wire time, so the
 //! optimizer's trade-offs are physically grounded.
 
+// madlint: file: hot-path
+
 use bytes::{BufMut, Bytes, BytesMut};
 use simnet::{SimTime, WirePacket};
 

@@ -11,7 +11,10 @@
 //! reorder packets, which is why the sender pins express-constrained
 //! messages to one rail until their express fragments complete.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+// madlint: file: hot-path
+// madlint: file: deterministic-output
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use simnet::{NodeId, SimDuration, SimTime};
@@ -177,8 +180,9 @@ fn drain_ready(
 
 /// The reassembly and ordered-delivery engine of one node.
 #[derive(Clone, Debug, Default)]
+// madlint: send-sync — owned per engine core, must shard with it
 pub struct Receiver {
-    flows: HashMap<(NodeId, FlowId), FlowRx>,
+    flows: BTreeMap<(NodeId, FlowId), FlowRx>,
     /// Counters.
     pub stats: ReceiverStats,
 }

@@ -20,6 +20,8 @@
 //! deterministic event order: identical seeds yield identical recovery
 //! traces.
 
+// madlint: file: hot-path
+
 use std::collections::BTreeMap;
 
 use nicdrv::DriverCapabilities;

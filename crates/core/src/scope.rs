@@ -17,6 +17,8 @@
 //! simulation still reaches quiescence (mirroring the adaptive-policy
 //! epoch timer).
 
+// madlint: file: deterministic-output
+
 use std::collections::VecDeque;
 
 use simnet::{SimDuration, SimTime};

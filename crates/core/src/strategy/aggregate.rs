@@ -6,6 +6,8 @@
 //! packet that merges as many chunks as fit, oldest first, preferring
 //! zero-copy gather when the hardware allows.
 
+// madlint: file: hot-path
+
 use crate::constraints::max_gather_chunks;
 use crate::plan::TransferPlan;
 use crate::strategy::{fill_packet, OptContext, Strategy};

@@ -9,6 +9,8 @@
 //! the driver's cost constants, so both variants are proposed and the cost
 //! model decides per packet (experiment E10 maps the crossover).
 
+// madlint: file: hot-path
+
 use crate::plan::TransferPlan;
 use crate::strategy::{fill_packet, OptContext, Strategy};
 

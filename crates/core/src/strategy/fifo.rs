@@ -8,6 +8,8 @@
 //! competitor inside the scoring loop — aggregation only happens when it
 //! actually scores better.
 
+// madlint: file: hot-path
+
 use crate::plan::TransferPlan;
 use crate::strategy::{fill_packet, OptContext, Strategy};
 

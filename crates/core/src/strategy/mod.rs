@@ -7,6 +7,8 @@
 //! the best one. Users extend the engine by registering their own
 //! strategies — see `examples/custom_strategy.rs`.
 
+// madlint: file: hot-path
+
 mod aggregate;
 mod copyagg;
 mod fifo;
@@ -21,6 +23,7 @@ pub use reorder::ReorderVariants;
 pub use rndv::RendezvousPromotion;
 pub use split::BulkChunking;
 
+pub use nicdrv::StrategyMask;
 use nicdrv::{CostModel, DriverCapabilities};
 use simnet::{NodeId, SimTime};
 
@@ -194,12 +197,44 @@ impl StrategyRegistry {
         self.items.iter().map(|b| b.as_ref())
     }
 
-    /// Collect proposals from every strategy.
+    /// Collect proposals from every applicable strategy: the driver's
+    /// precomputed [`StrategyMask`] (adjusted for config overrides) skips
+    /// strategies that can never yield an acceptable plan on this rail,
+    /// so the sweep only visits live candidates. Selection is unchanged —
+    /// `madcheck::mask_check` proves masked-out strategies contribute no
+    /// valid plans on any capability profile.
     pub fn propose_all(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
+        let mask = effective_strategy_mask(ctx.config, ctx.caps);
+        for s in &self.items {
+            if mask.allows(s.name()) {
+                s.propose(ctx, out);
+            }
+        }
+    }
+
+    /// [`StrategyRegistry::propose_all`] without mask filtering — the
+    /// exhaustive sweep the conformance analyzer compares against.
+    pub fn propose_unmasked(&self, ctx: &OptContext<'_>, out: &mut Vec<TransferPlan>) {
         for s in &self.items {
             s.propose(ctx, out);
         }
     }
+}
+
+/// The applicability mask actually in force on a rail: the driver's
+/// precomputed table, with the rendezvous bit corrected when the config
+/// overrides the driver's switch-point hint (an explicit finite
+/// threshold re-enables rendezvous; an explicit `u64::MAX` disables it).
+pub fn effective_strategy_mask(cfg: &EngineConfig, caps: &DriverCapabilities) -> StrategyMask {
+    let mut mask = caps.strategy_mask();
+    if let Some(t) = cfg.rndv_threshold {
+        mask = if t < u64::MAX {
+            mask.with(StrategyMask::RNDV)
+        } else {
+            mask.without(StrategyMask::RNDV)
+        };
+    }
+    mask
 }
 
 #[cfg(test)]

@@ -7,6 +7,9 @@
 //! their relative order, so express constraints survive any permutation
 //! this strategy produces.
 
+// madlint: file: hot-path
+// madlint: file: scoring
+
 use crate::ids::{FlowId, TrafficClass};
 use crate::plan::{ChunkCandidate, TransferPlan};
 use crate::strategy::{fill_packet, OptContext, Strategy};
@@ -74,8 +77,7 @@ impl Strategy for ReorderVariants {
             by_urgency.sort_by(|a, b| {
                 let ua = class_key(a[0].class);
                 let ub = class_key(b[0].class);
-                ub.partial_cmp(&ua)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                ub.total_cmp(&ua)
                     .then(a[0].submitted_at.cmp(&b[0].submitted_at))
             });
             if let Some(p) = fill_packet(

@@ -8,6 +8,8 @@
 //! the protocol cost modelled is the extra round trip, which is exactly the
 //! trade-off that makes the eager/rndv crossover (experiment E9).
 
+// madlint: file: hot-path
+
 use crate::plan::{PlanBody, TransferPlan};
 use crate::strategy::{OptContext, Strategy};
 

@@ -10,6 +10,8 @@
 //!   in proportion to how fast each drains — work-stealing style balancing
 //!   with no explicit ratio computation.
 
+// madlint: file: hot-path
+
 use crate::plan::TransferPlan;
 use crate::strategy::{fill_packet, OptContext, Strategy};
 

@@ -35,6 +35,8 @@
 //!   it snapshots the last events, the debug report and a metrics document
 //!   into a deterministic JSON artifact (see `EngineHandle::flight_dump`).
 
+// madlint: file: deterministic-output
+
 use simnet::{NicId, NodeId, SimTime, Trace as SimTrace, TraceEvent as SimEvent};
 use std::collections::HashMap;
 

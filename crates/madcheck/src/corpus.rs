@@ -101,6 +101,23 @@ fn templates(rndv_threshold: u64, caps: &DriverCapabilities, wire_mtu: u64) -> V
         }
         // Express fragment stuck in rendezvous gates the rest of its message.
         out.push(spec(vec![msg(0, 0, vec![express(big), cheaper(64)])]));
+        // Post-grant streaming: a granted fragment at least as large as a
+        // whole packet must be chunkable — the rendezvous-path workload
+        // bulk chunking exists for. Without it, profiles whose threshold
+        // sits below half the packet budget would never show a
+        // chunk-eligible candidate.
+        let jumbo = wire_mtu
+            .max(thr)
+            .min(2 << 20)
+            .min(u64::from(u32::MAX))
+            .max(1) as u32;
+        out.push(spec(vec![MsgSpec {
+            dst: 0,
+            class: 1,
+            frags: vec![cheaper(jumbo)],
+            precommit: 0,
+            rndv_phase: RndvPhase::Granted,
+        }]));
     }
     out
 }

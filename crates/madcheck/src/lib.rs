@@ -34,6 +34,7 @@ pub mod capcheck;
 pub mod corpus;
 pub mod fixtures;
 pub mod flowcheck;
+pub mod maskcheck;
 pub mod metricscheck;
 pub mod report;
 pub mod retxcheck;
@@ -43,6 +44,7 @@ pub use backlog::{BacklogSpec, FragSpec, MsgSpec, RndvPhase, ANALYZED_RAIL};
 pub use capcheck::{check_plan_caps, CapViolation};
 pub use corpus::corpus;
 pub use flowcheck::{flow_check, FlowReport};
+pub use maskcheck::{mask_check, mask_check_standard, MaskFinding, MaskReport};
 pub use metricscheck::{check_registry, metrics_check, MetricsReport};
 pub use report::{Finding, Report};
 pub use retxcheck::{check_retransmit, retx_sweep, verify_packets, RetxReport, RetxViolation};

@@ -1,0 +1,17 @@
+//! Fixture: raw float ordering in a scoring scope. Must trip
+//! `float-ord` and nothing else.
+// madlint: file: scoring
+
+pub struct Candidate {
+    pub score: f64,
+}
+
+/// Raw `>` on scores: NaN poisons the comparison silently.
+pub fn better(a: &Candidate, b: &Candidate) -> bool {
+    a.score > b.score
+}
+
+/// `partial_cmp` is not a total order.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,19 @@
+//! Fixture: hash-order iteration inside a deterministic-output scope.
+//! Must trip `nondet-iter` and nothing else.
+// madlint: file: deterministic-output
+
+use std::collections::HashMap;
+
+/// Exports per-flow counters — iteration order reaches the output.
+pub fn export_counters(counters: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for (flow, count) in counters {
+        out.push((*flow, *count));
+    }
+    out
+}
+
+/// Sums values through an explicit `.values()` walk.
+pub fn total(counters: &HashMap<u32, u64>) -> u64 {
+    counters.values().sum()
+}

@@ -1,0 +1,21 @@
+//! Fixture: host clock, unseeded RNG and environment reads in library
+//! code. Must trip `nondet-source` (always on — no marker needed) and
+//! nothing else.
+
+use std::time::Instant;
+
+/// Reads the host clock instead of the simulation clock.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// Seeds from the OS entropy pool instead of the simnet RNG.
+pub fn roll() -> u64 {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rng.next_u64()
+}
+
+/// Reads the environment outside an entrypoint.
+pub fn configured_mtu() -> Option<String> {
+    std::env::var("MAD_MTU").ok()
+}

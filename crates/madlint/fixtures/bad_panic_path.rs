@@ -1,0 +1,17 @@
+//! Fixture: anonymous panics in a hot-path scope. Must trip
+//! `panic-path` and nothing else.
+// madlint: file: hot-path
+
+/// `.unwrap()` dies without naming the violated invariant.
+pub fn pick_rail(best: Option<usize>) -> usize {
+    best.unwrap()
+}
+
+/// `unreachable!` in a dispatch arm that faults will eventually reach.
+pub fn dispatch(kind: u16) -> &'static str {
+    match kind {
+        0 => "data",
+        1 => "ctrl",
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: shared mutable state that blocks sharding. Must trip
+//! `shared-state` and nothing else.
+
+/// Process-global mutable counter: a data race once madpar shards.
+pub static mut PACKETS_SENT: u64 = 0;
+
+/// An undocumented lock: no `// madlint: lock-order:` directive in scope.
+pub static REGISTRY: std::sync::Mutex<Vec<u32>> = std::sync::Mutex::new(Vec::new());
+
+/// A type that must shard across threads but holds interior mutability.
+// madlint: send-sync
+pub struct RailTable {
+    pub scores: std::cell::RefCell<Vec<f64>>,
+}

@@ -1,0 +1,15 @@
+//! Fixture: a lifecycle mutation invisible to madtrace. Must trip
+//! `trace-coverage` and nothing else.
+// madlint: file: trace-covered
+
+pub struct Backlog;
+
+impl Backlog {
+    pub fn shed_oldest(&mut self) {}
+}
+
+/// Sheds backlog without pushing an EngineEvent — the flight recorder
+/// goes blind for this transition.
+pub fn relieve_pressure(b: &mut Backlog) {
+    b.shed_oldest();
+}

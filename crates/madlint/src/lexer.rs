@@ -1,0 +1,430 @@
+//! A minimal Rust lexer with source spans.
+//!
+//! This is the foundation of madlint's offline stand-in for `syn`: it
+//! tokenizes Rust source into identifiers, punctuation, literals,
+//! lifetimes and comments, each carrying a 1-based line/column span.
+//! Comments are kept as first-class tokens because madlint's scoping
+//! directives (`// madlint: ...`) live in them. String and character
+//! literals are opaque single tokens, which is what makes the rule
+//! matchers immune to the classic substring-lint failure mode: a banned
+//! name inside a string or comment never produces an identifier token.
+//!
+//! The lexer is deliberately permissive — it never fails. Input that is
+//! not valid Rust still tokenizes into *something*, and the item parser
+//! degrades gracefully; the analyzer must not crash on the code it is
+//! trying to criticize.
+
+/// Kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// String / char / byte / numeric literal, kept opaque.
+    Literal,
+    /// Lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// Line or block comment, full text retained.
+    Comment,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+    /// For comments: true when nothing but whitespace precedes the
+    /// comment on its line (an "own line" comment, eligible to carry an
+    /// item-scoped directive). Always false for non-comments.
+    pub own_line: bool,
+}
+
+impl Tok {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+    /// Whether a non-comment token has been produced on the current line.
+    line_has_code: bool,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            i: 0,
+            line: 1,
+            col: 1,
+            line_has_code: false,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32, own_line: bool) {
+        if kind != TokKind::Comment {
+            self.line_has_code = true;
+        }
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+            own_line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (line, col) = (self.line, self.col);
+            let own_line = !self.line_has_code;
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col, own_line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col, own_line),
+                '"' => self.string_literal(line, col),
+                'r' if self.raw_string_ahead(0) => self.raw_string(line, col),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line, col);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier r#name.
+                    self.bump();
+                    self.bump();
+                    self.ident(line, col, "r#");
+                }
+                '\'' => self.quote(line, col),
+                c if is_ident_start(c) => self.ident(line, col, ""),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col, false);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32, own_line: bool) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.slice(start, self.i);
+        self.push(TokKind::Comment, text, line, col, own_line);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32, own_line: bool) {
+        let start = self.i;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = self.slice(start, self.i);
+        self.push(TokKind::Comment, text, line, col, own_line);
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+        let text = self.slice(start, self.i);
+        self.push(TokKind::Literal, text, line, col, false);
+    }
+
+    /// True when an `r` (plus `offset`) begins a raw string: `r"` or `r#...#"`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut j = 1 + offset;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        j > 1 + offset && self.peek(j) == Some('"') || self.peek(1 + offset) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = self.slice(start, self.i);
+        self.push(TokKind::Literal, text, line, col, false);
+    }
+
+    fn char_literal(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            self.bump();
+            if c == '\'' {
+                break;
+            }
+        }
+        let text = self.slice(start, self.i);
+        self.push(TokKind::Literal, text, line, col, false);
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'x'` (char literal).
+    fn quote(&mut self, line: u32, col: u32) {
+        if self.peek(1) == Some('\\') {
+            self.char_literal(line, col);
+            return;
+        }
+        if self.peek(1).is_some_and(is_ident_start) {
+            // Scan the ident run; a closing quote right after means char.
+            let mut j = 2;
+            while self.peek(j).is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            if self.peek(j) == Some('\'') {
+                self.char_literal(line, col);
+            } else {
+                let start = self.i;
+                self.bump(); // quote
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                let text = self.slice(start, self.i);
+                self.push(TokKind::Lifetime, text, line, col, false);
+            }
+            return;
+        }
+        // `'('`-style char literal (or stray quote at EOF).
+        self.char_literal(line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32, prefix: &str) {
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = format!("{prefix}{}", self.slice(start, self.i));
+        self.push(TokKind::Ident, text, line, col, false);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let is_exp = matches!(c, 'e' | 'E');
+                self.bump();
+                // Exponent sign directly after e/E.
+                if is_exp {
+                    if let Some('+' | '-') = self.peek(0) {
+                        // Only when the token started with a digit and the
+                        // char after the sign is a digit (so `1e-3` lexes
+                        // whole while `x-3` does not arise here).
+                        if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                            self.bump();
+                        }
+                    }
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Fractional part; leaves `0..n` as digit + two puncts.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = self.slice(start, self.i);
+        self.push(TokKind::Literal, text, line, col, false);
+    }
+
+    fn slice(&self, start: usize, end: usize) -> String {
+        // `chars` indexes are character counts; rebuild from the chars to
+        // stay correct for multi-byte input.
+        if self.src.is_ascii() {
+            self.src[start..end].to_string()
+        } else {
+            self.chars[start..end].iter().collect()
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails; unrecognized bytes become punct tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_spans() {
+        let toks = lex("fn foo(x: u32) {}\n    bar();");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("foo"));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        let bar = toks.iter().find(|t| t.is_ident("bar")).expect("bar lexed");
+        assert_eq!((bar.line, bar.col), (2, 5));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = kinds(r#"let s = "Instant::now inside a string";"#);
+        assert!(
+            !toks
+                .iter()
+                .any(|(k, t)| *k == TokKind::Ident && t == "Instant"),
+            "identifier leaked out of a string literal: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let toks = kinds("r#\"thread_rng \" inside\"# /* outer /* inner */ thread_rng */ x");
+        let idents: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Ident).collect();
+        assert_eq!(idents.len(), 1);
+        assert_eq!(idents[0].1, "x");
+    }
+
+    #[test]
+    fn comments_track_own_line() {
+        let toks = lex("let a = 1; // trailing\n// own line\nlet b = 2;");
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(!comments[0].own_line);
+        assert!(comments[1].own_line);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'z'"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e-3; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "1.5e-3"));
+    }
+}

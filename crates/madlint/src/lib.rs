@@ -1,0 +1,159 @@
+//! madlint — AST-level determinism and concurrency-readiness analyzer.
+//!
+//! Supersedes the old per-line substring lints in `xtask`: source is
+//! lexed ([`lexer`]) and parsed into an item tree with `#[cfg(test)]` and
+//! directive scoping ([`parse`]), then a pluggable ruleset ([`rules`])
+//! matches *token sequences* inside the scopes each rule applies to.
+//! Diagnostics are span-accurate and machine-readable ([`diag`]), render
+//! as text or deterministic JSON, and map to stable per-class exit codes
+//! for CI.
+//!
+//! In this offline environment `syn` is not available, so madlint ships
+//! its own minimal lexer and item-tree parser — the same philosophy as
+//! the workspace's vendored dependency shims. The parser resolves what
+//! the rules need (items, nesting, test scoping, local container types)
+//! and nothing more; it is permissive and never fails on odd input.
+//!
+//! Entry points: [`lint_workspace`] for `cargo xtask lint`,
+//! [`lint_source`] for one in-memory file (fixtures, tests).
+
+pub mod diag;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use diag::{Diagnostic, FailureClass, LintReport, RuleId, EXIT_ERROR, EXIT_MIXED};
+pub use parse::{Directive, SourceFile};
+
+/// Lint one source text under a repo-relative label. Returns the
+/// (unsorted) diagnostics plus any directive-syntax errors.
+pub fn lint_source(path_label: &str, src: &str) -> (Vec<Diagnostic>, Vec<String>) {
+    let file = SourceFile::parse(path_label, src);
+    let diags = rules::check_file(&file);
+    (diags, file.errors)
+}
+
+/// All workspace sources the analyzer covers: `crates/*/src/**/*.rs`,
+/// in sorted (deterministic) order. Vendored shims are out of scope —
+/// they mirror external APIs and never run in the simulation hot path.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut crates: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crates.sort();
+    let mut files = Vec::new();
+    for c in crates {
+        collect_rs(&c.join("src"), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint an explicit file list; paths are reported relative to `root`.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> LintReport {
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match fs::read_to_string(path) {
+            Ok(src) => {
+                let (diags, errors) = lint_source(&rel, &src);
+                report.files_scanned += 1;
+                report.diagnostics.extend(diags);
+                report.errors.extend(errors);
+            }
+            Err(e) => report.errors.push(format!("{rel}: unreadable: {e}")),
+        }
+    }
+    report.finish();
+    report
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let files = workspace_sources(root);
+    lint_files(root, &files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nondet_source_fires_outside_tests_only() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { let t = Instant::now(); }\n}\n";
+        let (diags, errors) = lint_source("crates/x/src/lib.rs", src);
+        assert!(errors.is_empty());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RuleId::NondetSource);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "fn f() {\n    let s = \"Instant::now thread_rng\"; // Instant::now\n}\n";
+        let (diags, _) = lint_source("crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn marker_rules_are_opt_in() {
+        let src = "fn f(m: &HashMap<u32, u32>) { for v in m.values() { let _ = v; } }\n";
+        let (diags, _) = lint_source("crates/x/src/lib.rs", src);
+        assert!(
+            diags.is_empty(),
+            "not a deterministic-output scope: {diags:?}"
+        );
+        let marked = format!("// madlint: deterministic-output\n{src}");
+        let (diags, _) = lint_source("crates/x/src/lib.rs", &marked);
+        assert!(
+            diags.iter().any(|d| d.rule == RuleId::NondetIter),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn item_allow_suppresses_whole_function() {
+        let src = "// madlint: file: hot-path\n\
+                   // madlint: allow(panic-path) — exercised by the driver contract\n\
+                   fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let (diags, _) = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn env_reads_allowed_in_entrypoints() {
+        let src = "fn main() { let a: Vec<String> = std::env::args().collect(); }\n";
+        let (diags, _) = lint_source("crates/x/src/main.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        let (diags, _) = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+    }
+}

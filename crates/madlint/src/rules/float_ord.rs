@@ -1,0 +1,61 @@
+//! float-ord: raw float ordering in scoring code.
+//!
+//! Plan selection must impose a *total* order on scores or NaN (and
+//! platform-dependent comparison of near-ties after FMA contraction)
+//! silently changes which plan wins. Scopes marked
+//! `// madlint: scoring` may only order floats through `f64::total_cmp`
+//! or after the fixed-point `encode_score` guard; `partial_cmp` and raw
+//! `.score` comparisons are flagged.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::parse::SourceFile;
+use crate::rules::{emit, ScopeFlags, Sig};
+
+/// Scan one scoring scope.
+pub fn check(f: &SourceFile, ctx: &ScopeFlags, sig: &Sig<'_>, out: &mut Vec<Diagnostic>) {
+    let rule = RuleId::FloatOrd;
+    for i in 0..sig.toks.len() {
+        let at = sig.toks[i];
+        if at.is_ident("partial_cmp") {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                at,
+                "`partial_cmp` on floats is not a total order (NaN compares as equal)".to_string(),
+                "use `f64::total_cmp`, or compare through the fixed-point \
+                 `encode_score` encoding",
+            );
+        }
+        // `<lhs>.score <op> <rhs>.score` with a raw comparison operator.
+        if at.is_punct(".") && sig.get(i + 1).is_some_and(|t| t.is_ident("score")) {
+            for j in i + 2..(i + 8).min(sig.toks.len()) {
+                let t = sig.toks[j];
+                if t.is_ident("total_cmp") || t.is_ident("encode_score") {
+                    break; // guarded comparison
+                }
+                if t.is_punct("<") || t.is_punct(">") {
+                    let rhs_scored =
+                        (j + 1..(j + 8).min(sig.toks.len().saturating_sub(1))).any(|k| {
+                            sig.toks[k].is_punct(".")
+                                && sig.get(k + 1).is_some_and(|t| t.is_ident("score"))
+                        });
+                    if rhs_scored {
+                        emit(
+                            out,
+                            f,
+                            ctx,
+                            rule,
+                            t,
+                            "raw float comparison of plan scores".to_string(),
+                            "order scores with `f64::total_cmp` (see `ScoredPlan::beats`) \
+                             or the fixed-point `encode_score` encoding",
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! nondet-iter: hash-order iteration feeding deterministic output.
+//!
+//! `HashMap`/`HashSet` iteration order varies run to run (and will vary
+//! *thread to thread* under madpar), so any scope marked
+//! `// madlint: deterministic-output` — trace exporters, metrics
+//! registries, debug reports, plan-scoring feeders — must not iterate a
+//! hashed container. Lookups are fine; only enumeration leaks order.
+//!
+//! Resolution is file-local by design: the offline parser records every
+//! identifier declared with a `HashMap`/`HashSet` type in the same file
+//! ([`SourceFile::hash_locals`]) and flags iteration through those names.
+//! A hashed container smuggled in from another file is not caught — the
+//! sweep's answer is to not declare hashed containers in deterministic
+//! paths at all (use `BTreeMap`/`BTreeSet` or collect-and-sort).
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokKind;
+use crate::parse::SourceFile;
+use crate::rules::{emit, ScopeFlags, Sig};
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Scan one deterministic-output scope.
+pub fn check(f: &SourceFile, ctx: &ScopeFlags, sig: &Sig<'_>, out: &mut Vec<Diagnostic>) {
+    let rule = RuleId::NondetIter;
+    let is_hash_local = |name: &str| f.hash_locals.iter().any(|h| h == name);
+    for i in 0..sig.toks.len() {
+        let at = sig.toks[i];
+        // `name.iter()` / `name.keys()` / ... on a known hashed local.
+        if at.kind == TokKind::Ident
+            && is_hash_local(&at.text)
+            && sig.get(i + 1).is_some_and(|t| t.is_punct("."))
+        {
+            if let Some(m) = sig.get(i + 2) {
+                if ITER_METHODS.iter().any(|im| m.is_ident(im))
+                    && sig.get(i + 3).is_some_and(|t| t.is_punct("("))
+                {
+                    emit(
+                        out,
+                        f,
+                        ctx,
+                        rule,
+                        at,
+                        format!(
+                            "hash-order iteration: `{}.{}()` on a HashMap/HashSet \
+                             in a deterministic-output scope",
+                            at.text, m.text
+                        ),
+                        "switch the container to BTreeMap/BTreeSet, or collect \
+                         and sort before iterating",
+                    );
+                }
+            }
+        }
+        // `for pat in [&][mut] [self.]name {` over a known hashed local.
+        if at.is_ident("in") {
+            let mut j = i + 1;
+            while sig
+                .get(j)
+                .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            if sig.get(j).is_some_and(|t| t.is_ident("self"))
+                && sig.get(j + 1).is_some_and(|t| t.is_punct("."))
+            {
+                j += 2;
+            }
+            let Some(name) = sig.get(j) else { continue };
+            if name.kind == TokKind::Ident
+                && is_hash_local(&name.text)
+                && sig.get(j + 1).is_some_and(|t| t.is_punct("{"))
+            {
+                emit(
+                    out,
+                    f,
+                    ctx,
+                    rule,
+                    name,
+                    format!(
+                        "hash-order iteration: `for .. in {}` over a HashMap/HashSet \
+                         in a deterministic-output scope",
+                        name.text
+                    ),
+                    "switch the container to BTreeMap/BTreeSet, or collect \
+                     and sort before iterating",
+                );
+            }
+        }
+    }
+}

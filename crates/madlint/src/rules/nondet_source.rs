@@ -1,0 +1,73 @@
+//! nondet-source: host clock, unseeded RNG and environment access.
+//!
+//! The scope-aware replacement for the old substring bans: a run is only
+//! reproducible if every timestamp comes from the simulated clock and
+//! every random draw from the seeded generator. Always on in non-test
+//! code; `std::env` argument access is additionally tolerated in binary
+//! entry points (`main.rs`, `src/bin/**`), where CLI parsing is the whole
+//! point.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::parse::SourceFile;
+use crate::rules::{emit, ScopeFlags, Sig};
+
+const ENV_READS: &[&str] = &["var", "vars", "var_os", "vars_os", "args", "args_os"];
+
+/// Scan one scope.
+pub fn check(f: &SourceFile, ctx: &ScopeFlags, sig: &Sig<'_>, out: &mut Vec<Diagnostic>) {
+    let rule = RuleId::NondetSource;
+    for i in 0..sig.toks.len() {
+        let at = sig.toks[i];
+        if sig.path2(i, "Instant", "now") || sig.path2(i, "SystemTime", "now") {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                at,
+                format!("host wall-clock read (`{}::now`)", at.text),
+                "use the simulated clock: `simnet::SimTime` carried by the engine context",
+            );
+        } else if at.is_ident("thread_rng") || at.is_ident("from_entropy") {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                at,
+                format!("unseeded OS randomness (`{}`)", at.text),
+                "use `simnet::SplitMix64` derived from the run seed",
+            );
+        } else if sig.path2(i, "rand", "random") {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                at,
+                "unseeded OS randomness (`rand::random`)".to_string(),
+                "use `simnet::SplitMix64` derived from the run seed",
+            );
+        }
+        if !f.is_entrypoint
+            && at.is_ident("env")
+            && sig.get(i + 1).is_some_and(|t| t.is_punct(":"))
+            && sig.get(i + 2).is_some_and(|t| t.is_punct(":"))
+        {
+            if let Some(call) = sig.get(i + 3) {
+                if ENV_READS.iter().any(|m| call.is_ident(m)) {
+                    emit(
+                        out,
+                        f,
+                        ctx,
+                        rule,
+                        at,
+                        format!("process environment read (`env::{}`)", call.text),
+                        "thread configuration through `EngineConfig`; \
+                         environment access belongs in binary entry points only",
+                    );
+                }
+            }
+        }
+    }
+}

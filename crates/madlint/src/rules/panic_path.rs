@@ -1,0 +1,50 @@
+//! panic-path: anonymous panics in engine hot paths.
+//!
+//! Applies to scopes marked `// madlint: hot-path` (the attribute-driven
+//! successor of the old hard-coded file allowlist). `.unwrap()` and the
+//! `unreachable!`/`todo!`/`unimplemented!` macros are flagged:
+//! a poisoned scheduler must surface a typed error or at least an
+//! invariant message. `.expect("...")`, `assert!` and documented
+//! `panic!`s remain the sanctioned forms — they name the invariant they
+//! protect.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::parse::SourceFile;
+use crate::rules::{emit, ScopeFlags, Sig};
+
+const PANIC_MACROS: &[&str] = &["unreachable", "todo", "unimplemented"];
+
+/// Scan one hot-path scope.
+pub fn check(f: &SourceFile, ctx: &ScopeFlags, sig: &Sig<'_>, out: &mut Vec<Diagnostic>) {
+    let rule = RuleId::PanicPath;
+    for i in 0..sig.toks.len() {
+        let at = sig.toks[i];
+        if sig.method(i, "unwrap") {
+            emit(
+                out,
+                f,
+                ctx,
+                // Point at the method name, not the dot.
+                rule,
+                sig.toks[i + 1],
+                "`.unwrap()` in a hot path panics without naming its invariant".to_string(),
+                "use `.expect(\"<invariant>\")` or propagate a typed error; \
+                 `// madlint: allow(panic-path) — <why>` for documented contracts",
+            );
+        }
+        if at.kind == crate::lexer::TokKind::Ident
+            && PANIC_MACROS.iter().any(|m| at.text == *m)
+            && sig.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                at,
+                format!("`{}!` in a hot path", at.text),
+                "handle the case or panic with a message naming the violated invariant",
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! shared-state: the concurrency-readiness audit for madpar sharding.
+//!
+//! Three checks:
+//!
+//! * `static mut` anywhere in non-test code — unsynchronized process
+//!   globals cannot shard.
+//! * `Mutex`/`RwLock` mentions in a file with no documented lock order
+//!   (`// madlint: file: lock-order: <A before B>`) — undocumented lock
+//!   hierarchies are how sharded deadlocks are born.
+//! * `Rc`/`RefCell`/`Cell`/`UnsafeCell` fields inside types marked
+//!   `// madlint: send-sync` — those types must become `Send`/`Sync`
+//!   before madpar can move them across shard threads.
+
+use std::ops::Range;
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokKind;
+use crate::parse::{Item, SourceFile};
+use crate::rules::{emit, ScopeFlags, Sig};
+
+const UNSHARDABLE: &[&str] = &["Rc", "RefCell", "Cell", "UnsafeCell"];
+
+/// File-wide scan (statics and locks), skipping test spans.
+pub fn check_file(
+    f: &SourceFile,
+    ctx: &ScopeFlags,
+    test_spans: &[Range<usize>],
+    out: &mut Vec<Diagnostic>,
+) {
+    let rule = RuleId::SharedState;
+    let in_test = |idx: usize| test_spans.iter().any(|r| r.contains(&idx));
+    for (idx, t) in f.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(idx) {
+            continue;
+        }
+        let next_sig = f.toks[idx + 1..]
+            .iter()
+            .find(|t| t.kind != TokKind::Comment);
+        if t.text == "static" && next_sig.is_some_and(|n| n.is_ident("mut")) {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                t,
+                "`static mut` is unsynchronized shared state".to_string(),
+                "pass the state through the engine explicitly, or use an \
+                 atomic/synchronized cell; madpar shards cannot share this",
+            );
+        }
+        if !ctx.lock_order
+            && (t.text == "Mutex" || t.text == "RwLock")
+            && next_sig.is_some_and(|n| n.is_punct("<"))
+        {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                t,
+                format!("`{}` without a documented acquisition order", t.text),
+                "add `// madlint: file: lock-order: <which lock before which>` \
+                 once the ordering is designed and documented",
+            );
+        }
+    }
+}
+
+/// Audit one type marked `send-sync`.
+pub fn check_type(f: &SourceFile, ctx: &ScopeFlags, item: &Item, out: &mut Vec<Diagnostic>) {
+    let rule = RuleId::SharedState;
+    let sig = Sig::of(f, item.span.clone());
+    for i in 0..sig.toks.len() {
+        let at = sig.toks[i];
+        if at.kind == TokKind::Ident
+            && UNSHARDABLE.iter().any(|u| at.text == *u)
+            && sig.get(i + 1).is_some_and(|t| t.is_punct("<"))
+        {
+            emit(
+                out,
+                f,
+                ctx,
+                rule,
+                at,
+                format!(
+                    "`{}` field in `{}`, which is marked send-sync for madpar",
+                    at.text, item.name
+                ),
+                "replace with an owned/atomic/synchronized equivalent; this type \
+                 must become Send + Sync before the simulation can shard",
+            );
+        }
+    }
+}

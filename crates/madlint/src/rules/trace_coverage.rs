@@ -1,0 +1,81 @@
+//! trace-coverage: lifecycle mutations must be visible to madtrace.
+//!
+//! In scopes marked `// madlint: trace-covered` (the engine core), any
+//! function that calls a flow-lifecycle mutator — submit, shed, rendezvous
+//! grant, chunk commit/complete, receiver delivery — must also emit at
+//! least one `EngineEvent`, or the flight recorder and the Chrome export
+//! go blind for that transition. Functions whose events are pushed by a
+//! callee can declare it with `// madlint: emits-trace`.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::parse::{Item, SourceFile};
+use crate::rules::{emit, ScopeFlags, Sig};
+
+/// Calls that change flow-lifecycle state.
+const MUTATORS: &[&str] = &[
+    "submit",
+    "shed_oldest",
+    "grant_rndv",
+    "mark_rndv_requested",
+    "commit_chunk",
+    "complete_chunk",
+    "on_chunk",
+    "on_cancel",
+];
+
+/// Calls (or constructions) that put an event on the ring.
+const EMITTER_METHODS: &[&str] = &["trace_admitted", "note_deliveries", "kill_rail"];
+
+/// Scan one function in a trace-covered scope.
+pub fn check(
+    f: &SourceFile,
+    ctx: &ScopeFlags,
+    item: &Item,
+    sig: &Sig<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut first_mutator: Option<(usize, &str)> = None;
+    let mut emits = false;
+    for i in 0..sig.toks.len() {
+        let at = sig.toks[i];
+        if at.is_ident("EngineEvent") {
+            emits = true;
+            break;
+        }
+        if at.is_ident("trace")
+            && sig.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && sig.get(i + 2).is_some_and(|t| t.is_ident("push"))
+        {
+            emits = true;
+            break;
+        }
+        if EMITTER_METHODS.iter().any(|m| sig.method(i, m)) {
+            emits = true;
+            break;
+        }
+        if first_mutator.is_none() {
+            if let Some(m) = MUTATORS.iter().find(|m| sig.method(i, m)) {
+                first_mutator = Some((i + 1, m));
+            }
+        }
+    }
+    if emits {
+        return;
+    }
+    if let Some((i, m)) = first_mutator {
+        emit(
+            out,
+            f,
+            ctx,
+            RuleId::TraceCoverage,
+            sig.toks[i],
+            format!(
+                "`{}` mutates flow lifecycle state but `{}` emits no EngineEvent",
+                m, item.name
+            ),
+            "push a madtrace event for the transition, or mark the function \
+             `// madlint: emits-trace` / `allow(trace-coverage)` with the \
+             reason it is covered elsewhere",
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //! draw happens per transmitted packet, in event order, so the fault stream
 //! is a pure function of `(seed, packet sequence)`.
 
+// madlint: file: hot-path
+
 use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
 

@@ -2,17 +2,21 @@
 //!
 //! Commands:
 //!
-//! * `analyze` — run the source lints, then the madcheck static conformance
-//!   analyzer over every registered strategy × every driver capability
-//!   profile. Exits non-zero (printing a minimized counterexample) if any
-//!   strategy can emit a plan that violates the plan constraints or a
-//!   driver capability bound, then checks the madscope metrics export
-//!   (unique sample keys, no silent drops). Finishes with a madtrace
-//!   smoke test: a small
+//! * `analyze` — run the madlint AST analyzer, then the madcheck static
+//!   conformance analyzer over every registered strategy × every driver
+//!   capability profile. Exits non-zero (printing a minimized
+//!   counterexample) if any strategy can emit a plan that violates the
+//!   plan constraints or a driver capability bound, checks the per-driver
+//!   strategy applicability masks against the sweep, then checks the
+//!   madscope metrics export (unique sample keys, no silent drops).
+//!   Finishes with a madtrace smoke test: a small
 //!   traced workload is exported to Chrome trace-event JSON, re-parsed,
 //!   and the event count must round-trip (bit-identically across runs).
-//! * `lint` — run only the source lints (determinism and hot-path
-//!   hygiene), plus `cargo fmt --check` when rustfmt is installed.
+//! * `lint` — run the madlint AST pass (determinism, panic hygiene,
+//!   concurrency readiness, trace coverage; see `crates/madlint`), plus
+//!   `cargo fmt --check` when rustfmt is installed. `--json` emits the
+//!   machine-readable diagnostics document; the exit code is stable per
+//!   failure class (see `madlint::diag`).
 //! * `bench` — run the madscope smoke suite (one point each of E1, E2,
 //!   E7 and E12 plus a sampler-instrumented replay) and write the
 //!   schema-versioned `BENCH_<label>.json` gate document and the sampler
@@ -35,13 +39,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("bench") => bench(&args[1..]),
-        Some("lint") => {
-            if lint(repo_root().as_path(), true) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+        Some("lint") => lint_cmd(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -58,9 +56,10 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  analyze   source lints + static conformance analysis of all registered
-            strategies against every driver capability profile, plus the
-            madflow flow-index, retransmit and metrics-export rules
+  analyze   madlint AST lints + static conformance analysis of all
+            registered strategies against every driver capability
+            profile, plus the strategy-mask, madflow flow-index,
+            retransmit and metrics-export rules
               --broken-fixture   also register the deliberately broken
                                  fixture strategies (expected to fail)
               --seed <u64>       corpus seed (default: stable)
@@ -75,7 +74,10 @@ commands:
                                  and exit non-zero on any regression
               --threshold <f>    per-metric regression budget as a
                                  fraction of the baseline (default 0.05)
-  lint      source lints only (+ cargo fmt --check when available)
+  lint      madlint AST pass only (+ cargo fmt --check when available)
+              --json             machine-readable diagnostics on stdout
+            exit codes: 0 clean, 2 determinism, 3 panic-hygiene,
+            4 concurrency, 5 trace-coverage, 1 mixed classes, 64 error
   help      this text
 ";
 
@@ -115,7 +117,7 @@ fn analyze(args: &[String]) -> ExitCode {
 
     let mut ok = true;
     if !skip_lints {
-        ok &= lint(repo_root().as_path(), false);
+        ok &= lint_for_analyze();
     }
 
     let mut registry = StrategyRegistry::standard(&EngineConfig::default());
@@ -127,6 +129,10 @@ fn analyze(args: &[String]) -> ExitCode {
     let report = madcheck::analyze(&registry, &opts);
     print!("{report}");
     ok &= report.is_clean();
+
+    let mask = madcheck::mask_check(&registry, &opts);
+    print!("{mask}");
+    ok &= mask.is_clean();
 
     let retx = madcheck::retx_sweep(opts.seed, opts.samples);
     print!("{retx}");
@@ -323,149 +329,60 @@ fn trace_export_once() -> madeleine::ChromeExport {
 }
 
 // ---------------------------------------------------------------------------
-// source lints
+// madlint (the AST source analyzer; replaced the old substring lints)
 // ---------------------------------------------------------------------------
 
-/// Calls that would make the simulation depend on the host instead of the
-/// virtual clock / seeded generators. The whole point of the harness is
-/// bit-reproducible runs, so these are banned from every library crate.
-const DETERMINISM_BANNED: &[(&str, &str)] = &[
-    ("Instant::now", "host wall-clock; use simnet::SimTime"),
-    ("SystemTime::now", "host wall-clock; use simnet::SimTime"),
-    ("thread_rng", "unseeded RNG; use simnet::SplitMix64"),
-    ("rand::random", "unseeded RNG; use simnet::SplitMix64"),
-];
-
-/// Hot-path files in the core crate where `.unwrap()` is banned outside
-/// tests: a poisoned scheduler should surface a typed error or a message
-/// via `.expect`, not an anonymous panic.
-const UNWRAP_BANNED_FILES: &[&str] = &[
-    "crates/core/src/collect.rs",
-    // madflow: the flow index runs on every submit/commit/complete; an
-    // anonymous panic there is indistinguishable from index corruption.
-    "crates/core/src/flowmgr.rs",
-    "crates/core/src/optimizer.rs",
-    "crates/core/src/constraints.rs",
-    "crates/core/src/cost.rs",
-    "crates/core/src/proto.rs",
-    // madrel: retransmission and fault-injection paths run inside the
-    // drain loop; a panic there masquerades as a reliability bug.
-    "crates/core/src/reliability.rs",
-    "crates/simnet/src/fault.rs",
-];
-
-/// Marker that suppresses source lints on the line carrying it.
-const ALLOW_MARKER: &str = "xtask: allow";
-
-fn lint(root: &Path, with_fmt: bool) -> bool {
-    let mut violations = 0usize;
-    let mut files = 0usize;
-    for crate_dir in list_dir(&root.join("crates")) {
-        // xtask names the banned patterns literally; skip self-scanning.
-        if crate_dir.file_name().is_some_and(|n| n == "xtask") {
-            continue;
-        }
-        for file in rust_sources(&crate_dir.join("src")) {
-            files += 1;
-            violations += lint_file(root, &file);
-        }
-    }
-    let mut ok = violations == 0;
-    println!("xtask lint: {files} files scanned, {violations} violations");
-
-    if with_fmt {
-        match std::process::Command::new("cargo")
-            .args(["fmt", "--check"])
-            .current_dir(root)
-            .status()
-        {
-            Ok(st) if st.success() => println!("xtask lint: cargo fmt --check passed"),
-            Ok(_) => {
-                println!("xtask lint: cargo fmt --check FAILED (run `cargo fmt`)");
-                ok = false;
-            }
-            Err(_) => println!("xtask lint: rustfmt unavailable, skipping format check"),
-        }
-    }
-    ok
-}
-
-fn lint_file(root: &Path, path: &Path) -> usize {
-    let Ok(text) = fs::read_to_string(path) else {
-        return 0;
-    };
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let unwrap_banned = UNWRAP_BANNED_FILES.contains(&rel_str.as_str())
-        || rel_str.starts_with("crates/core/src/strategy/");
-    // The core library must never write to stdio: observability goes
-    // through madtrace sinks / debug_report, not ad-hoc prints.
-    let print_banned = rel_str.starts_with("crates/core/src/");
-
-    let mut violations = 0;
-    for (lineno, line) in text.lines().enumerate() {
-        // Only lint code above the unit-test module.
-        if line.contains("#[cfg(test)]") {
-            break;
-        }
-        if line.contains(ALLOW_MARKER) {
-            continue;
-        }
-        for (pattern, why) in DETERMINISM_BANNED {
-            if line.contains(pattern) {
-                println!("{}:{}: `{pattern}` is banned: {why}", rel_str, lineno + 1);
-                violations += 1;
-            }
-        }
-        if unwrap_banned && line.contains(".unwrap()") {
-            println!(
-                "{}:{}: `.unwrap()` is banned in scheduler hot paths; use `.expect(..)` \
-                 with an invariant message or return an error",
-                rel_str,
-                lineno + 1
-            );
-            violations += 1;
-        }
-        if print_banned && (line.contains("println!") || line.contains("eprintln!")) {
-            println!(
-                "{}:{}: stdio printing is banned in the core library; record a \
-                 madtrace event or extend `debug_report()` instead",
-                rel_str,
-                lineno + 1
-            );
-            violations += 1;
-        }
-    }
-    violations
-}
-
-fn list_dir(dir: &Path) -> Vec<PathBuf> {
-    let mut out: Vec<PathBuf> = fs::read_dir(dir)
-        .map(|rd| {
-            rd.flatten()
-                .map(|e| e.path())
-                .filter(|p| p.is_dir())
-                .collect()
-        })
-        .unwrap_or_default();
-    out.sort();
-    out
-}
-
-fn rust_sources(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(rd) = fs::read_dir(&d) else { continue };
-        let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
-        entries.sort();
-        for p in entries {
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|e| e == "rs") {
-                out.push(p);
+/// `cargo xtask lint [--json]`: run the madlint AST pass over the
+/// workspace. Text mode also runs `cargo fmt --check` when rustfmt is
+/// available; `--json` prints only the machine-readable document so CI
+/// can parse stdout. Exit codes are stable per failure class
+/// (`madlint::FailureClass`), `1` for mixed classes, `64` for analyzer
+/// errors, and `101` is reserved for format failures so they cannot be
+/// confused with a lint class.
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`");
+                return ExitCode::FAILURE;
             }
         }
     }
-    out
+    let report = madlint::lint_workspace(repo_root().as_path());
+    if json {
+        print!("{}", report.render_json());
+        return ExitCode::from(report.exit_code());
+    }
+    print!("{}", report.render_text());
+    if report.exit_code() != 0 {
+        return ExitCode::from(report.exit_code());
+    }
+    match std::process::Command::new("cargo")
+        .args(["fmt", "--check"])
+        .current_dir(repo_root())
+        .status()
+    {
+        Ok(st) if st.success() => {
+            println!("xtask lint: cargo fmt --check passed");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            println!("xtask lint: cargo fmt --check FAILED (run `cargo fmt`)");
+            ExitCode::from(101)
+        }
+        Err(_) => {
+            println!("xtask lint: rustfmt unavailable, skipping format check");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// In-process madlint run for `analyze`: prints findings (text) and
+/// returns cleanliness.
+fn lint_for_analyze() -> bool {
+    let report = madlint::lint_workspace(repo_root().as_path());
+    print!("{}", report.render_text());
+    report.is_clean()
 }

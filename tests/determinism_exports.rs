@@ -1,0 +1,93 @@
+//! Same seed, same bytes — for every export surface the engine owns.
+//!
+//! The madlint sweep converted the engine's hash-ordered state
+//! (`EngineCore::inflight`, `Receiver::flows`) to ordered containers and
+//! put every float comparison on `f64::total_cmp`. These tests pin the
+//! behavior that conversion buys: two *independent* clusters built from
+//! the same spec must produce byte-identical Chrome traces, metric
+//! registries, Prometheus documents and debug reports. (madscope.rs
+//! covers the sampler CSV; this file covers the trace/report surfaces
+//! and a multi-flow workload that actually populates the converted
+//! containers.)
+
+use madeleine::harness::{Cluster, ClusterSpec};
+use madeleine::{MessageBuilder, TrafficClass};
+use simnet::SimDuration;
+
+/// A traced two-node cluster pushing three flows of mixed classes and
+/// sizes — enough concurrency that `inflight` and `flows` hold several
+/// entries at once, so iteration order would leak if either were hashed.
+fn traced_workload() -> Cluster {
+    let mut c = Cluster::build(&ClusterSpec::mx_pair().with_tracing(8192), vec![]);
+    let src = c.nodes[0];
+    let dst = c.nodes[1];
+    let h = c.handles[0].clone();
+    let flows = [
+        h.open_flow(dst, TrafficClass::DEFAULT),
+        h.open_flow(dst, TrafficClass::PUT_GET),
+        h.open_flow(dst, TrafficClass::BULK),
+    ];
+    for round in 0..6u8 {
+        for (fi, &flow) in flows.iter().enumerate() {
+            let len = 40 + 64 * fi + 8 * round as usize;
+            let h = h.clone();
+            c.sim.inject(src, move |ctx| {
+                h.send(
+                    ctx,
+                    flow,
+                    MessageBuilder::new()
+                        .pack_cheaper(&vec![round ^ fi as u8; len])
+                        .build_parts(),
+                )
+            });
+        }
+        c.run_for(SimDuration::from_micros(30));
+    }
+    c.drain();
+    c
+}
+
+/// The Chrome trace merges the simulator trace with every node's engine
+/// sink — the widest export surface. Two independent same-spec runs must
+/// agree byte for byte.
+#[test]
+fn chrome_trace_is_byte_identical_across_runs() {
+    let a = traced_workload().export_chrome_trace();
+    let b = traced_workload().export_chrome_trace();
+    assert!(a.events > 0, "workload produced trace events");
+    assert_eq!(a.events, b.events);
+    assert_eq!(
+        a.json, b.json,
+        "Chrome export must not depend on run identity"
+    );
+}
+
+/// Metrics registry and Prometheus renderings agree across runs.
+#[test]
+fn metric_exports_are_byte_identical_across_runs() {
+    let a = traced_workload();
+    let b = traced_workload();
+    let reg_a = a.metrics_registry().render();
+    let reg_b = b.metrics_registry().render();
+    assert!(!reg_a.is_empty());
+    assert_eq!(reg_a, reg_b);
+    assert_eq!(a.prometheus_text(), b.prometheus_text());
+}
+
+/// The per-node debug report walks engine state directly (backlog,
+/// in-flight cookies, rail health) — exactly where a hashed container
+/// would leak order. Same seed, same report.
+#[test]
+fn debug_reports_are_byte_identical_across_runs() {
+    let a = traced_workload();
+    let b = traced_workload();
+    for node in 0..2 {
+        let ra = a.handle(node).opt().expect("optimizing").debug_report();
+        let rb = b.handle(node).opt().expect("optimizing").debug_report();
+        assert!(!ra.is_empty());
+        assert_eq!(ra, rb, "node {node} debug report must be run-invariant");
+    }
+    // The workload really delivered across all three flows.
+    let m = a.handle(1).metrics();
+    assert_eq!(m.delivered_msgs, 18, "6 rounds x 3 flows");
+}
