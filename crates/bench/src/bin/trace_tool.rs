@@ -9,6 +9,8 @@
 //! trace-tool export <file.trace> <out.json> [--legacy] [--tech ...]
 //! trace-tool explain <file.trace> [--activation N] [--tech ...]
 //! trace-tool stats <file.trace> [--tick US] [--csv out.csv] [--tech ...]
+//! trace-tool profile <file.trace|file.json> [--top N] [--folded out.folded]
+//!                    [--csv out.csv] [--tech ...]
 //! ```
 //!
 //! `export` replays the workload with full madtrace instrumentation and
@@ -17,7 +19,12 @@
 //! its veto or score, and the winner; `stats` replays with the madscope
 //! sampler enabled and prints latency percentile tables plus ASCII
 //! backlog/utilization timelines (`--csv` also writes the raw
-//! time-series).
+//! time-series); `profile` is madprof — per-message latency attribution
+//! (admission/rndv/decision/retx/wire) with the top-N-slowest explain
+//! table and the run critical path, from either a workload trace
+//! (replayed traced) or an existing madtrace Chrome export (`--folded`
+//! writes inferno-compatible folded stacks, `--csv` the attribution
+//! table). It warns loudly when any event ring overflowed.
 
 use mad_bench::tracecli;
 use madware::trace::Trace;
@@ -31,7 +38,9 @@ fn fail(msg: &str) -> ! {
          trace-tool compare <file> [--tech mx|elan|ib|tcp|shm]\n  \
          trace-tool export <file> <out.json> [--legacy] [--tech mx|elan|ib|tcp|shm]\n  \
          trace-tool explain <file> [--activation N] [--tech mx|elan|ib|tcp|shm]\n  \
-         trace-tool stats <file> [--tick US] [--csv out.csv] [--tech mx|elan|ib|tcp|shm]"
+         trace-tool stats <file> [--tick US] [--csv out.csv] [--tech mx|elan|ib|tcp|shm]\n  \
+         trace-tool profile <file> [--top N] [--folded out.folded] [--csv out.csv] \
+[--tech mx|elan|ib|tcp|shm]"
     );
     std::process::exit(2);
 }
@@ -151,6 +160,40 @@ fn main() {
             if let Some(out) = csv_out {
                 std::fs::write(out, &csv).unwrap_or_else(|e| fail(&e.to_string()));
                 println!("wrote sampler time-series to {out}");
+            }
+        }
+        Some("profile") => {
+            let Some(path) = args.get(1) else {
+                fail("profile needs a trace or Chrome-export file")
+            };
+            let top = args
+                .iter()
+                .position(|a| a == "--top")
+                .map(|i| {
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| fail("--top needs a count"))
+                })
+                .unwrap_or(10);
+            let folded_out = args.iter().position(|a| a == "--folded").map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| fail("--folded needs a path"))
+            });
+            let csv_out = args.iter().position(|a| a == "--csv").map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| fail("--csv needs a path"))
+            });
+            let tech = tech_arg(&args);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
+            let out = tracecli::profile_input(&text, tech, top).unwrap_or_else(|e| fail(&e));
+            print!("{}", out.report);
+            if let Some(p) = folded_out {
+                std::fs::write(p, &out.folded).unwrap_or_else(|e| fail(&e.to_string()));
+                println!("wrote folded stacks to {p} (inferno flamegraph compatible)");
+            }
+            if let Some(p) = csv_out {
+                std::fs::write(p, &out.csv).unwrap_or_else(|e| fail(&e.to_string()));
+                println!("wrote per-message attribution to {p}");
             }
         }
         _ => fail("missing or unknown subcommand"),

@@ -136,6 +136,49 @@ pub fn run_rail_death() -> (LossPoint, u64) {
     (point, rails_dead)
 }
 
+/// Fully-traced replica of `run_point(recover_engine(), 0.01)`, drained
+/// and ready to profile. Also the bench suite's madprof smoke cell: the
+/// 1% seeded loss makes every phase — including `retx_recovery` —
+/// carry real time, so the `prof_*` share gates bite.
+pub fn traced_cell() -> Cluster {
+    let specs: Vec<FlowSpec> = (0..FLOWS)
+        .map(|_| FlowSpec {
+            dst: NodeId(1),
+            class: TrafficClass::DEFAULT,
+            arrival: Arrival::Poisson(SimDuration::from_micros(MEAN_GAP_US)),
+            sizes: SizeDist::Fixed(MSG_SIZE),
+            express_header: 8,
+            stop_after: Some(MSGS_PER_FLOW),
+            start_after: SimDuration::ZERO,
+        })
+        .collect();
+    let (app, _tx) = TrafficApp::new("eager", specs, SEED, 0);
+    let (sink, _rx) = TrafficApp::new("sink", vec![], SEED, 1);
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx],
+        engine: recover_engine(),
+        trace: Some(1 << 16),
+        engine_trace: Some(1 << 16),
+    };
+    let mut cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
+    cluster.set_fault_plan(0, FaultPlan::new(SEED).with_loss(0.01));
+    cluster.drain();
+    cluster
+}
+
+/// madprof artifacts for the 1%-loss recover cell, so the report ships
+/// folded stacks + per-message attribution showing where retransmission
+/// recovery puts the time.
+pub fn profile_artifacts() -> Vec<(String, String)> {
+    let prof = traced_cell().profile();
+    vec![
+        ("e12_profile.folded".to_string(), prof.folded_stacks()),
+        ("e12_attribution.csv".to_string(), prof.attribution_csv()),
+        ("e12_profile.json".to_string(), prof.to_json().render()),
+    ]
+}
+
 /// Run the experiment.
 pub fn run() -> Report {
     let mut t = Table::new(
@@ -224,7 +267,7 @@ pub fn run() -> Report {
         claim: "ack/retransmit recovery plus rail-health-aware re-optimization completes every transfer under loss the legacy engine silently drops",
         tables: vec![t, td],
         notes,
-        artifacts: vec![],
+        artifacts: profile_artifacts(),
     }
 }
 

@@ -185,6 +185,14 @@ const MICE_MSGS: u64 = 25;
 /// pack order always visits first) against 64 sparse DEFAULT mice,
 /// under the given candidate-ordering mode.
 pub fn run_fairness(mode: madeleine::FairnessMode) -> FairnessPoint {
+    fairness_cell(mode, None).0
+}
+
+/// The fairness cell with optional madtrace rings (for madprof).
+fn fairness_cell(
+    mode: madeleine::FairnessMode,
+    trace_cap: Option<usize>,
+) -> (FairnessPoint, Cluster) {
     let mut specs = vec![FlowSpec {
         dst: NodeId(1),
         class: TrafficClass::BULK,
@@ -216,21 +224,36 @@ pub fn run_fairness(mode: madeleine::FairnessMode) -> FairnessPoint {
             },
             policy: PolicyKind::Pooled,
         },
-        trace: None,
-        engine_trace: None,
+        trace: trace_cap,
+        engine_trace: trace_cap,
     };
     let mut cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
     cluster.drain();
     let m = cluster.handle(1).metrics();
     let mice = &m.latency_by_class[TrafficClass::DEFAULT.0 as usize];
     let elephant = &m.latency_by_class[TrafficClass::BULK.0 as usize];
-    FairnessPoint {
+    let point = FairnessPoint {
         mice_p50_us: mice.quantile(0.5).as_micros_f64(),
         mice_p99_us: mice.quantile(0.99).as_micros_f64(),
         elephant_p99_us: elephant.quantile(0.99).as_micros_f64(),
         delivered: m.delivered_msgs,
         expected: ELEPHANT_MSGS + MICE as u64 * MICE_MSGS,
-    }
+    };
+    (point, cluster)
+}
+
+/// madprof artifacts for the DRR fairness cell (the EXPERIMENTS
+/// "mice-behind-elephant" flamegraph): the traced replica of
+/// `run_fairness(Drr)` profiled post-hoc, showing the elephant's
+/// decision-wait absorbing the queueing DRR takes away from the mice.
+pub fn profile_artifacts() -> Vec<(String, String)> {
+    let (_, cluster) = fairness_cell(madeleine::FairnessMode::Drr, Some(1 << 18));
+    let prof = cluster.profile();
+    vec![
+        ("e13_profile.folded".to_string(), prof.folded_stacks()),
+        ("e13_attribution.csv".to_string(), prof.attribution_csv()),
+        ("e13_profile.json".to_string(), prof.to_json().render()),
+    ]
 }
 
 /// Externally inspectable counters of one [`OverloadApp`] run.
@@ -568,7 +591,7 @@ pub fn run() -> Report {
         claim: "dynamic optimization survives flow-count scale: the backlog index keeps activations O(active), budgets bound memory, and DRR bounds mice latency under an elephant",
         tables: vec![ts, tf, to],
         notes,
-        artifacts: vec![],
+        artifacts: profile_artifacts(),
     }
 }
 

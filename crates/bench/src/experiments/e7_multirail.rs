@@ -95,6 +95,38 @@ pub fn leg() -> EngineKind {
     EngineKind::Legacy { config }
 }
 
+/// madprof artifacts for the two-rail pooled cell: a fully-traced replica
+/// of `run_point(opt(), [mx; 2], msgs)` profiled post-hoc, showing how
+/// idle-rail pull splits each message's time between decision and wire.
+pub fn profile_artifacts(msgs: u64) -> Vec<(String, String)> {
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx; 2],
+        engine: opt(),
+        trace: Some(1 << 16),
+        engine_trace: Some(1 << 16),
+    };
+    let flow = FlowSpec {
+        dst: NodeId(1),
+        class: TrafficClass::BULK,
+        arrival: Arrival::Periodic(SimDuration::from_micros(5)),
+        sizes: SizeDist::Fixed(24 << 10),
+        express_header: 0,
+        stop_after: Some(msgs),
+        start_after: SimDuration::ZERO,
+    };
+    let (app, _tx) = TrafficApp::new("bulk", vec![flow], 29, 0);
+    let (sink, _rx) = TrafficApp::new("sink", vec![], 29, 1);
+    let mut cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(sink))]);
+    cluster.drain();
+    let prof = cluster.profile();
+    vec![
+        ("e7_profile.folded".to_string(), prof.folded_stacks()),
+        ("e7_attribution.csv".to_string(), prof.attribution_csv()),
+        ("e7_profile.json".to_string(), prof.to_json().render()),
+    ]
+}
+
 /// Run the experiment.
 pub fn run() -> Report {
     let msgs = 300u64;
@@ -166,7 +198,7 @@ pub fn run() -> Report {
              rail's drain rate"
                 .into(),
         ],
-        artifacts: vec![],
+        artifacts: profile_artifacts(msgs),
     }
 }
 

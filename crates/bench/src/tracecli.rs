@@ -186,16 +186,28 @@ pub fn stats(trace: Trace, tech: Technology, tick_us: u64) -> (String, String) {
         "delivery latency percentiles (us; log2-bucket upper bounds, max exact)",
         &["scope", "count", "p50", "p90", "p99", "max"],
     );
-    let row = |t: &mut crate::Table, name: String, h: &LatencyHistogram| {
+    let mut rows = 0usize;
+    let mut row = |t: &mut crate::Table, name: String, h: &LatencyHistogram| {
         if h.count() == 0 {
             return;
         }
+        rows += 1;
+        // A single sample makes every log2-bucket percentile the same
+        // upper bound, which can overstate the one real value by almost
+        // 2x — report the exact value instead of a degenerate spread.
+        let q = |q: f64| {
+            if h.count() == 1 {
+                fmt_f(h.summary().max())
+            } else {
+                fmt_f(h.quantile(q).as_micros_f64())
+            }
+        };
         t.row(vec![
             name,
             h.count().to_string(),
-            fmt_f(h.quantile(0.5).as_micros_f64()),
-            fmt_f(h.quantile(0.9).as_micros_f64()),
-            fmt_f(h.quantile(0.99).as_micros_f64()),
+            q(0.5),
+            q(0.9),
+            q(0.99),
             fmt_f(h.summary().max()),
         ]);
     };
@@ -214,7 +226,11 @@ pub fn stats(trace: Trace, tech: Technology, tick_us: u64) -> (String, String) {
         row(&mut t, format!("rail {r}"), h);
     }
     row(&mut t, "queue delay (tx)".into(), &tx.queue_delay);
-    out.push_str(&t.render());
+    if rows == 0 {
+        out.push_str("no deliveries recorded: latency percentile table omitted\n");
+    } else {
+        out.push_str(&t.render());
+    }
     out.push('\n');
 
     if tx.decision_evals.count() > 0 {
@@ -302,9 +318,9 @@ fn spark_line(label: &str, vals: &[u64]) -> String {
     format!("  {label:>14} |{bar}| peak {peak}\n")
 }
 
-/// Build the fully-traced two-node replay cluster used by `export` and
-/// `explain`.
-fn traced_replay(trace: Trace, legacy: bool, tech: Technology) -> Cluster {
+/// Build the fully-traced two-node replay cluster used by `export`,
+/// `explain` and the bench suite's madprof smoke point.
+pub fn traced_replay(trace: Trace, legacy: bool, tech: Technology) -> Cluster {
     let engine = if legacy {
         EngineKind::legacy()
     } else {
@@ -434,6 +450,66 @@ pub fn explain(trace: Trace, tech: Technology, activation: Option<u64>) -> Strin
         out.push_str(&format!("activation {target} not found in the ring\n"));
     }
     out
+}
+
+/// Everything `trace-tool profile` produces for one input.
+pub struct ProfileOutput {
+    /// Human report: truncation warnings, top-N explain table,
+    /// critical-path summary.
+    pub report: String,
+    /// Folded-stack flamegraph text (inferno-compatible).
+    pub folded: String,
+    /// Per-message attribution CSV.
+    pub csv: String,
+    /// The profile JSON block.
+    pub json: String,
+}
+
+/// madprof from the command line: accept either a madtrace Chrome export
+/// (profiled directly from the artifact) or a workload trace (replayed on
+/// a fully-traced cluster first), attribute every delivered message's
+/// latency and explain the `top` slowest.
+pub fn profile_input(text: &str, tech: Technology, top: usize) -> Result<ProfileOutput, String> {
+    let is_chrome = Json::parse(text)
+        .ok()
+        .and_then(|doc| {
+            doc.get("otherData")?
+                .get("exporter")
+                .map(|e| e.as_str() == Some("madtrace"))
+        })
+        .unwrap_or(false);
+    let prof = if is_chrome {
+        madeleine::ProfInput::from_chrome(text)?.profile()
+    } else {
+        let trace = Trace::from_text(text).map_err(|e| {
+            format!("input is neither a madtrace Chrome export nor a workload trace: {e:?}")
+        })?;
+        traced_replay(trace, false, tech).profile()
+    };
+    let mut report = String::new();
+    if prof.truncated() {
+        report.push_str(&format!(
+            "WARNING: {} trace events were dropped by ring overflow — the \
+             event stream is TRUNCATED and attribution below may be \
+             incomplete or misattributed (raise the trace capacity and \
+             re-run)\n\n",
+            prof.dropped_events
+        ));
+    }
+    if prof.partition_violations > 0 {
+        report.push_str(&format!(
+            "WARNING: {} message(s) whose reconstructed lifetime disagrees \
+             with the receiver-measured latency — inconsistent streams\n\n",
+            prof.partition_violations
+        ));
+    }
+    report.push_str(&prof.explain(top));
+    Ok(ProfileOutput {
+        report,
+        folded: prof.folded_stacks(),
+        csv: prof.attribution_csv(),
+        json: prof.to_json().render(),
+    })
 }
 
 /// Summarize a Chrome trace-event export produced by `export`: event
@@ -603,6 +679,94 @@ mod tests {
         let (r2, c2) = stats(sample(7), Technology::MyrinetMx, 5);
         assert_eq!(report, r2);
         assert_eq!(csv, c2);
+    }
+
+    #[test]
+    fn stats_survives_the_zero_flow_run() {
+        // An empty trace delivers nothing: every histogram is empty and
+        // the sampler may record no ticks. The report must say so instead
+        // of rendering a degenerate headers-only table.
+        let (report, csv) = stats(Trace::default(), Technology::MyrinetMx, 5);
+        assert!(report.contains("delivered 0/0"), "{report}");
+        assert!(
+            report.contains("no deliveries recorded"),
+            "empty run explains itself: {report}"
+        );
+        assert!(!report.contains("p99"), "no empty table header: {report}");
+        // Deterministic even when empty.
+        let (r2, c2) = stats(Trace::default(), Technology::MyrinetMx, 5);
+        assert_eq!(report, r2);
+        assert_eq!(csv, c2);
+    }
+
+    #[test]
+    fn profile_replays_and_attributes() {
+        let text = sample(7).to_text();
+        let out = profile_input(&text, Technology::MyrinetMx, 8).expect("profiles");
+        assert!(out.report.contains("delivered messages"), "{}", out.report);
+        assert!(out.report.contains("critical path:"), "{}", out.report);
+        assert!(!out.report.contains("WARNING"), "{}", out.report);
+        assert!(out.csv.starts_with("src,flow,seq,class"), "{}", out.csv);
+        assert_eq!(out.csv.lines().count(), 201, "200 messages + header");
+        assert!(out.folded.contains(";wire "), "{}", out.folded);
+        let doc = Json::parse(&out.json).expect("json parses");
+        assert_eq!(
+            doc.get("artifact").and_then(|v| v.as_str()),
+            Some("madprof-profile")
+        );
+        assert_eq!(
+            doc.get("messages").and_then(|v| v.as_u64()),
+            Some(200),
+            "{}",
+            out.json
+        );
+        assert_eq!(
+            doc.get("partition_violations").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        // Deterministic end to end.
+        let again = profile_input(&text, Technology::MyrinetMx, 8).expect("profiles");
+        assert_eq!(out.csv, again.csv);
+        assert_eq!(out.folded, again.folded);
+        assert_eq!(out.report, again.report);
+    }
+
+    #[test]
+    fn profile_reads_chrome_exports_identically() {
+        // Profiling the exported Chrome artifact must agree with
+        // profiling the live rings of the same replay.
+        let t = sample(7);
+        let (export, _) = export(t.clone(), false, Technology::MyrinetMx);
+        let from_chrome =
+            profile_input(&export.json, Technology::MyrinetMx, 8).expect("chrome profiles");
+        let from_replay =
+            profile_input(&t.to_text(), Technology::MyrinetMx, 8).expect("replay profiles");
+        assert_eq!(from_chrome.csv, from_replay.csv);
+        assert_eq!(from_chrome.folded, from_replay.folded);
+    }
+
+    #[test]
+    fn profile_rejects_garbage() {
+        assert!(profile_input("not a trace", Technology::MyrinetMx, 5).is_err());
+    }
+
+    #[test]
+    fn single_sample_histograms_report_exact_percentiles() {
+        // One delivered message: p50/p90/p99 must equal the exact max,
+        // not a log2-bucket upper bound almost 2x larger.
+        let mut t = sample(7);
+        t.msgs.truncate(1);
+        let (report, _) = stats(t, Technology::MyrinetMx, 5);
+        assert!(report.contains("delivered 1/1"), "{report}");
+        let all = report
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some("all"))
+            .expect("an `all` percentile row");
+        let cells: Vec<&str> = all.split_whitespace().collect();
+        // cells: [all, count, p50, p90, p99, max]
+        assert_eq!(cells[1], "1");
+        assert_eq!(cells[2], cells[5], "p50 == exact max: {all}");
+        assert_eq!(cells[4], cells[5], "p99 == exact max: {all}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::flowmgr::{
     class_slot, AdmissionPolicy, AdmissionState, FairnessMode, SendOutcome, CLASS_SLOTS,
 };
 use crate::ids::{ChannelId, FlowId, MsgId, TrafficClass};
+use crate::json::obj;
 use crate::message::{DeliveredMessage, Fragment};
 use crate::metrics::{Activation, EngineMetrics, MetricsRegistry};
 use crate::optimizer::{select_plan_traced, submit_action, SubmitAction};
@@ -594,6 +595,18 @@ impl EngineCore {
                         linearized: linearize,
                     },
                 );
+                for c in chunks {
+                    self.trace.push(
+                        now,
+                        EngineEvent::ChunkBound {
+                            flow: c.flow,
+                            seq: c.seq,
+                            frag: c.frag,
+                            cookie,
+                            bytes: u64::from(c.len),
+                        },
+                    );
+                }
                 self.inflight.insert(cookie, chunks.clone());
                 if self.config.reliability.acks_enabled() {
                     let now = ctx.now();
@@ -1160,6 +1173,19 @@ impl EngineCore {
         reg.add_receiver(&format!("{prefix}receiver"), &self.receiver.stats);
         if let Some(s) = &self.sampler {
             reg.add_section(&format!("{prefix}sampler"), s.to_json());
+        }
+        if self.trace.is_enabled() {
+            // Ring health next to the data it guards: a non-zero `dropped`
+            // means every post-hoc trace consumer (madprof included) saw a
+            // truncated stream.
+            reg.add_section(
+                &format!("{prefix}trace"),
+                obj()
+                    .field("retained", self.trace.len() as u64)
+                    .field("dropped", self.trace.dropped())
+                    .field("capacity", self.trace.capacity() as u64)
+                    .build(),
+            );
         }
     }
 

@@ -290,9 +290,28 @@ impl Cluster {
         crate::trace::export_chrome_trace(self.sim.trace(), &borrowed, &self.nics)
     }
 
+    /// madprof: attribute every delivered message's latency into phases
+    /// and compute the run critical path from the same rings
+    /// [`Cluster::export_chrome_trace`] reads. Meaningful only with
+    /// engine tracing enabled ([`ClusterSpec::with_tracing`]); without it
+    /// the profile is empty.
+    pub fn profile(&self) -> crate::prof::Profile {
+        let sinks: Vec<(NodeId, crate::trace::EventSink)> = self
+            .nodes
+            .iter()
+            .zip(&self.handles)
+            .filter_map(|(&n, h)| h.opt().map(|h| (n, h.trace_snapshot())))
+            .collect();
+        let borrowed: Vec<(NodeId, &crate::trace::EventSink)> =
+            sinks.iter().map(|(n, s)| (*n, s)).collect();
+        crate::prof::profile(self.sim.trace(), &borrowed, &self.nics)
+    }
+
     /// Walk every node's engine/receiver metrics (plus sampler digests,
     /// via the single [`EngineHandle::register_metrics`] path) and every
-    /// NIC's counters into one [`crate::metrics::MetricsRegistry`].
+    /// NIC's counters into one [`crate::metrics::MetricsRegistry`]. When
+    /// engine tracing is enabled, a cluster-level `profile` section
+    /// (madprof summary) rides along.
     pub fn metrics_registry(&self) -> crate::metrics::MetricsRegistry {
         let mut reg = crate::metrics::MetricsRegistry::new();
         for (i, h) in self.handles.iter().enumerate() {
@@ -308,6 +327,13 @@ impl Cluster {
             for (r, &nic) in nics.iter().enumerate() {
                 reg.add_nic(&format!("node{i}/nic{r}"), &self.sim.nic(nic).stats);
             }
+        }
+        if self
+            .handles
+            .iter()
+            .any(|h| h.opt().is_some_and(|h| h.trace_snapshot().is_enabled()))
+        {
+            reg.add_section("profile", self.profile().to_json());
         }
         reg
     }

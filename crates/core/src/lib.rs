@@ -72,6 +72,7 @@ pub mod metrics;
 pub mod optimizer;
 pub mod plan;
 pub mod policy;
+pub mod prof;
 pub mod proto;
 pub mod receiver;
 pub mod reliability;
@@ -92,6 +93,7 @@ pub use legacy::{LegacyEngine, LegacyHandle};
 pub use message::{DeliveredMessage, Fragment, MessageBuilder, PackMode};
 pub use metrics::{EngineMetrics, MetricsRegistry};
 pub use policy::PolicyKind;
+pub use prof::{CritSpan, FlowSpan, MsgKey, Phase, ProfInput, Profile};
 pub use reliability::{plan_retransmit, RailHealth, ReliabilityMode, RetransmitTracker};
 pub use scope::{flatten_registry, prometheus_render, PromSample, Sampler};
 pub use strategy::{effective_strategy_mask, Strategy, StrategyMask, StrategyRegistry};

@@ -1,0 +1,1255 @@
+//! **madprof** — causal critical-path profiling and per-flow latency
+//! attribution.
+//!
+//! madtrace records *what happened* and madscope records *how much*; this
+//! module answers **where a message's completion time actually went**. It
+//! is a deterministic post-hoc profiler: it replays the madtrace
+//! [`EngineEvent`] rings and the simnet [`Trace`](simnet::Trace) into
+//! per-message span trees and attributes each delivered message's
+//! end-to-end latency into five named phases:
+//!
+//! ```text
+//!   Submitted ──▶ Admitted ──▶ RndvGranted ──▶ ChunkBound ──▶ (retx) ──▶ Delivered
+//!      │ admission │  rndv      │  decision     │  retx        │  wire     │
+//!      │   _wait   │  _wait     │  _wait        │  _recovery   │           │
+//! ```
+//!
+//! The attribution carries an **exactness invariant**: milestones are
+//! clamped into `[submit, delivered]` and sorted, so consecutive
+//! differences telescope — for every message the phase durations sum to
+//! *exactly* `delivered − submit`, in integer nanoseconds, byte-for-byte
+//! reproducible across same-seed runs (`profcheck` in madcheck and the
+//! proptests in `tests/determinism_exports.rs` pin this).
+//!
+//! On top of per-message attribution the profiler computes the **run
+//! critical path**: starting from the delivery that sets the makespan, it
+//! walks backward — through the message's own phases to its first packet
+//! binding, then across the rail to the packet whose `TxDone` freed the
+//! NIC, then into *that* packet's message — yielding the chain of spans
+//! whose shortening would shorten the run. Everything is a single pass
+//! over the event streams plus ordered-map lookups: O(events · log msgs).
+//!
+//! Exports: folded-stack flamegraph text (inferno-compatible),
+//! per-message attribution CSV, a `profile` JSON block for
+//! `metrics_registry()`, and a human `explain` table (top-N slowest
+//! messages with the dominating phase, rail, strategy and veto count).
+
+// madlint: file: deterministic-output
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simnet::{NodeId, SimDuration, Trace as SimTrace, TraceEvent as SimEvent};
+
+use crate::hist::LatencyHistogram;
+use crate::json::{obj, Json};
+use crate::trace::{EngineEvent, EventSink};
+
+/// Number of attribution phases.
+pub const PHASE_COUNT: usize = 5;
+
+/// One latency-attribution phase of a message's lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Submit → madflow admission (zero when admission control is off).
+    Admission,
+    /// → last rendezvous grant (zero for eager-only messages).
+    Rndv,
+    /// → last chunk bound into an encoded packet: optimizer queueing and
+    /// decision work, including waiting for an activation.
+    Decision,
+    /// → last retransmission of a packet carrying this message's bytes.
+    Retx,
+    /// → delivery: wire transit, receiver reassembly and in-order release.
+    Wire,
+}
+
+impl Phase {
+    /// All phases in attribution order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Admission,
+        Phase::Rndv,
+        Phase::Decision,
+        Phase::Retx,
+        Phase::Wire,
+    ];
+
+    /// Stable label (folded stacks, CSV columns, registry keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Admission => "admission_wait",
+            Phase::Rndv => "rndv_wait",
+            Phase::Decision => "decision_wait",
+            Phase::Retx => "retx_recovery",
+            Phase::Wire => "wire",
+        }
+    }
+
+    /// Index into per-phase arrays (`FlowSpan::phases`, histograms);
+    /// also the tie-break order for same-timestamp milestones.
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Identity of one delivered message: sending node, sender-side flow id,
+/// sequence within the flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// Sending node.
+    pub src: u32,
+    /// Sender-side flow id.
+    pub flow: u32,
+    /// Sequence within the flow.
+    pub seq: u32,
+}
+
+impl std::fmt::Display for MsgKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}/flow{}#{}", self.src, self.flow, self.seq)
+    }
+}
+
+/// Per-message attribution result: the flattened span tree.
+#[derive(Clone, Debug)]
+pub struct FlowSpan {
+    /// Message identity.
+    pub key: MsgKey,
+    /// Traffic-class label (`"?"` when the submit record was truncated).
+    pub class: String,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Submission timestamp (ns).
+    pub submit_ns: u64,
+    /// Delivery timestamp (ns).
+    pub delivered_ns: u64,
+    /// Phase durations, indexed by [`Phase`]; sums to
+    /// `delivered_ns − submit_ns` exactly.
+    pub phases: [u64; PHASE_COUNT],
+    /// Contiguous `(phase, start, end)` segments covering
+    /// `[submit_ns, delivered_ns]` (zero-length segments included).
+    pub segments: Vec<(Phase, u64, u64)>,
+    /// Retransmissions that carried this message's bytes.
+    pub retransmits: u32,
+    /// Rail the first packet binding left on (`u16::MAX` if unknown).
+    pub rail: u16,
+    /// Strategy that won the binding activation (empty if unknown).
+    pub strategy: String,
+    /// Proposals vetoed in the binding activation.
+    pub vetoes: u32,
+}
+
+impl FlowSpan {
+    /// End-to-end latency (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.delivered_ns - self.submit_ns
+    }
+
+    /// The phase holding the largest share of the total (ties broken by
+    /// attribution order).
+    pub fn dominant(&self) -> Phase {
+        let mut best = Phase::Admission;
+        for p in Phase::ALL {
+            if self.phases[p.rank() as usize] > self.phases[best.rank() as usize] {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// One span on the run critical path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CritSpan {
+    /// Message the span belongs to.
+    pub key: MsgKey,
+    /// Phase of the message this span covers.
+    pub phase: Phase,
+    /// Span start (ns).
+    pub start_ns: u64,
+    /// Span end (ns).
+    pub end_ns: u64,
+}
+
+/// Normalized profiler input, decoupled from where the events came from:
+/// [`ProfInput::from_engine`] reads live rings, [`ProfInput::from_chrome`]
+/// re-reads an exported Chrome trace, and both produce the same profile.
+#[derive(Clone, Debug, Default)]
+pub struct ProfInput {
+    /// key → (ts, bytes, class label).
+    submits: BTreeMap<MsgKey, (u64, u64, String)>,
+    /// key → admission ts.
+    admits: BTreeMap<MsgKey, u64>,
+    /// key → last rendezvous-grant ts.
+    grants: BTreeMap<MsgKey, u64>,
+    /// key → (ts, bytes, latency_ns from the Delivered event).
+    delivered: BTreeMap<MsgKey, (u64, u64, u64)>,
+    /// (node, cookie) → (rail, activation).
+    encoded: BTreeMap<(u32, u64), (u16, u64)>,
+    /// (node, activation) → winning strategy.
+    plan_won: BTreeMap<(u32, u64), String>,
+    /// (node, activation) → vetoed proposals.
+    plan_vetoes: BTreeMap<(u32, u64), u32>,
+    /// node → chronological cookie ops (binds and retransmits).
+    ops: BTreeMap<u32, Vec<CookieOp>>,
+    /// (node, rail) → chronological (ts, cookie) transmit completions.
+    txdone: BTreeMap<(u32, u16), Vec<(u64, u64)>>,
+    /// Ring-overflow drops summed over every source stream.
+    dropped: u64,
+    /// Records consumed (all sources).
+    events: usize,
+}
+
+/// A chronological per-node cookie operation: chunk→packet bindings and
+/// cookie-renaming retransmissions, interleaved in event order so
+/// retransmit chains inherit the bound message set.
+#[derive(Clone, Debug)]
+enum CookieOp {
+    Bind { ts: u64, key: MsgKey, cookie: u64 },
+    Retx { ts: u64, old: u64, new: u64 },
+}
+
+impl ProfInput {
+    /// Normalize live rings: the simulator trace, per-node engine sinks
+    /// and the `nics[node][rail]` topology (same shape as
+    /// [`crate::trace::export_chrome_trace`]).
+    pub fn from_engine(
+        sim: &SimTrace,
+        sinks: &[(NodeId, &EventSink)],
+        nics: &[Vec<simnet::NicId>],
+    ) -> ProfInput {
+        let mut nic_loc: BTreeMap<u32, (u32, u16)> = BTreeMap::new();
+        for (node, rails) in nics.iter().enumerate() {
+            for (rail, nic) in rails.iter().enumerate() {
+                nic_loc.insert(nic.0, (node as u32, rail as u16));
+            }
+        }
+        let mut input = ProfInput {
+            dropped: sim.dropped(),
+            ..ProfInput::default()
+        };
+        for rec in sim.iter() {
+            input.events += 1;
+            if let SimEvent::TxDone { nic, cookie } = &rec.event {
+                if let Some(&(node, rail)) = nic_loc.get(&nic.0) {
+                    input
+                        .txdone
+                        .entry((node, rail))
+                        .or_default()
+                        .push((rec.at.as_nanos(), *cookie));
+                }
+            }
+        }
+        for (node, sink) in sinks {
+            input.dropped += sink.dropped();
+            for rec in sink.iter() {
+                input.events += 1;
+                input.engine_event(node.0, rec.at.as_nanos(), &rec.event);
+            }
+        }
+        input
+    }
+
+    fn engine_event(&mut self, node: u32, ts: u64, event: &EngineEvent) {
+        match event {
+            EngineEvent::Submitted {
+                flow,
+                seq,
+                bytes,
+                class,
+                ..
+            } => {
+                let key = MsgKey {
+                    src: node,
+                    flow: flow.0,
+                    seq: *seq,
+                };
+                self.submits
+                    .insert(key, (ts, *bytes, class.label().to_string()));
+            }
+            EngineEvent::Admitted { flow, seq, .. } => {
+                let key = MsgKey {
+                    src: node,
+                    flow: flow.0,
+                    seq: *seq,
+                };
+                self.admits.insert(key, ts);
+            }
+            EngineEvent::RndvGranted { flow, seq, .. } => {
+                let key = MsgKey {
+                    src: node,
+                    flow: flow.0,
+                    seq: *seq,
+                };
+                self.grants.insert(key, ts); // last grant wins
+            }
+            EngineEvent::ChunkBound {
+                flow, seq, cookie, ..
+            } => {
+                let key = MsgKey {
+                    src: node,
+                    flow: flow.0,
+                    seq: *seq,
+                };
+                self.ops.entry(node).or_default().push(CookieOp::Bind {
+                    ts,
+                    key,
+                    cookie: *cookie,
+                });
+            }
+            EngineEvent::Retransmit {
+                old_cookie,
+                new_cookie,
+                ..
+            } => {
+                self.ops.entry(node).or_default().push(CookieOp::Retx {
+                    ts,
+                    old: *old_cookie,
+                    new: *new_cookie,
+                });
+            }
+            EngineEvent::Delivered {
+                src,
+                flow,
+                seq,
+                bytes,
+                latency_ns,
+            } => {
+                let key = MsgKey {
+                    src: src.0,
+                    flow: flow.0,
+                    seq: *seq,
+                };
+                self.delivered.insert(key, (ts, *bytes, *latency_ns));
+            }
+            EngineEvent::PacketEncoded {
+                activation,
+                rail,
+                cookie,
+                ..
+            } => {
+                self.encoded.insert((node, *cookie), (*rail, *activation));
+            }
+            EngineEvent::PlanWon {
+                activation,
+                strategy,
+                ..
+            } => {
+                self.plan_won
+                    .insert((node, *activation), (*strategy).to_string());
+            }
+            EngineEvent::PlanVetoed { activation, .. } => {
+                *self.plan_vetoes.entry((node, *activation)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Normalize an exported madtrace Chrome JSON document (the
+    /// `trace-tool export` / `export_chrome_trace` output), so profiles
+    /// can be rebuilt from an artifact long after the run.
+    pub fn from_chrome(text: &str) -> Result<ProfInput, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| "missing traceEvents array".to_string())?;
+        let mut input = ProfInput::default();
+        if let Some(other) = doc.get("otherData") {
+            input.dropped += other
+                .get("sim_dropped")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            if let Some(Json::Obj(fields)) = other.get("engine_dropped") {
+                for (_, v) in fields {
+                    input.dropped += v.as_u64().unwrap_or(0);
+                }
+            }
+        }
+        for ev in events {
+            let name = match ev.get("name").and_then(|n| n.as_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            if ev.get("ph").and_then(|p| p.as_str()) != Some("i") {
+                continue; // metadata and flow arrows carry no samples
+            }
+            let ts = match ev.get("ts") {
+                Some(Json::Float(us)) => (us * 1000.0).round() as u64,
+                Some(Json::UInt(us)) => us * 1000,
+                Some(Json::Int(us)) if *us >= 0 => (*us as u64) * 1000,
+                _ => continue,
+            };
+            let pid = ev.get("pid").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+            let tid = ev.get("tid").and_then(|v| v.as_u64()).unwrap_or(0);
+            let args = match ev.get("args") {
+                Some(a) => a,
+                None => continue,
+            };
+            let au = |k: &str| args.get(k).and_then(|v| v.as_u64());
+            let astr = |k: &str| args.get(k).and_then(|v| v.as_str());
+            input.events += 1;
+            match name {
+                "TxDone" => {
+                    if let Some(cookie) = au("cookie") {
+                        input
+                            .txdone
+                            .entry((pid, tid as u16))
+                            .or_default()
+                            .push((ts, cookie));
+                    }
+                }
+                "Submitted" => {
+                    if let (Some(flow), Some(seq), Some(bytes)) =
+                        (au("flow"), au("seq"), au("bytes"))
+                    {
+                        let key = MsgKey {
+                            src: pid,
+                            flow: flow as u32,
+                            seq: seq as u32,
+                        };
+                        let class = astr("class").unwrap_or("?").to_string();
+                        input.submits.insert(key, (ts, bytes, class));
+                    }
+                }
+                "Admitted" => {
+                    if let (Some(flow), Some(seq)) = (au("flow"), au("seq")) {
+                        let key = MsgKey {
+                            src: pid,
+                            flow: flow as u32,
+                            seq: seq as u32,
+                        };
+                        input.admits.insert(key, ts);
+                    }
+                }
+                "RndvGranted" => {
+                    if let (Some(flow), Some(seq)) = (au("flow"), au("seq")) {
+                        let key = MsgKey {
+                            src: pid,
+                            flow: flow as u32,
+                            seq: seq as u32,
+                        };
+                        input.grants.insert(key, ts);
+                    }
+                }
+                "ChunkBound" => {
+                    if let (Some(flow), Some(seq), Some(cookie)) =
+                        (au("flow"), au("seq"), au("cookie"))
+                    {
+                        let key = MsgKey {
+                            src: pid,
+                            flow: flow as u32,
+                            seq: seq as u32,
+                        };
+                        input
+                            .ops
+                            .entry(pid)
+                            .or_default()
+                            .push(CookieOp::Bind { ts, key, cookie });
+                    }
+                }
+                "Retransmit" => {
+                    if let (Some(old), Some(new)) = (au("old_cookie"), au("new_cookie")) {
+                        input
+                            .ops
+                            .entry(pid)
+                            .or_default()
+                            .push(CookieOp::Retx { ts, old, new });
+                    }
+                }
+                "Delivered" => {
+                    if let (Some(src), Some(flow), Some(seq), Some(bytes), Some(lat)) = (
+                        au("src"),
+                        au("flow"),
+                        au("seq"),
+                        au("bytes"),
+                        au("latency_ns"),
+                    ) {
+                        let key = MsgKey {
+                            src: src as u32,
+                            flow: flow as u32,
+                            seq: seq as u32,
+                        };
+                        input.delivered.insert(key, (ts, bytes, lat));
+                    }
+                }
+                "PacketEncoded" => {
+                    if let (Some(act), Some(rail), Some(cookie)) =
+                        (au("activation"), au("rail"), au("cookie"))
+                    {
+                        input.encoded.insert((pid, cookie), (rail as u16, act));
+                    }
+                }
+                "PlanWon" => {
+                    if let (Some(act), Some(strategy)) = (au("activation"), astr("strategy")) {
+                        input.plan_won.insert((pid, act), strategy.to_string());
+                    }
+                }
+                "PlanVetoed" => {
+                    if let Some(act) = au("activation") {
+                        *input.plan_vetoes.entry((pid, act)).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(input)
+    }
+
+    /// Run the attribution and critical-path passes.
+    pub fn profile(&self) -> Profile {
+        // Pass 1: resolve cookie→message sets, following retransmit
+        // renames so a re-sent packet still belongs to its messages.
+        let mut cookie_msgs: BTreeMap<(u32, u64), Vec<MsgKey>> = BTreeMap::new();
+        let mut first_bind: BTreeMap<MsgKey, (u64, u32, u64)> = BTreeMap::new();
+        let mut last_bind: BTreeMap<MsgKey, u64> = BTreeMap::new();
+        let mut retx_last: BTreeMap<MsgKey, u64> = BTreeMap::new();
+        let mut retx_count: BTreeMap<MsgKey, u32> = BTreeMap::new();
+        for (&node, ops) in &self.ops {
+            for op in ops {
+                match op {
+                    CookieOp::Bind { ts, key, cookie } => {
+                        let set = cookie_msgs.entry((node, *cookie)).or_default();
+                        if !set.contains(key) {
+                            set.push(*key);
+                        }
+                        first_bind.entry(*key).or_insert((*ts, node, *cookie));
+                        last_bind.insert(*key, *ts);
+                    }
+                    CookieOp::Retx { ts, old, new } => {
+                        let carried = cookie_msgs.get(&(node, *old)).cloned().unwrap_or_default();
+                        for key in &carried {
+                            retx_last.insert(*key, *ts);
+                            *retx_count.entry(*key).or_insert(0) += 1;
+                        }
+                        let set = cookie_msgs.entry((node, *new)).or_default();
+                        for key in carried {
+                            if !set.contains(&key) {
+                                set.push(key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: per-message milestone segmentation.
+        let mut flows: Vec<FlowSpan> = Vec::with_capacity(self.delivered.len());
+        let mut phase_hist: [LatencyHistogram; PHASE_COUNT] =
+            std::array::from_fn(|_| LatencyHistogram::new());
+        let mut violations = 0u64;
+        for (&key, &(d_ts, d_bytes, latency_ns)) in &self.delivered {
+            let (s_ts, bytes, class) = match self.submits.get(&key) {
+                Some((s, b, c)) => (*s, *b, c.clone()),
+                // Submit fell off the ring: reconstruct from the latency
+                // the receiver measured; all interior milestones are gone
+                // too, so the time lands in `wire` — `truncated` flags it.
+                None => (d_ts.saturating_sub(latency_ns), d_bytes, "?".to_string()),
+            };
+            let s_ts = s_ts.min(d_ts);
+            let clamp = |t: u64| t.clamp(s_ts, d_ts);
+            let mut marks: Vec<(u64, Phase)> = Vec::with_capacity(4);
+            if let Some(&t) = self.admits.get(&key) {
+                marks.push((clamp(t), Phase::Admission));
+            }
+            if let Some(&t) = self.grants.get(&key) {
+                marks.push((clamp(t), Phase::Rndv));
+            }
+            if let Some(&t) = last_bind.get(&key) {
+                marks.push((clamp(t), Phase::Decision));
+            }
+            if let Some(&t) = retx_last.get(&key) {
+                marks.push((clamp(t), Phase::Retx));
+            }
+            marks.sort_by_key(|&(t, p)| (t, p.rank()));
+            let mut segments: Vec<(Phase, u64, u64)> = Vec::with_capacity(marks.len() + 1);
+            let mut phases = [0u64; PHASE_COUNT];
+            let mut prev = s_ts;
+            for (t, p) in marks {
+                segments.push((p, prev, t));
+                phases[p.rank() as usize] += t - prev;
+                prev = t;
+            }
+            segments.push((Phase::Wire, prev, d_ts));
+            phases[Phase::Wire.rank() as usize] += d_ts - prev;
+            // The receiver-side Delivered event carries its own latency
+            // measurement; disagreement means the streams are inconsistent
+            // (truncation or mixed runs), never a profiler bug.
+            if d_ts - s_ts != latency_ns && self.submits.contains_key(&key) {
+                violations += 1;
+            }
+            for p in Phase::ALL {
+                phase_hist[p.rank() as usize]
+                    .record(SimDuration::from_nanos(phases[p.rank() as usize]));
+            }
+            let (rail, strategy, vetoes) = match first_bind.get(&key) {
+                Some(&(_, node, cookie)) => match self.encoded.get(&(node, cookie)) {
+                    Some(&(rail, act)) => (
+                        rail,
+                        self.plan_won.get(&(node, act)).cloned().unwrap_or_default(),
+                        self.plan_vetoes.get(&(node, act)).copied().unwrap_or(0),
+                    ),
+                    None => (u16::MAX, String::new(), 0),
+                },
+                None => (u16::MAX, String::new(), 0),
+            };
+            flows.push(FlowSpan {
+                key,
+                class,
+                bytes,
+                submit_ns: s_ts,
+                delivered_ns: d_ts,
+                phases,
+                segments,
+                retransmits: retx_count.get(&key).copied().unwrap_or(0),
+                rail,
+                strategy,
+                vetoes,
+            });
+        }
+
+        // Pass 3: backward critical-path walk from the makespan delivery.
+        let critical_path = critical_path(&flows, &first_bind, &cookie_msgs, &self.encoded, {
+            &self.txdone
+        });
+
+        Profile {
+            flows,
+            phase_hist,
+            critical_path,
+            events_processed: self.events,
+            dropped_events: self.dropped,
+            partition_violations: violations,
+        }
+    }
+}
+
+/// Walk backward from the delivery that sets the makespan: follow the
+/// message's own segments to its first packet binding, then jump across
+/// the rail to the packet whose `TxDone` last freed it, and continue in
+/// that packet's message. Stops when the rail was idle (no `TxDone` since
+/// the message's submit) or a cycle would form.
+fn critical_path(
+    flows: &[FlowSpan],
+    first_bind: &BTreeMap<MsgKey, (u64, u32, u64)>,
+    cookie_msgs: &BTreeMap<(u32, u64), Vec<MsgKey>>,
+    encoded: &BTreeMap<(u32, u64), (u16, u64)>,
+    txdone: &BTreeMap<(u32, u16), Vec<(u64, u64)>>,
+) -> Vec<CritSpan> {
+    let by_key: BTreeMap<MsgKey, &FlowSpan> = flows.iter().map(|f| (f.key, f)).collect();
+    let mut end: Option<&FlowSpan> = None;
+    for f in flows {
+        // Strict `>` keeps the earliest key on ties — deterministic.
+        if end.is_none_or(|e| f.delivered_ns > e.delivered_ns) {
+            end = Some(f);
+        }
+    }
+    let mut cur = match end {
+        Some(f) => f,
+        None => return Vec::new(),
+    };
+    let mut hi = cur.delivered_ns;
+    let mut chain: Vec<CritSpan> = Vec::new();
+    let mut visited: BTreeSet<MsgKey> = BTreeSet::new();
+    let push_window = |chain: &mut Vec<CritSpan>, f: &FlowSpan, lo: u64, hi: u64| {
+        for &(phase, s, e) in f.segments.iter().rev() {
+            let (s, e) = (s.max(lo), e.min(hi));
+            if s < e {
+                chain.push(CritSpan {
+                    key: f.key,
+                    phase,
+                    start_ns: s,
+                    end_ns: e,
+                });
+            }
+        }
+    };
+    while visited.insert(cur.key) && chain.len() < 4096 {
+        let (tb, node, cookie) = match first_bind.get(&cur.key) {
+            Some(&b) => b,
+            None => {
+                push_window(&mut chain, cur, cur.submit_ns, hi);
+                break;
+            }
+        };
+        let tb = tb.clamp(cur.submit_ns, hi);
+        push_window(&mut chain, cur, tb, hi);
+        let pred = encoded
+            .get(&(node, cookie))
+            .and_then(|&(rail, _)| txdone.get(&(node, rail)))
+            .and_then(|list| {
+                // Last completion at or before the binding that is not one
+                // of this message's own packets.
+                list.iter()
+                    .rev()
+                    .skip_while(|&&(t, _)| t > tb)
+                    .find(|&&(_, ck)| {
+                        cookie_msgs
+                            .get(&(node, ck))
+                            .is_none_or(|keys| !keys.contains(&cur.key))
+                    })
+                    .copied()
+            })
+            .and_then(|(t_done, ck)| {
+                if t_done <= cur.submit_ns {
+                    return None; // rail was idle when we arrived
+                }
+                cookie_msgs
+                    .get(&(node, ck))?
+                    .iter()
+                    .find(|k| !visited.contains(k))
+                    .and_then(|k| by_key.get(k))
+                    .map(|f| (t_done, *f))
+            });
+        match pred {
+            Some((t_done, next)) => {
+                push_window(&mut chain, cur, t_done, tb);
+                cur = next;
+                hi = t_done.min(cur.delivered_ns);
+            }
+            None => {
+                push_window(&mut chain, cur, cur.submit_ns, tb);
+                break;
+            }
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// A computed profile: per-message attribution, per-phase histograms and
+/// the run critical path.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// One span tree per delivered message, ordered by [`MsgKey`].
+    pub flows: Vec<FlowSpan>,
+    /// Per-phase latency histograms over all delivered messages.
+    pub phase_hist: [LatencyHistogram; PHASE_COUNT],
+    /// The run critical path, chronological.
+    pub critical_path: Vec<CritSpan>,
+    /// Records consumed from every input stream.
+    pub events_processed: usize,
+    /// Ring-overflow drops across all input streams; non-zero means the
+    /// attribution ran on a truncated history.
+    pub dropped_events: u64,
+    /// Messages whose reconstructed lifetime disagrees with the
+    /// receiver-measured latency (should be zero on complete streams).
+    pub partition_violations: u64,
+}
+
+impl Profile {
+    /// Whether any input ring overflowed — consumers must warn before
+    /// trusting the attribution.
+    pub fn truncated(&self) -> bool {
+        self.dropped_events > 0
+    }
+
+    /// Quantile of one phase's share of end-to-end latency, in
+    /// thousandths (0–1000), over all delivered messages.
+    pub fn phase_share_mille(&self, phase: Phase, q: f64) -> u64 {
+        let mut shares: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|f| f.total_ns() > 0)
+            .map(|f| f.phases[phase.rank() as usize] * 1000 / f.total_ns())
+            .collect();
+        if shares.is_empty() {
+            return 0;
+        }
+        shares.sort_unstable();
+        let idx = ((shares.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        shares[idx]
+    }
+
+    /// Folded-stack flamegraph text (inferno-compatible): one line per
+    /// `node;class;flow;phase` stack with total nanoseconds as the count,
+    /// lexically sorted.
+    pub fn folded_stacks(&self) -> String {
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for f in &self.flows {
+            for p in Phase::ALL {
+                let ns = f.phases[p.rank() as usize];
+                if ns > 0 {
+                    let stack = format!(
+                        "node{};{};flow{};{}",
+                        f.key.src,
+                        f.class,
+                        f.key.flow,
+                        p.label()
+                    );
+                    *agg.entry(stack).or_insert(0) += ns;
+                }
+            }
+        }
+        let mut out = String::new();
+        for (stack, ns) in agg {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-message attribution CSV, ordered by [`MsgKey`].
+    pub fn attribution_csv(&self) -> String {
+        let mut out = String::from(
+            "src,flow,seq,class,bytes,submit_ns,delivered_ns,total_ns,\
+             admission_ns,rndv_ns,decision_ns,retx_ns,wire_ns,\
+             retransmits,rail,strategy\n",
+        );
+        for f in &self.flows {
+            let rail = if f.rail == u16::MAX {
+                String::from("-")
+            } else {
+                f.rail.to_string()
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                f.key.src,
+                f.key.flow,
+                f.key.seq,
+                f.class,
+                f.bytes,
+                f.submit_ns,
+                f.delivered_ns,
+                f.total_ns(),
+                f.phases[0],
+                f.phases[1],
+                f.phases[2],
+                f.phases[3],
+                f.phases[4],
+                f.retransmits,
+                rail,
+                f.strategy,
+            ));
+        }
+        out
+    }
+
+    /// The registry/artifact JSON block (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        let mut phases = obj();
+        for p in Phase::ALL {
+            let h = &self.phase_hist[p.rank() as usize];
+            let total: u64 = self.flows.iter().map(|f| f.phases[p.rank() as usize]).sum();
+            phases = phases.field(
+                p.label(),
+                obj()
+                    .field("total_ns", total)
+                    .field("share_p50_mille", self.phase_share_mille(p, 0.50))
+                    .field("share_p99_mille", self.phase_share_mille(p, 0.99))
+                    .field("latency_us", h.to_json_us())
+                    .build(),
+            );
+        }
+        let crit = obj()
+            .field("spans", self.critical_path.len() as u64)
+            .field(
+                "start_ns",
+                self.critical_path.first().map_or(0, |s| s.start_ns),
+            )
+            .field("end_ns", self.critical_path.last().map_or(0, |s| s.end_ns))
+            .build();
+        obj()
+            .field("artifact", "madprof-profile")
+            .field("messages", self.flows.len() as u64)
+            .field("events_processed", self.events_processed as u64)
+            .field("dropped_events", self.dropped_events)
+            .field("truncated", self.truncated())
+            .field("partition_violations", self.partition_violations)
+            .field("phases", phases.build())
+            .field("critical_path", crit)
+            .build()
+    }
+
+    /// Human explain table: the `n` slowest messages with their phase
+    /// breakdown and what decided their fate (rail, strategy, vetoes),
+    /// followed by a critical-path summary.
+    pub fn explain(&self, n: usize) -> String {
+        let mut out = String::new();
+        if self.flows.is_empty() {
+            out.push_str("madprof: no delivered messages in the event stream\n");
+            return out;
+        }
+        let mut order: Vec<&FlowSpan> = self.flows.iter().collect();
+        order.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.key.cmp(&b.key)));
+        out.push_str(&format!(
+            "madprof: {} delivered messages, {} events\n",
+            self.flows.len(),
+            self.events_processed
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}  {:<5} {:<14} {:>4} {:>6}\n",
+            "message",
+            "bytes",
+            "total_us",
+            "admis%",
+            "rndv%",
+            "decis%",
+            "retx%",
+            "wire%",
+            "rail",
+            "strategy",
+            "retx",
+            "vetoes"
+        ));
+        for f in order.into_iter().take(n) {
+            let total = f.total_ns().max(1);
+            let pct = |p: Phase| 100 * f.phases[p.rank() as usize] / total;
+            let rail = if f.rail == u16::MAX {
+                String::from("-")
+            } else {
+                f.rail.to_string()
+            };
+            out.push_str(&format!(
+                "{:<22} {:>9} {:>10.1} {:>7}% {:>7}% {:>7}% {:>7}% {:>7}%  {:<5} {:<14} {:>4} {:>6}\n",
+                f.key.to_string(),
+                f.bytes,
+                f.total_ns() as f64 / 1000.0,
+                pct(Phase::Admission),
+                pct(Phase::Rndv),
+                pct(Phase::Decision),
+                pct(Phase::Retx),
+                pct(Phase::Wire),
+                rail,
+                if f.strategy.is_empty() {
+                    "-"
+                } else {
+                    &f.strategy
+                },
+                f.retransmits,
+                f.vetoes,
+            ));
+        }
+        if let (Some(first), Some(last)) = (self.critical_path.first(), self.critical_path.last()) {
+            let mut per_phase = [0u64; PHASE_COUNT];
+            let mut msgs: BTreeSet<MsgKey> = BTreeSet::new();
+            for s in &self.critical_path {
+                per_phase[s.phase.rank() as usize] += s.end_ns - s.start_ns;
+                msgs.insert(s.key);
+            }
+            out.push_str(&format!(
+                "critical path: {} spans over {} messages, {:.1} us ({} -> {} ns)\n",
+                self.critical_path.len(),
+                msgs.len(),
+                (last.end_ns - first.start_ns) as f64 / 1000.0,
+                first.start_ns,
+                last.end_ns
+            ));
+            let mut parts: Vec<String> = Vec::new();
+            for p in Phase::ALL {
+                if per_phase[p.rank() as usize] > 0 {
+                    parts.push(format!(
+                        "{} {:.1}us",
+                        p.label(),
+                        per_phase[p.rank() as usize] as f64 / 1000.0
+                    ));
+                }
+            }
+            out.push_str(&format!("  on-path time: {}\n", parts.join(", ")));
+        }
+        out
+    }
+}
+
+/// Profile live rings in one call (same argument shape as
+/// [`crate::trace::export_chrome_trace`]).
+pub fn profile(
+    sim: &SimTrace,
+    sinks: &[(NodeId, &EventSink)],
+    nics: &[Vec<simnet::NicId>],
+) -> Profile {
+    ProfInput::from_engine(sim, sinks, nics).profile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, TrafficClass};
+    use crate::metrics::Activation;
+    use simnet::{NicId, SimTime};
+
+    fn key(flow: u32, seq: u32) -> MsgKey {
+        MsgKey { src: 0, flow, seq }
+    }
+
+    /// One gated, retransmitted message end to end, hand-built.
+    fn one_message_input() -> ProfInput {
+        let mut sink = EventSink::with_capacity(64);
+        let t = SimTime::from_nanos;
+        sink.push(
+            t(0),
+            EngineEvent::Submitted {
+                flow: FlowId(1),
+                seq: 0,
+                frags: 1,
+                bytes: 4096,
+                class: TrafficClass::BULK,
+            },
+        );
+        sink.push(
+            t(10),
+            EngineEvent::Admitted {
+                flow: FlowId(1),
+                seq: 0,
+                bytes: 4096,
+                backlog: 4096,
+            },
+        );
+        sink.push(
+            t(50),
+            EngineEvent::RndvGranted {
+                flow: FlowId(1),
+                seq: 0,
+                frag: 0,
+            },
+        );
+        sink.push(
+            t(100),
+            EngineEvent::ActivationStart {
+                id: 1,
+                cause: Activation::Submit,
+                rail: 0,
+                backlog_depth: 1,
+            },
+        );
+        sink.push(
+            t(100),
+            EngineEvent::PlanVetoed {
+                activation: 1,
+                strategy: "split",
+                violation: crate::constraints::PlanViolation::EmptyPlan,
+            },
+        );
+        sink.push(
+            t(100),
+            EngineEvent::PlanWon {
+                activation: 1,
+                strategy: "aggregate",
+                score_num: 1,
+                score_den: 1,
+            },
+        );
+        sink.push(
+            t(100),
+            EngineEvent::PacketEncoded {
+                activation: 1,
+                rail: 0,
+                cookie: 7,
+                chunks: 1,
+                bytes: 4096,
+                linearized: false,
+            },
+        );
+        sink.push(
+            t(100),
+            EngineEvent::ChunkBound {
+                flow: FlowId(1),
+                seq: 0,
+                frag: 0,
+                cookie: 7,
+                bytes: 4096,
+            },
+        );
+        sink.push(
+            t(140),
+            EngineEvent::Retransmit {
+                old_cookie: 7,
+                new_cookie: 8,
+                rail: 0,
+                attempt: 2,
+            },
+        );
+        sink.push(
+            t(160),
+            EngineEvent::Retransmit {
+                old_cookie: 8,
+                new_cookie: 9,
+                rail: 0,
+                attempt: 3,
+            },
+        );
+        sink.push(
+            t(200),
+            EngineEvent::Delivered {
+                src: NodeId(0),
+                flow: FlowId(1),
+                seq: 0,
+                bytes: 4096,
+                latency_ns: 200,
+            },
+        );
+        let sim = SimTrace::with_capacity(8);
+        let sinks = [(NodeId(0), &sink)];
+        ProfInput::from_engine(&sim, &sinks, &[vec![NicId(0)], vec![NicId(1)]])
+    }
+
+    #[test]
+    fn phases_partition_lifetime_exactly() {
+        let p = one_message_input().profile();
+        assert_eq!(p.flows.len(), 1);
+        let f = &p.flows[0];
+        assert_eq!(f.key, key(1, 0));
+        // admission 0→10, rndv 10→50, decision 50→100, retx 100→160,
+        // wire 160→200.
+        assert_eq!(f.phases, [10, 40, 50, 60, 40]);
+        assert_eq!(f.phases.iter().sum::<u64>(), f.total_ns());
+        assert_eq!(f.retransmits, 2);
+        assert_eq!(f.rail, 0);
+        assert_eq!(f.strategy, "aggregate");
+        assert_eq!(f.vetoes, 1);
+        assert_eq!(f.dominant(), Phase::Retx);
+        assert_eq!(p.partition_violations, 0);
+        assert!(!p.truncated());
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_consistent() {
+        let input = one_message_input();
+        let a = input.profile();
+        let b = input.profile();
+        assert_eq!(a.attribution_csv(), b.attribution_csv());
+        assert_eq!(a.folded_stacks(), b.folded_stacks());
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert!(a
+            .folded_stacks()
+            .contains("node0;bulk;flow1;retx_recovery 60"));
+        let csv = a.attribution_csv();
+        assert!(csv.starts_with("src,flow,seq,class,bytes"));
+        assert!(csv.contains("0,1,0,bulk,4096,0,200,200,10,40,50,60,40,2,0,aggregate"));
+        // Shares: retx holds 300/1000 of the single message.
+        assert_eq!(a.phase_share_mille(Phase::Retx, 0.5), 300);
+    }
+
+    #[test]
+    fn critical_path_chains_across_the_rail() {
+        // m1 occupies rail 0 until t=100; m2 binds at t=105 and sets the
+        // makespan — the path must jump from m2 back into m1.
+        let mut sink = EventSink::with_capacity(64);
+        let t = SimTime::from_nanos;
+        for (flow, submit, bind, cookie, deliver) in
+            [(1u32, 0u64, 10u64, 1u64, 110u64), (2, 5, 105, 2, 200)]
+        {
+            sink.push(
+                t(submit),
+                EngineEvent::Submitted {
+                    flow: FlowId(flow),
+                    seq: 0,
+                    frags: 1,
+                    bytes: 64,
+                    class: TrafficClass::DEFAULT,
+                },
+            );
+            sink.push(
+                t(bind),
+                EngineEvent::PacketEncoded {
+                    activation: u64::from(flow),
+                    rail: 0,
+                    cookie,
+                    chunks: 1,
+                    bytes: 64,
+                    linearized: false,
+                },
+            );
+            sink.push(
+                t(bind),
+                EngineEvent::ChunkBound {
+                    flow: FlowId(flow),
+                    seq: 0,
+                    frag: 0,
+                    cookie,
+                    bytes: 64,
+                },
+            );
+            sink.push(
+                t(deliver),
+                EngineEvent::Delivered {
+                    src: NodeId(0),
+                    flow: FlowId(flow),
+                    seq: 0,
+                    bytes: 64,
+                    latency_ns: deliver - submit,
+                },
+            );
+        }
+        let mut sim = SimTrace::with_capacity(16);
+        sim.push(
+            t(100),
+            simnet::TraceEvent::TxDone {
+                nic: NicId(0),
+                cookie: 1,
+            },
+        );
+        sim.push(
+            t(190),
+            simnet::TraceEvent::TxDone {
+                nic: NicId(0),
+                cookie: 2,
+            },
+        );
+        let sinks = [(NodeId(0), &sink)];
+        let p = ProfInput::from_engine(&sim, &sinks, &[vec![NicId(0)]]).profile();
+        let path = &p.critical_path;
+        assert!(!path.is_empty());
+        // Chronological, contiguous, ends at the makespan.
+        assert_eq!(path.last().map(|s| s.end_ns), Some(200));
+        for w in path.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns, "path must be contiguous");
+        }
+        let msgs: BTreeSet<u32> = path.iter().map(|s| s.key.flow).collect();
+        assert_eq!(msgs, BTreeSet::from([1, 2]), "path crosses both messages");
+        // The chain starts inside m1 (its submit), not at m2's.
+        assert_eq!(path.first().map(|s| (s.key.flow, s.start_ns)), Some((1, 0)));
+    }
+
+    #[test]
+    fn truncated_submit_reconstructs_and_flags() {
+        let mut sink = EventSink::with_capacity(2);
+        // Capacity 2: the Submitted record is overwritten.
+        sink.push(
+            SimTime::from_nanos(0),
+            EngineEvent::Submitted {
+                flow: FlowId(1),
+                seq: 0,
+                frags: 1,
+                bytes: 64,
+                class: TrafficClass::DEFAULT,
+            },
+        );
+        sink.push(
+            SimTime::from_nanos(10),
+            EngineEvent::Unblocked {
+                class: TrafficClass::DEFAULT,
+            },
+        );
+        sink.push(
+            SimTime::from_nanos(300),
+            EngineEvent::Delivered {
+                src: NodeId(0),
+                flow: FlowId(1),
+                seq: 0,
+                bytes: 64,
+                latency_ns: 250,
+            },
+        );
+        let sim = SimTrace::with_capacity(4);
+        let sinks = [(NodeId(0), &sink)];
+        let p = ProfInput::from_engine(&sim, &sinks, &[vec![NicId(0)]]).profile();
+        assert!(p.truncated());
+        let f = &p.flows[0];
+        assert_eq!(f.submit_ns, 50, "reconstructed from receiver latency");
+        assert_eq!(f.class, "?");
+        assert_eq!(f.phases.iter().sum::<u64>(), 250);
+        assert_eq!(p.partition_violations, 0);
+    }
+
+    #[test]
+    fn empty_input_profiles_to_nothing() {
+        let p = ProfInput::default().profile();
+        assert!(p.flows.is_empty());
+        assert!(p.critical_path.is_empty());
+        assert_eq!(p.folded_stacks(), "");
+        assert_eq!(p.phase_share_mille(Phase::Wire, 0.5), 0);
+        assert!(p.explain(5).contains("no delivered messages"));
+    }
+}

@@ -151,6 +151,21 @@ pub enum EngineEvent {
         /// Whether the packet was linearized by copy.
         linearized: bool,
     },
+    /// One planned chunk was bound into an encoded packet — the
+    /// (flow, seq) ↔ cookie correlation record madprof attributes wire
+    /// time with (PacketEncoded itself only knows the activation).
+    ChunkBound {
+        /// Flow of the chunk's message.
+        flow: FlowId,
+        /// Sequence within the flow.
+        seq: u32,
+        /// Fragment the chunk belongs to.
+        frag: FragIndex,
+        /// Driver cookie of the carrying packet.
+        cookie: u64,
+        /// Chunk payload bytes.
+        bytes: u64,
+    },
     /// A message was fully reassembled and delivered to the application.
     Delivered {
         /// Sending node.
@@ -238,6 +253,7 @@ impl EngineEvent {
             EngineEvent::PlanScored { .. } => "PlanScored",
             EngineEvent::PlanWon { .. } => "PlanWon",
             EngineEvent::PacketEncoded { .. } => "PacketEncoded",
+            EngineEvent::ChunkBound { .. } => "ChunkBound",
             EngineEvent::Delivered { .. } => "Delivered",
             EngineEvent::Retransmit { .. } => "Retransmit",
             EngineEvent::AckReceived { .. } => "AckReceived",
@@ -362,6 +378,19 @@ impl EngineEvent {
                 .field("chunks", *chunks)
                 .field("bytes", *bytes)
                 .field("linearized", *linearized)
+                .build(),
+            EngineEvent::ChunkBound {
+                flow,
+                seq,
+                frag,
+                cookie,
+                bytes,
+            } => obj()
+                .field("flow", flow.0)
+                .field("seq", *seq)
+                .field("frag", *frag)
+                .field("cookie", *cookie)
+                .field("bytes", *bytes)
                 .build(),
             EngineEvent::Delivered {
                 src,

@@ -6,6 +6,25 @@
 //! least one `EngineEvent`, or the flight recorder and the Chrome export
 //! go blind for that transition. Functions whose events are pushed by a
 //! callee can declare it with `// madlint: emits-trace`.
+//!
+//! Marker reference (all written as `// madlint:` comments):
+//!
+//! * `trace-covered` — scope marker; every mutator-calling function in
+//!   the scope is held to the rule below.
+//! * `emits-trace` — function marker: its events are pushed by a callee,
+//!   so the local scan would be a false positive.
+//! * `allow(trace-coverage)` — suppression of last resort; the comment
+//!   must say where the transition *is* recorded.
+//! * `file: deterministic-output` — not a coverage marker, but the
+//!   companion contract consumers of the ring rely on: the file's
+//!   exports are byte-stable for a given event stream (`trace.rs`,
+//!   `prof.rs`).
+//!
+//! Since madprof, coverage is load-bearing beyond debugging: the
+//! profiler's phase attribution telescopes over exactly these events
+//! (`Admitted`, `RndvGranted`, `ChunkBound`, `Retransmit`, `Delivered`),
+//! so a silent mutator doesn't just blind the flight recorder — it moves
+//! nanoseconds into the wrong phase of every attribution downstream.
 
 use crate::diag::{Diagnostic, RuleId};
 use crate::parse::{Item, SourceFile};

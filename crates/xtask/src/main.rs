@@ -8,7 +8,9 @@
 //!   counterexample) if any strategy can emit a plan that violates the
 //!   plan constraints or a driver capability bound, checks the per-driver
 //!   strategy applicability masks against the sweep, then checks the
-//!   madscope metrics export (unique sample keys, no silent drops).
+//!   madscope metrics export (unique sample keys, no silent drops) and
+//!   the madprof attribution partition (phase durations telescope
+//!   exactly to each message's lifetime over a seeded traced corpus).
 //!   Finishes with a madtrace smoke test: a small
 //!   traced workload is exported to Chrome trace-event JSON, re-parsed,
 //!   and the event count must round-trip (bit-identically across runs).
@@ -59,7 +61,7 @@ commands:
   analyze   madlint AST lints + static conformance analysis of all
             registered strategies against every driver capability
             profile, plus the strategy-mask, madflow flow-index,
-            retransmit and metrics-export rules
+            retransmit, metrics-export and madprof-attribution rules
               --broken-fixture   also register the deliberately broken
                                  fixture strategies (expected to fail)
               --seed <u64>       corpus seed (default: stable)
@@ -145,6 +147,13 @@ fn analyze(args: &[String]) -> ExitCode {
     let flow = madcheck::flow_check(opts.seed, opts.samples);
     print!("{flow}");
     ok &= flow.is_clean();
+
+    // madprof partition sweep: bounded corpus (each sample is a full
+    // traced simulation, so the count is fixed rather than tied to
+    // --samples).
+    let prof = madcheck::prof_check(opts.seed, 8);
+    print!("{prof}");
+    ok &= prof.is_clean();
 
     ok &= trace_smoke();
 

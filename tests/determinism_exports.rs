@@ -10,9 +10,10 @@
 //! and a multi-flow workload that actually populates the converted
 //! containers.)
 
-use madeleine::harness::{Cluster, ClusterSpec};
-use madeleine::{MessageBuilder, TrafficClass};
-use simnet::SimDuration;
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madeleine::{EngineConfig, MessageBuilder, PolicyKind, ReliabilityMode, TrafficClass};
+use proptest::prelude::*;
+use simnet::{FaultPlan, SimDuration, Technology};
 
 /// A traced two-node cluster pushing three flows of mixed classes and
 /// sizes — enough concurrency that `inflight` and `flows` hold several
@@ -90,4 +91,85 @@ fn debug_reports_are_byte_identical_across_runs() {
     // The workload really delivered across all three flows.
     let m = a.handle(1).metrics();
     assert_eq!(m.delivered_msgs, 18, "6 rounds x 3 flows");
+}
+
+/// The madprof surfaces ride the same ordered state: two independent
+/// same-spec runs must produce byte-identical attribution CSVs, folded
+/// stacks and profile documents.
+#[test]
+fn profile_exports_are_byte_identical_across_runs() {
+    let a = traced_workload().profile();
+    let b = traced_workload().profile();
+    assert_eq!(a.flows.len(), 18, "every delivery attributed");
+    assert_eq!(a.partition_violations, 0);
+    assert_eq!(a.attribution_csv(), b.attribution_csv());
+    assert_eq!(a.folded_stacks(), b.folded_stacks());
+    assert_eq!(a.to_json().render(), b.to_json().render());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The attribution exactness invariant survives faults: under seeded
+    /// loss + duplication + reordering with madrel `Recover`, every
+    /// delivered message's phase durations still partition its lifetime
+    /// exactly — retransmission time is attributed, never lost.
+    #[test]
+    fn profile_partition_holds_under_faults(
+        seed in any::<u64>(),
+        loss_pm in 0u32..200, // per-mille; the shim has no f64 ranges
+        dup_pm in 0u32..200,
+    ) {
+        const MSGS: u32 = 24;
+        let mut c = Cluster::build(
+            &ClusterSpec {
+                nodes: 2,
+                rails: vec![Technology::MyrinetMx],
+                engine: EngineKind::Optimizing {
+                    config: EngineConfig {
+                        reliability: ReliabilityMode::Recover,
+                        ..EngineConfig::default()
+                    },
+                    policy: PolicyKind::Pooled,
+                },
+                trace: Some(1 << 14),
+                engine_trace: Some(1 << 14),
+            },
+            vec![],
+        );
+        c.set_fault_plan(
+            0,
+            FaultPlan::new(seed)
+                .with_loss(f64::from(loss_pm) / 1000.0)
+                .with_dup(f64::from(dup_pm) / 1000.0)
+                .with_reorder(0.15, SimDuration::from_micros(2)),
+        );
+        let h = c.handle(0).clone();
+        let (src, dst) = (c.nodes[0], c.nodes[1]);
+        let f = h.open_flow(dst, TrafficClass::DEFAULT);
+        c.sim.inject(src, |ctx| {
+            for i in 0..MSGS {
+                h.send(
+                    ctx,
+                    f,
+                    MessageBuilder::new()
+                        .pack_cheaper(&vec![i as u8; 200])
+                        .build_parts(),
+                );
+            }
+        });
+        c.drain();
+        let prof = c.profile();
+        prop_assert_eq!(prof.flows.len(), MSGS as usize, "every delivery attributed");
+        prop_assert_eq!(prof.partition_violations, 0);
+        prop_assert!(!prof.truncated(), "ring must hold the whole run");
+        for span in &prof.flows {
+            let lifetime = span.delivered_ns - span.submit_ns;
+            let total: u64 = span.phases.iter().sum();
+            prop_assert_eq!(
+                total, lifetime,
+                "{} phases must partition its lifetime", span.key
+            );
+        }
+    }
 }
