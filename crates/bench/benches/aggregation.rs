@@ -61,6 +61,7 @@ fn bench_decode(c: &mut Criterion) {
             kind: 1,
             cookie: 0,
             seq: 0,
+            ecn: false,
             payload: segs,
         };
         group.throughput(Throughput::Bytes((n * size) as u64));

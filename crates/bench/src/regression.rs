@@ -2,7 +2,8 @@
 //!
 //! `run_suite` drives one smoke point of each flagship experiment
 //! (E1 aggregation, E2 NIC-idle batching, E7 multi-rail balancing,
-//! E12 loss recovery, E13 flow scale + admission) plus a
+//! E12 loss recovery, E13 flow scale + admission, E14 incast +
+//! congestion steering) plus a
 //! sampler-instrumented replay, and collects the headline numbers into
 //! a schema-versioned [`BenchDoc`].
 //! `cargo xtask bench` serializes it as `BENCH_<label>.json`;
@@ -34,7 +35,7 @@ use madeleine::{AdmissionPolicy, FairnessMode, Phase};
 use madware::scenario::eager_flows;
 use simnet::{SimDuration, Technology};
 
-use crate::experiments::{e12_loss, e13_flowscale, e1_aggregation, e7_multirail};
+use crate::experiments::{e12_loss, e13_flowscale, e14_incast, e1_aggregation, e7_multirail};
 
 /// Document schema tag; bump when metric names or semantics change so a
 /// stale committed baseline fails loudly instead of comparing garbage.
@@ -404,6 +405,56 @@ pub fn run_suite(label: &str) -> SuiteOutput {
         "e13_overload_unblocked_events",
         ov.unblocked_events as f64,
         Direction::Info,
+    );
+
+    // E14: madnet incast + congestion-aware steering. The naive incast
+    // point is informational (it *should* collapse); the admission point
+    // and the congestion-aware mice tail are the gated claims.
+    let ni = e14_incast::run_incast(false);
+    let ai = e14_incast::run_incast(true);
+    push(
+        &mut metrics,
+        "e14_incast_naive_p99_us",
+        ni.p99_us,
+        Direction::Info,
+    );
+    push(
+        &mut metrics,
+        "e14_incast_admission_p99_us",
+        ai.p99_us,
+        Direction::LowerIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e14_incast_recovered_fraction",
+        ai.delivered as f64 / ai.expected as f64,
+        Direction::HigherIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e14_incast_fabric_drops",
+        ni.fabric_drops as f64,
+        Direction::Info,
+    );
+    let blind = e14_incast::run_steering(false);
+    let aware = e14_incast::run_steering(true);
+    push(
+        &mut metrics,
+        "e14_mice_blind_p99_us",
+        blind.mice_p99_us,
+        Direction::Info,
+    );
+    push(
+        &mut metrics,
+        "e14_mice_aware_p99_us",
+        aware.mice_p99_us,
+        Direction::LowerIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e14_steering_gain",
+        blind.mice_mean_us / aware.mice_mean_us,
+        Direction::HigherIsBetter,
     );
 
     // madprof: phase attribution of the traced E12 loss cell (the 1%

@@ -541,6 +541,22 @@ pub fn info_export(text: &str) -> Option<String> {
         fault("wire_dups"),
         fault("wire_stalls"),
     ));
+    // madnet: exports from switched clusters carry per-rail topology
+    // metadata; flat private-pipe rails are simply absent.
+    if let Some(Json::Arr(topos)) = other.get("topologies") {
+        for t in topos {
+            let u = |key: &str| t.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+            out.push_str(&format!(
+                "  topology: {} — {} hosts, {} switches, {} links, \
+                 oversubscription {:.2}:1\n",
+                t.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+                u("hosts"),
+                u("switches"),
+                u("links"),
+                u("oversub_milli") as f64 / 1000.0,
+            ));
+        }
+    }
     if let Some(Json::Obj(retained)) = other.get("engine_retained") {
         for (node, v) in retained {
             let dropped = other
@@ -650,6 +666,45 @@ mod tests {
         assert!(s.contains("engine trace:"), "{s}");
         // Plain workload traces are not mistaken for exports.
         assert!(info_export("# madeleine-trace v1\n").is_none());
+    }
+
+    #[test]
+    fn info_export_summarizes_topology_metadata() {
+        // A switched rail stamps its topology into the export; the info
+        // summary surfaces it. Flat rails (every other test here) don't.
+        let profile = nicdrv::calib::params(Technology::MyrinetMx).link_profile();
+        let spec = ClusterSpec {
+            nodes: 2,
+            rails: vec![Technology::MyrinetMx],
+            engine: EngineKind::optimizing(),
+            trace: Some(1 << 12),
+            engine_trace: Some(1 << 12),
+        };
+        let mut c = Cluster::build_with_topologies(
+            &spec,
+            vec![Some(simnet::Topology::dumbbell(1, 1, profile, profile))],
+            vec![],
+        );
+        let dst = c.nodes[1];
+        let h = c.handles[0].clone();
+        let flow = h.open_flow(dst, madeleine::TrafficClass::DEFAULT);
+        let src = c.nodes[0];
+        c.sim.inject(src, |ctx| {
+            h.send(
+                ctx,
+                flow,
+                madeleine::MessageBuilder::new()
+                    .pack_express(&[1u8; 64])
+                    .build_parts(),
+            )
+        });
+        c.drain();
+        let s = info_export(&c.export_chrome_trace().json).expect("sniffable");
+        assert!(
+            s.contains("topology: dumbbell — 2 hosts, 2 switches, 6 links"),
+            "{s}"
+        );
+        assert!(s.contains("oversubscription 1.00:1"), "{s}");
     }
 
     #[test]

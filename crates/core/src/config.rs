@@ -77,6 +77,12 @@ pub struct EngineConfig {
     /// `take_delivered`; overflow drops the oldest entry and counts it
     /// in the `deliveries_dropped` metric.
     pub delivered_capacity: usize,
+    /// React to fabric ECN marks (madnet): echoed congestion bits feed a
+    /// per-rail EWMA that inflates `cost_penalty()`, steering multi-rail
+    /// splitting and rendezvous gating away from loaded links. When false
+    /// the engine still *counts* marks (observability) but scoring stays
+    /// congestion-blind — the E14 baseline.
+    pub congestion_aware: bool,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +110,7 @@ impl Default for EngineConfig {
             class_weights: [1; CLASS_SLOTS],
             admission: AdmissionConfig::default(),
             delivered_capacity: 1 << 20,
+            congestion_aware: true,
         }
     }
 }
@@ -139,6 +146,12 @@ impl EngineConfig {
     /// Builder-style setter for the Nagle delay.
     pub fn with_nagle(mut self, delay: SimDuration) -> Self {
         self.nagle_delay = delay;
+        self
+    }
+
+    /// Builder-style setter for congestion-aware scoring.
+    pub fn with_congestion_aware(mut self, aware: bool) -> Self {
+        self.congestion_aware = aware;
         self
     }
 

@@ -47,9 +47,9 @@ use crate::optimizer::{select_plan_traced, submit_action, SubmitAction};
 use crate::plan::{PlanBody, PlannedChunk, TransferPlan};
 use crate::policy::{PolicyKind, RailPolicy};
 use crate::proto::{
-    ack_header, cancel_header, decode_ack, decode_packet, decode_rndv, encode_packet, encode_rndv,
-    framing_bytes, make_header, ChunkHeader, WireChunk, KIND_ACK, KIND_CTRL, KIND_DATA,
-    KIND_RNDV_ACK, KIND_RNDV_REQ,
+    ack_header_ecn, cancel_header, decode_ack_ecn, decode_packet, decode_rndv, encode_packet,
+    encode_rndv, framing_bytes, make_header, ChunkHeader, WireChunk, KIND_ACK, KIND_CTRL,
+    KIND_DATA, KIND_RNDV_ACK, KIND_RNDV_REQ,
 };
 use crate::receiver::{Receiver, ReceiverStats};
 use crate::reliability::{plan_retransmit, PendingTx, RailHealth, RetransmitTracker};
@@ -147,11 +147,29 @@ impl EngineCore {
         }
         let fs = self.collect.flow(flow);
         let (id, class) = (fs.id, fs.class);
-        (0..self.rails.len())
+        let hint = (0..self.rails.len())
             .filter(|&r| self.policy.eligible(id, class, r) && !self.rail_health[r].is_dead())
             .map(|r| self.rails[r].driver.capabilities().rndv_threshold_hint)
             .min()
-            .unwrap_or(u64::MAX)
+            .unwrap_or(u64::MAX);
+        if hint == u64::MAX {
+            return hint;
+        }
+        // madnet: under fabric congestion, gate eager sends earlier — a
+        // rendezvous round-trip is cheap insurance against stuffing more
+        // bytes into an already-marking switch queue. Scaled by the
+        // *least* congested eligible rail so a clean rail keeps the full
+        // eager window (congestion penalty is 1.0 when the EWMA is zero,
+        // leaving loss-only scenarios untouched).
+        let cong = (0..self.rails.len())
+            .filter(|&r| self.policy.eligible(id, class, r) && !self.rail_health[r].is_dead())
+            .map(|r| self.rail_health[r].congestion_penalty())
+            .fold(f64::INFINITY, f64::min);
+        if cong.is_finite() && cong > 1.0 {
+            ((hint as f64 / cong) as u64).max(1)
+        } else {
+            hint
+        }
     }
 
     /// Open a flow toward `dst`, checking that the destination is
@@ -363,11 +381,48 @@ impl EngineCore {
     }
 
     fn optimize_all_idle(&mut self, ctx: &mut SimCtx<'_>, cause: Activation) {
-        for r in 0..self.rails.len() {
+        // madnet: rails pull the shared backlog in cost-penalty order, so
+        // an ECN-inflated (or lossy) rail only sees what healthier rails
+        // left behind. The sort is stable on the rail index — when every
+        // rail is equally healthy this is byte-identical to plain index
+        // order, preserving the determinism contract for existing runs.
+        let mut order: Vec<usize> = (0..self.rails.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.rail_health[a]
+                .cost_penalty()
+                .total_cmp(&self.rail_health[b].cost_penalty())
+                .then(a.cmp(&b))
+        });
+        for r in order {
+            if self.congestion_gated(r) {
+                self.metrics.congestion_gated += 1;
+                continue;
+            }
             if !self.rail_health[r].is_dead() && self.rails[r].driver.is_idle(ctx) {
                 self.optimize_rail(ctx, r, cause);
             }
         }
+    }
+
+    /// madnet congestion gate: a rail whose ECN-driven penalty is far
+    /// above the best live rail's declines to pull the shared backlog —
+    /// being work-conserving onto a collapsing fabric path converts a
+    /// microsecond of patience into a 50 µs retransmit timeout. The
+    /// comparison is relative, so the least-congested live rail is never
+    /// gated and the engine can always make progress; with
+    /// `congestion_aware` off (or no marks seen) this is always false
+    /// and scheduling is byte-identical to the pre-fabric engine.
+    fn congestion_gated(&self, rail: usize) -> bool {
+        if !self.config.congestion_aware || self.rail_health.len() < 2 {
+            return false;
+        }
+        let best = self
+            .rail_health
+            .iter()
+            .filter(|h| !h.is_dead())
+            .map(|h| h.congestion_penalty())
+            .fold(f64::INFINITY, f64::min);
+        best.is_finite() && self.rail_health[rail].congestion_penalty() > 2.0 * best
     }
 
     /// One optimizer activation on one rail: repeatedly select and submit
@@ -813,12 +868,14 @@ impl EngineCore {
                 // retransmission of the data.
                 if self.config.reliability.acks_enabled() && pkt.cookie != CTRL_COOKIE {
                     if let Some(rail_idx) = self.rail_of(nic) {
+                        // madnet: echo the fabric's ECN mark back to the
+                        // sender inside the ack (RFC-3168 style).
                         let _ = self.send_ctrl(
                             ctx,
                             rail_idx,
                             pkt.src,
                             KIND_ACK,
-                            ack_header(pkt.cookie),
+                            ack_header_ecn(pkt.cookie, pkt.ecn),
                         );
                     }
                 }
@@ -887,14 +944,30 @@ impl EngineCore {
             }
             KIND_ACK => {
                 let mut done = Vec::new();
-                match decode_ack(&pkt) {
-                    Ok(cookie) => {
+                match decode_ack_ecn(&pkt) {
+                    Ok((cookie, ecn)) => {
                         // Duplicate acks (the data was retransmitted and
                         // both copies arrived) find nothing tracked and are
                         // ignored.
                         if let Some(p) = self.retx.acked(cookie) {
                             self.metrics.acks_received += 1;
                             self.rail_health[p.rail].on_ack();
+                            // madnet: the echoed congestion bit moves the
+                            // rail's EWMA only in congestion-aware mode;
+                            // blind mode still counts marks for reporting.
+                            self.rail_health[p.rail]
+                                .on_congestion(ecn, self.config.congestion_aware);
+                            if ecn {
+                                self.metrics.ecn_echoes += 1;
+                                self.trace.push(
+                                    ctx.now(),
+                                    EngineEvent::CongestionMark {
+                                        src: self.node,
+                                        cookie,
+                                        rail: p.rail as u16,
+                                    },
+                                );
+                            }
                             self.trace.push(
                                 ctx.now(),
                                 EngineEvent::AckReceived {
@@ -1355,12 +1428,14 @@ impl EngineCore {
             ));
             for (r, h) in self.rail_health.iter().enumerate() {
                 out.push_str(&format!(
-                    "               rail {r}: score={:.3}{}{} acks={} timeouts={}\n",
+                    "               rail {r}: score={:.3}{}{} acks={} timeouts={} cong={:.3} marks={}\n",
                     h.score(),
                     if h.is_degraded() { " DEGRADED" } else { "" },
                     if h.is_dead() { " DEAD" } else { "" },
                     h.acks(),
                     h.timeouts(),
+                    h.congestion(),
+                    h.ecn_marks(),
                 ));
             }
         }
@@ -1679,7 +1754,14 @@ impl Endpoint for MadEngine {
         {
             let mut core = self.core.borrow_mut();
             if let Some(rail) = core.rail_of(nic) {
-                core.optimize_rail(ctx, rail, Activation::NicIdle);
+                if core.congestion_gated(rail) {
+                    // Hand the activation to healthier rails instead of
+                    // pulling backlog onto a marked fabric path.
+                    core.metrics.congestion_gated += 1;
+                    core.optimize_all_idle(ctx, Activation::NicIdle);
+                } else {
+                    core.optimize_rail(ctx, rail, Activation::NicIdle);
+                }
             }
         }
         self.notify_unblocked(ctx);

@@ -179,18 +179,45 @@ impl Cluster {
     /// Build a cluster; `apps[i]` is installed on node `i` (pad with
     /// `None` for pure-engine nodes). `apps` may be shorter than the node
     /// count.
-    pub fn build(spec: &ClusterSpec, mut apps: Vec<Option<Box<dyn AppDriver>>>) -> Cluster {
+    pub fn build(spec: &ClusterSpec, apps: Vec<Option<Box<dyn AppDriver>>>) -> Cluster {
+        Self::build_with_topologies(spec, Vec::new(), apps)
+    }
+
+    /// [`Cluster::build`] with a madnet topology per rail: `topos[r]`
+    /// (when `Some`) turns rail `r`'s flat pipe into a switched fabric —
+    /// NICs attach to host ports in node order, so the topology must have
+    /// exactly `spec.nodes` hosts. Pad with `None` (or pass a short/empty
+    /// vec) for flat rails.
+    pub fn build_with_topologies(
+        spec: &ClusterSpec,
+        mut topos: Vec<Option<simnet::Topology>>,
+        mut apps: Vec<Option<Box<dyn AppDriver>>>,
+    ) -> Cluster {
         assert!(spec.nodes >= 1);
         assert!(!spec.rails.is_empty(), "need at least one rail technology");
         let mut sim = Simulation::new();
         if let Some(cap) = spec.trace {
             sim.enable_trace(cap);
         }
+        topos.resize_with(spec.rails.len(), || None);
         let networks: Vec<_> = spec
             .rails
             .iter()
             .map(|&t| sim.add_network(nicdrv::calib::params(t)))
             .collect();
+        for (&net, topo) in networks.iter().zip(topos) {
+            if let Some(t) = topo {
+                assert_eq!(
+                    t.hosts() as usize,
+                    spec.nodes,
+                    "topology '{}' has {} host ports but the cluster has {} nodes",
+                    t.name(),
+                    t.hosts(),
+                    spec.nodes
+                );
+                sim.install_topology(net, t);
+            }
+        }
         let nodes: Vec<NodeId> = (0..spec.nodes).map(|_| sim.add_node()).collect();
         let nics: Vec<Vec<NicId>> = nodes
             .iter()
@@ -287,7 +314,20 @@ impl Cluster {
             .collect();
         let borrowed: Vec<(NodeId, &crate::trace::EventSink)> =
             sinks.iter().map(|(n, s)| (*n, s)).collect();
-        crate::trace::export_chrome_trace(self.sim.trace(), &borrowed, &self.nics)
+        // madnet: switched rails stamp their topology summary into the
+        // export's otherData so `trace-tool info` can describe the fabric.
+        let topos: Vec<crate::trace::TopologySummary> = self
+            .networks
+            .iter()
+            .filter_map(|&net| self.sim.fabric(net))
+            .map(|f| crate::trace::TopologySummary::of(f.topology()))
+            .collect();
+        crate::trace::export_chrome_trace_with_topology(
+            self.sim.trace(),
+            &borrowed,
+            &self.nics,
+            &topos,
+        )
     }
 
     /// madprof: attribute every delivered message's latency into phases
@@ -327,6 +367,47 @@ impl Cluster {
             for (r, &nic) in nics.iter().enumerate() {
                 reg.add_nic(&format!("node{i}/nic{r}"), &self.sim.nic(nic).stats);
             }
+        }
+        // madnet: per-link fabric counters for every switched rail —
+        // current queue depth, utilization integral, ECN marks and drops,
+        // keyed by the link's endpoint labels.
+        let now_ns = self.sim.now().as_nanos().max(1);
+        for (r, &net) in self.networks.iter().enumerate() {
+            let Some(fab) = self.sim.fabric(net) else {
+                continue;
+            };
+            let topo = fab.topology();
+            let links: Vec<crate::json::Json> = topo
+                .links()
+                .iter()
+                .zip(fab.link_stats())
+                .zip(fab.queue_bytes())
+                .map(|((link, stats), &queued)| {
+                    crate::json::obj()
+                        .field(
+                            "link",
+                            format!("{}->{}", link.from.label(), link.to.label()).as_str(),
+                        )
+                        .field("queue_bytes", queued)
+                        .field("peak_queue_bytes", stats.peak_queue_bytes)
+                        .field("bytes_carried", stats.bytes_carried)
+                        .field("utilization_milli", stats.busy_ns * 1000 / now_ns)
+                        .field("ecn_marks", stats.ecn_marks)
+                        .field("queue_drops", stats.queue_drops)
+                        .build()
+                })
+                .collect();
+            reg.add_section(
+                &format!("rail{r}/fabric"),
+                crate::json::obj()
+                    .field("topology", topo.name())
+                    .field("hosts", u64::from(topo.hosts()))
+                    .field("switches", u64::from(topo.switches()))
+                    .field("oversub_milli", topo.oversubscription_milli())
+                    .field("active_transfers", fab.active_transfers() as u64)
+                    .field("links", crate::json::Json::Arr(links))
+                    .build(),
+            );
         }
         if self
             .handles
@@ -374,6 +455,40 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::message::MessageBuilder;
+
+    #[test]
+    fn topology_cluster_roundtrip_with_fabric_metrics() {
+        let profile = simnet::LinkProfile::synthetic();
+        let topo = simnet::Topology::dumbbell(1, 1, profile, profile);
+        let mut spec = ClusterSpec::mx_pair();
+        spec.trace = Some(1 << 12);
+        let mut c = Cluster::build_with_topologies(&spec, vec![Some(topo)], vec![]);
+        let (a, b) = (c.nodes[0], c.nodes[1]);
+        let ha = c.handle(0).clone();
+        let f = ha.open_flow(b, TrafficClass::DEFAULT);
+        c.sim.inject(a, |ctx| {
+            ha.send(
+                ctx,
+                f,
+                MessageBuilder::new().pack_cheaper(b"payload").build_parts(),
+            )
+        });
+        c.drain();
+        assert_eq!(c.handle(1).delivered_count(), 1);
+        assert_eq!(c.handle(1).take_delivered()[0].contiguous(), b"payload");
+        // The fabric carried bytes across the core and says so in both
+        // the registry and the export's topology metadata.
+        let text = c.prometheus_text();
+        assert!(text.contains("rail0/fabric"), "missing fabric section");
+        let export = c.export_chrome_trace().json;
+        assert!(
+            export.contains("\"topologies\"") && export.contains("dumbbell"),
+            "export missing topology metadata"
+        );
+        let fab = c.sim.fabric(c.networks[0]).expect("switched rail");
+        assert!(fab.link_stats().iter().any(|s| s.bytes_carried > 0));
+        assert_eq!(fab.active_transfers(), 0, "fabric drained");
+    }
 
     #[test]
     fn mx_pair_roundtrip() {

@@ -93,11 +93,11 @@ pub use legacy::{LegacyEngine, LegacyHandle};
 pub use message::{DeliveredMessage, Fragment, MessageBuilder, PackMode};
 pub use metrics::{EngineMetrics, MetricsRegistry};
 pub use policy::PolicyKind;
-pub use prof::{CritSpan, FlowSpan, MsgKey, Phase, ProfInput, Profile};
+pub use prof::{CritSpan, FlowSpan, MsgKey, Phase, ProfInput, Profile, PHASE_COUNT};
 pub use reliability::{plan_retransmit, RailHealth, ReliabilityMode, RetransmitTracker};
 pub use scope::{flatten_registry, prometheus_render, PromSample, Sampler};
 pub use strategy::{effective_strategy_mask, Strategy, StrategyMask, StrategyRegistry};
 pub use trace::{
-    chrome_event_count, export_chrome_trace, ChromeExport, EngineEvent, EngineRecord, EventSink,
-    FlightDump, FlightTrigger,
+    chrome_event_count, export_chrome_trace, export_chrome_trace_with_topology, ChromeExport,
+    EngineEvent, EngineRecord, EventSink, FlightDump, FlightTrigger, TopologySummary,
 };

@@ -120,6 +120,13 @@ pub struct EngineMetrics {
     pub retransmits: u64,
     /// Acknowledgements received for tracked data packets.
     pub acks_received: u64,
+    /// Acknowledgements that echoed a fabric ECN mark (madnet): the acked
+    /// data packet crossed a switch queue past its marking threshold.
+    pub ecn_echoes: u64,
+    /// Optimizer activations declined because the rail's congestion
+    /// penalty sat far above the best live rail's (madnet gate): the
+    /// backlog was left for a cleaner rail to pull.
+    pub congestion_gated: u64,
     /// Messages abandoned after the retry budget was exhausted on every
     /// live rail (should be 0 unless every rail died).
     pub lost_msgs: u64,
@@ -186,6 +193,8 @@ impl Default for EngineMetrics {
             timeouts: 0,
             retransmits: 0,
             acks_received: 0,
+            ecn_echoes: 0,
+            congestion_gated: 0,
             lost_msgs: 0,
             rails_dead: 0,
             blocked_sends: 0,
@@ -340,6 +349,8 @@ impl EngineMetrics {
             .field("timeouts", self.timeouts)
             .field("retransmits", self.retransmits)
             .field("acks_received", self.acks_received)
+            .field("ecn_echoes", self.ecn_echoes)
+            .field("congestion_gated", self.congestion_gated)
             .field("lost_msgs", self.lost_msgs)
             .field("rails_dead", self.rails_dead)
             .field("blocked_sends", self.blocked_sends)

@@ -45,7 +45,7 @@ use crate::json::{obj, Json};
 use crate::trace::{EngineEvent, EventSink};
 
 /// Number of attribution phases.
-pub const PHASE_COUNT: usize = 5;
+pub const PHASE_COUNT: usize = 6;
 
 /// One latency-attribution phase of a message's lifetime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -59,6 +59,10 @@ pub enum Phase {
     Decision,
     /// → last retransmission of a packet carrying this message's bytes.
     Retx,
+    /// → last echoed fabric congestion mark (madnet): time the message's
+    /// bytes spent contending for marked switch queues. Zero on flat
+    /// point-to-point fabrics.
+    Queueing,
     /// → delivery: wire transit, receiver reassembly and in-order release.
     Wire,
 }
@@ -70,6 +74,7 @@ impl Phase {
         Phase::Rndv,
         Phase::Decision,
         Phase::Retx,
+        Phase::Queueing,
         Phase::Wire,
     ];
 
@@ -80,6 +85,7 @@ impl Phase {
             Phase::Rndv => "rndv_wait",
             Phase::Decision => "decision_wait",
             Phase::Retx => "retx_recovery",
+            Phase::Queueing => "queueing",
             Phase::Wire => "wire",
         }
     }
@@ -206,6 +212,7 @@ pub struct ProfInput {
 enum CookieOp {
     Bind { ts: u64, key: MsgKey, cookie: u64 },
     Retx { ts: u64, old: u64, new: u64 },
+    Cong { ts: u64, cookie: u64 },
 }
 
 impl ProfInput {
@@ -305,6 +312,14 @@ impl ProfInput {
                     ts,
                     old: *old_cookie,
                     new: *new_cookie,
+                });
+            }
+            EngineEvent::CongestionMark { src, cookie, .. } => {
+                // Filed under the *sender* — cookies are per-sender
+                // counters, and the mark lives in the sender's sink.
+                self.ops.entry(src.0).or_default().push(CookieOp::Cong {
+                    ts,
+                    cookie: *cookie,
                 });
             }
             EngineEvent::Delivered {
@@ -456,6 +471,15 @@ impl ProfInput {
                             .push(CookieOp::Retx { ts, old, new });
                     }
                 }
+                "CongestionMark" => {
+                    if let (Some(src), Some(cookie)) = (au("src"), au("cookie")) {
+                        input
+                            .ops
+                            .entry(src as u32)
+                            .or_default()
+                            .push(CookieOp::Cong { ts, cookie });
+                    }
+                }
                 "Delivered" => {
                     if let (Some(src), Some(flow), Some(seq), Some(bytes), Some(lat)) = (
                         au("src"),
@@ -504,6 +528,7 @@ impl ProfInput {
         let mut last_bind: BTreeMap<MsgKey, u64> = BTreeMap::new();
         let mut retx_last: BTreeMap<MsgKey, u64> = BTreeMap::new();
         let mut retx_count: BTreeMap<MsgKey, u32> = BTreeMap::new();
+        let mut cong_last: BTreeMap<MsgKey, u64> = BTreeMap::new();
         for (&node, ops) in &self.ops {
             for op in ops {
                 match op {
@@ -526,6 +551,14 @@ impl ProfInput {
                             if !set.contains(&key) {
                                 set.push(key);
                             }
+                        }
+                    }
+                    CookieOp::Cong { ts, cookie } => {
+                        // Every message the marked packet carried spent
+                        // time in a hot switch queue; the echo arrival is
+                        // the queueing milestone (last mark wins).
+                        for key in cookie_msgs.get(&(node, *cookie)).into_iter().flatten() {
+                            cong_last.insert(*key, *ts);
                         }
                     }
                 }
@@ -559,6 +592,9 @@ impl ProfInput {
             }
             if let Some(&t) = retx_last.get(&key) {
                 marks.push((clamp(t), Phase::Retx));
+            }
+            if let Some(&t) = cong_last.get(&key) {
+                marks.push((clamp(t), Phase::Queueing));
             }
             marks.sort_by_key(|&(t, p)| (t, p.rank()));
             let mut segments: Vec<(Phase, u64, u64)> = Vec::with_capacity(marks.len() + 1);
@@ -794,7 +830,7 @@ impl Profile {
     pub fn attribution_csv(&self) -> String {
         let mut out = String::from(
             "src,flow,seq,class,bytes,submit_ns,delivered_ns,total_ns,\
-             admission_ns,rndv_ns,decision_ns,retx_ns,wire_ns,\
+             admission_ns,rndv_ns,decision_ns,retx_ns,queueing_ns,wire_ns,\
              retransmits,rail,strategy\n",
         );
         for f in &self.flows {
@@ -804,7 +840,7 @@ impl Profile {
                 f.rail.to_string()
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 f.key.src,
                 f.key.flow,
                 f.key.seq,
@@ -818,6 +854,7 @@ impl Profile {
                 f.phases[2],
                 f.phases[3],
                 f.phases[4],
+                f.phases[5],
                 f.retransmits,
                 rail,
                 f.strategy,
@@ -879,7 +916,7 @@ impl Profile {
             self.events_processed
         ));
         out.push_str(&format!(
-            "{:<22} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}  {:<5} {:<14} {:>4} {:>6}\n",
+            "{:<22} {:>9} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {:<5} {:<14} {:>4} {:>6}\n",
             "message",
             "bytes",
             "total_us",
@@ -887,6 +924,7 @@ impl Profile {
             "rndv%",
             "decis%",
             "retx%",
+            "queue%",
             "wire%",
             "rail",
             "strategy",
@@ -902,7 +940,7 @@ impl Profile {
                 f.rail.to_string()
             };
             out.push_str(&format!(
-                "{:<22} {:>9} {:>10.1} {:>7}% {:>7}% {:>7}% {:>7}% {:>7}%  {:<5} {:<14} {:>4} {:>6}\n",
+                "{:<22} {:>9} {:>10.1} {:>7}% {:>7}% {:>7}% {:>7}% {:>7}% {:>7}%  {:<5} {:<14} {:>4} {:>6}\n",
                 f.key.to_string(),
                 f.bytes,
                 f.total_ns() as f64 / 1000.0,
@@ -910,6 +948,7 @@ impl Profile {
                 pct(Phase::Rndv),
                 pct(Phase::Decision),
                 pct(Phase::Retx),
+                pct(Phase::Queueing),
                 pct(Phase::Wire),
                 rail,
                 if f.strategy.is_empty() {
@@ -1091,8 +1130,8 @@ mod tests {
         let f = &p.flows[0];
         assert_eq!(f.key, key(1, 0));
         // admission 0→10, rndv 10→50, decision 50→100, retx 100→160,
-        // wire 160→200.
-        assert_eq!(f.phases, [10, 40, 50, 60, 40]);
+        // no fabric marks (queueing 0), wire 160→200.
+        assert_eq!(f.phases, [10, 40, 50, 60, 0, 40]);
         assert_eq!(f.phases.iter().sum::<u64>(), f.total_ns());
         assert_eq!(f.retransmits, 2);
         assert_eq!(f.rail, 0);
@@ -1116,9 +1155,31 @@ mod tests {
             .contains("node0;bulk;flow1;retx_recovery 60"));
         let csv = a.attribution_csv();
         assert!(csv.starts_with("src,flow,seq,class,bytes"));
-        assert!(csv.contains("0,1,0,bulk,4096,0,200,200,10,40,50,60,40,2,0,aggregate"));
+        assert!(csv.contains("0,1,0,bulk,4096,0,200,200,10,40,50,60,0,40,2,0,aggregate"));
         // Shares: retx holds 300/1000 of the single message.
         assert_eq!(a.phase_share_mille(Phase::Retx, 0.5), 300);
+    }
+
+    #[test]
+    fn congestion_marks_open_a_queueing_phase() {
+        let mut input = one_message_input();
+        // The fabric marked the final retransmission (cookie chain
+        // 7→8→9); its ack echo lands at t=180, splitting the former
+        // 160→200 wire segment into queueing 160→180 + wire 180→200.
+        input
+            .ops
+            .entry(0)
+            .or_default()
+            .push(CookieOp::Cong { ts: 180, cookie: 9 });
+        let p = input.profile();
+        let f = &p.flows[0];
+        assert_eq!(f.phases, [10, 40, 50, 60, 20, 20]);
+        assert_eq!(f.phases.iter().sum::<u64>(), f.total_ns());
+        assert_eq!(p.partition_violations, 0);
+        assert!(p
+            .attribution_csv()
+            .contains("0,1,0,bulk,4096,0,200,200,10,40,50,60,20,20,2,0,aggregate"));
+        assert!(input.profile().folded_stacks().contains("queueing 20"));
     }
 
     #[test]

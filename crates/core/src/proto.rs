@@ -250,10 +250,17 @@ pub fn encode_ack(cookie: u64) -> Vec<Bytes> {
 /// The metadata-only header an acknowledgement for `cookie` travels in
 /// (the engine queues these through its control-packet path).
 pub fn ack_header(cookie: u64) -> ChunkHeader {
+    ack_header_ecn(cookie, false)
+}
+
+/// An acknowledgement header that additionally echoes a fabric congestion
+/// mark (madnet ECN). The spare `frag_index` field carries the bit — acks
+/// are single metadata-only chunks, so the field is otherwise always zero.
+pub fn ack_header_ecn(cookie: u64, ecn: bool) -> ChunkHeader {
     ChunkHeader {
         flow: FlowId((cookie >> 32) as u32),
         msg_seq: cookie as u32,
-        frag_index: 0,
+        frag_index: ecn as u16,
         frag_count: 0,
         express: false,
         class: TrafficClass::DEFAULT,
@@ -266,8 +273,17 @@ pub fn ack_header(cookie: u64) -> ChunkHeader {
 
 /// Decode a reliability acknowledgement back to the acked data cookie.
 pub fn decode_ack(pkt: &WirePacket) -> Result<u64, ProtoError> {
+    decode_ack_ecn(pkt).map(|(cookie, _)| cookie)
+}
+
+/// Decode an acknowledgement to `(cookie, ecn_echo)` — the congestion bit
+/// the receiver observed on the acked data packet (see [`ack_header_ecn`]).
+pub fn decode_ack_ecn(pkt: &WirePacket) -> Result<(u64, bool), ProtoError> {
     let h = decode_rndv(pkt)?;
-    Ok(((h.flow.0 as u64) << 32) | h.msg_seq as u64)
+    Ok((
+        ((h.flow.0 as u64) << 32) | h.msg_seq as u64,
+        h.frag_index != 0,
+    ))
 }
 
 /// The metadata-only header a shed-cancel notification travels in
@@ -350,6 +366,7 @@ mod tests {
             kind: KIND_DATA,
             cookie: 0,
             seq: 0,
+            ecn: false,
             payload: segs,
         }
     }
@@ -424,6 +441,20 @@ mod tests {
             pkt.kind = KIND_ACK;
             assert_eq!(decode_ack(&pkt).unwrap(), cookie);
         }
+    }
+
+    #[test]
+    fn ack_ecn_echo_roundtrips_and_plain_acks_read_clean() {
+        for (cookie, ecn) in [(7u64, true), (0x1234_5678_9ABC_DEF0, false)] {
+            let mut pkt = as_packet(encode_rndv(ack_header_ecn(cookie, ecn)));
+            pkt.kind = KIND_ACK;
+            assert_eq!(decode_ack_ecn(&pkt).unwrap(), (cookie, ecn));
+            // Legacy decoder still sees the cookie regardless of the bit.
+            assert_eq!(decode_ack(&pkt).unwrap(), cookie);
+        }
+        let mut pkt = as_packet(encode_ack(42));
+        pkt.kind = KIND_ACK;
+        assert_eq!(decode_ack_ecn(&pkt).unwrap(), (42, false));
     }
 
     #[test]

@@ -181,6 +181,10 @@ pub struct RailHealth {
     timeouts: u64,
     dead: bool,
     degraded_announced: bool,
+    /// madnet: EWMA of the fraction of acked packets that came back
+    /// ECN-marked, in `[0, 1]` (0 = no fabric congestion observed).
+    congestion: f64,
+    ecn_marks: u64,
 }
 
 impl Default for RailHealth {
@@ -191,6 +195,8 @@ impl Default for RailHealth {
             timeouts: 0,
             dead: false,
             degraded_announced: false,
+            congestion: 0.0,
+            ecn_marks: 0,
         }
     }
 }
@@ -259,16 +265,62 @@ impl RailHealth {
         self.timeouts
     }
 
+    /// madnet: EWMA weight of one congestion observation. Faster than
+    /// the loss EWMA (`ALPHA`): ECN marks arrive per acked packet, and
+    /// an elephant saturating a shared core marks nearly every packet,
+    /// so the signal is dense and low-noise.
+    const CONGESTION_ALPHA: f64 = 0.3;
+    /// madnet: how strongly full congestion (EWMA = 1.0) inflates the
+    /// cost penalty. 8× makes a saturated rail lose idle-rail ordering
+    /// and plan contests against any clean alternative while staying
+    /// finite (a congested rail is slow, not lost).
+    const CONGESTION_WEIGHT: f64 = 8.0;
+
+    /// madnet: fold one acked packet's ECN echo into the congestion
+    /// EWMA. `react` is the engine's `congestion_aware` switch: when
+    /// off, marks are *counted* (observability) but the EWMA — and thus
+    /// [`RailHealth::cost_penalty`] — stays untouched, which is exactly
+    /// the congestion-blind baseline E14 compares against.
+    pub fn on_congestion(&mut self, marked: bool, react: bool) {
+        if marked {
+            self.ecn_marks += 1;
+        }
+        if react {
+            let obs = if marked { 1.0 } else { 0.0 };
+            self.congestion =
+                (1.0 - Self::CONGESTION_ALPHA) * self.congestion + Self::CONGESTION_ALPHA * obs;
+        }
+    }
+
+    /// madnet: congestion EWMA in `[0, 1]`.
+    pub fn congestion(&self) -> f64 {
+        self.congestion
+    }
+
+    /// madnet: acked packets that returned with an ECN mark.
+    pub fn ecn_marks(&self) -> u64 {
+        self.ecn_marks
+    }
+
+    /// madnet: the congestion factor (≥ 1.0) of the penalty — split out
+    /// so rndv gating can react to fabric load without inheriting the
+    /// loss-health component.
+    pub fn congestion_penalty(&self) -> f64 {
+        1.0 + Self::CONGESTION_WEIGHT * self.congestion
+    }
+
     /// Multiplier (>= 1.0) applied to a plan's estimated busy time on this
     /// rail, so degraded rails lose cost-model contests proportionally to
     /// their unreliability. A healthy rail costs 1.0; the floor on `score`
-    /// keeps the penalty finite for merely-degraded rails.
+    /// keeps the penalty finite for merely-degraded rails. Fabric
+    /// congestion (madnet ECN echoes) multiplies in, so a rail crossing a
+    /// loaded core looks expensive even when it loses nothing.
     pub fn cost_penalty(&self) -> f64 {
         if self.dead {
             // Effectively infinite: any live rail wins.
             return 1e9;
         }
-        1.0 / self.score.max(0.05)
+        (1.0 / self.score.max(0.05)) * self.congestion_penalty()
     }
 }
 
@@ -413,6 +465,29 @@ mod tests {
             }
         }
         assert_eq!(announced, 2);
+    }
+
+    #[test]
+    fn congestion_ewma_inflates_penalty_only_when_reactive() {
+        let mut h = RailHealth::new();
+        for _ in 0..10 {
+            h.on_congestion(true, false);
+        }
+        assert_eq!(h.ecn_marks(), 10, "marks are counted even when blind");
+        assert!(
+            (h.cost_penalty() - 1.0).abs() < 1e-9,
+            "congestion-blind mode must not move the penalty"
+        );
+        for _ in 0..10 {
+            h.on_congestion(true, true);
+        }
+        assert!(h.congestion() > 0.9);
+        assert!(h.cost_penalty() > 5.0, "marked rail must look expensive");
+        for _ in 0..30 {
+            h.on_congestion(false, true);
+        }
+        assert!(h.congestion() < 0.01, "clean acks decay the EWMA");
+        assert!(h.cost_penalty() < 1.1);
     }
 
     #[test]

@@ -238,6 +238,17 @@ pub enum EngineEvent {
         /// The class with headroom again.
         class: TrafficClass,
     },
+    /// An acknowledgement echoed a fabric ECN mark: the acked data packet
+    /// crossed a switch queue past its marking threshold (madnet).
+    CongestionMark {
+        /// The *sending* node the mark is charged to (cookies are
+        /// per-sender counters, so attribution must key on the sender).
+        src: NodeId,
+        /// Cookie of the marked data packet.
+        cookie: u64,
+        /// Rail the marked packet travelled on.
+        rail: u16,
+    },
 }
 
 impl EngineEvent {
@@ -262,6 +273,7 @@ impl EngineEvent {
             EngineEvent::Admitted { .. } => "Admitted",
             EngineEvent::Shed { .. } => "Shed",
             EngineEvent::Unblocked { .. } => "Unblocked",
+            EngineEvent::CongestionMark { .. } => "CongestionMark",
         }
     }
 
@@ -453,6 +465,11 @@ impl EngineEvent {
                 .field("class", class.label())
                 .build(),
             EngineEvent::Unblocked { class } => obj().field("class", class.label()).build(),
+            EngineEvent::CongestionMark { src, cookie, rail } => obj()
+                .field("src", src.0)
+                .field("cookie", *cookie)
+                .field("rail", *rail)
+                .build(),
         }
     }
 }
@@ -606,12 +623,67 @@ pub struct ChromeExport {
 /// * `otherData` carries the retained/dropped counts of every ring so a
 ///   truncated timeline is distinguishable from a complete one.
 ///
+/// Compact per-network topology summary embedded in a Chrome export's
+/// `otherData` (madnet). `trace-tool info` surfaces it as one line per
+/// fabric; flat point-to-point networks simply omit the entry.
+#[derive(Clone, Debug)]
+pub struct TopologySummary {
+    /// Topology name (e.g. `"dumbbell(4x4)"`, `"fat-tree(k=4)"`).
+    pub name: String,
+    /// Host (NIC attachment) count.
+    pub hosts: u32,
+    /// Switch count.
+    pub switches: u32,
+    /// Directed link count.
+    pub links: u32,
+    /// Worst-case oversubscription ratio in thousandths (1000 = 1:1).
+    pub oversub_milli: u32,
+}
+
+impl TopologySummary {
+    /// Summarize a simnet topology.
+    pub fn of(topo: &simnet::Topology) -> Self {
+        TopologySummary {
+            name: topo.name().to_string(),
+            hosts: topo.hosts() as u32,
+            switches: topo.switches() as u32,
+            links: topo.links().len() as u32,
+            oversub_milli: topo.oversubscription_milli() as u32,
+        }
+    }
+}
+
+/// Merge the simulator trace and per-node engine sinks into one Chrome
+/// trace-event JSON document (Perfetto / `about:tracing` loadable).
+///
+/// * `pid` = node index, `tid` = rail index (NIC-level events and the
+///   optimizer decisions of that rail's activations); node-level events
+///   (submissions, deliveries, timers) go on a synthetic `engine` track.
+/// * Every message becomes a flow arrow (`ph:"s"` at `Submitted` on the
+///   sender, `ph:"f"` at `Delivered` on the receiver).
+/// * `nics[node][rail]` supplies NIC→(node, rail) routing — pass
+///   `Cluster::nics` or the equivalent topology.
+/// * `otherData` carries the retained/dropped counts of every ring so a
+///   truncated timeline is distinguishable from a complete one.
+///
 /// The output is a pure function of the inputs: repeat runs of the same
 /// seeded workload export byte-identical files.
 pub fn export_chrome_trace(
     sim: &SimTrace,
     sinks: &[(NodeId, &EventSink)],
     nics: &[Vec<NicId>],
+) -> ChromeExport {
+    export_chrome_trace_with_topology(sim, sinks, nics, &[])
+}
+
+/// [`export_chrome_trace`] plus madnet topology metadata: each summary in
+/// `topos` becomes an entry in `otherData.topologies`, making the export
+/// self-describing about the fabric the run crossed.
+pub fn export_chrome_trace_with_topology(
+    sim: &SimTrace,
+    sinks: &[(NodeId, &EventSink)],
+    nics: &[Vec<NicId>],
+    topos: &[TopologySummary],
 ) -> ChromeExport {
     let mut nic_loc: HashMap<u32, (u32, u32)> = HashMap::new();
     for (node, rails) in nics.iter().enumerate() {
@@ -681,7 +753,9 @@ pub fn export_chrome_trace(
             SimEvent::TxDone { cookie, .. }
             | SimEvent::WireDrop { cookie, .. }
             | SimEvent::WireDup { cookie, .. }
-            | SimEvent::WireStall { cookie, .. } => obj().field("cookie", *cookie).build(),
+            | SimEvent::WireStall { cookie, .. }
+            | SimEvent::EcnMark { cookie, .. }
+            | SimEvent::FabricDrop { cookie, .. } => obj().field("cookie", *cookie).build(),
             SimEvent::NicIdle { .. } => obj().build(),
             SimEvent::RxDelivered { bytes, kind, .. } => {
                 obj().field("bytes", *bytes).field("kind", *kind).build()
@@ -762,21 +836,33 @@ pub fn export_chrome_trace(
         engine_retained = engine_retained.field(&key, sink.len());
     }
     let count = events.len();
+    let mut other = obj()
+        .field("exporter", "madtrace")
+        .field("sim_retained", sim.len())
+        .field("sim_dropped", sim.dropped())
+        .field("wire_drops", wire_drops)
+        .field("wire_dups", wire_dups)
+        .field("wire_stalls", wire_stalls)
+        .field("engine_retained", engine_retained.build())
+        .field("engine_dropped", engine_dropped.build());
+    if !topos.is_empty() {
+        let entries: Vec<Json> = topos
+            .iter()
+            .map(|t| {
+                obj()
+                    .field("name", t.name.as_str())
+                    .field("hosts", t.hosts)
+                    .field("switches", t.switches)
+                    .field("links", t.links)
+                    .field("oversub_milli", t.oversub_milli)
+                    .build()
+            })
+            .collect();
+        other = other.field("topologies", Json::Arr(entries));
+    }
     let doc = obj()
         .field("displayTimeUnit", "ns")
-        .field(
-            "otherData",
-            obj()
-                .field("exporter", "madtrace")
-                .field("sim_retained", sim.len())
-                .field("sim_dropped", sim.dropped())
-                .field("wire_drops", wire_drops)
-                .field("wire_dups", wire_dups)
-                .field("wire_stalls", wire_stalls)
-                .field("engine_retained", engine_retained.build())
-                .field("engine_dropped", engine_dropped.build())
-                .build(),
-        )
+        .field("otherData", other.build())
         .field("traceEvents", Json::Arr(events))
         .build();
     ChromeExport {

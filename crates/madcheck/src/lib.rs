@@ -36,6 +36,7 @@ pub mod fixtures;
 pub mod flowcheck;
 pub mod maskcheck;
 pub mod metricscheck;
+pub mod netcheck;
 pub mod profcheck;
 pub mod report;
 pub mod retxcheck;
@@ -47,6 +48,7 @@ pub use corpus::corpus;
 pub use flowcheck::{flow_check, FlowReport};
 pub use maskcheck::{mask_check, mask_check_standard, MaskFinding, MaskReport};
 pub use metricscheck::{check_registry, metrics_check, MetricsReport};
+pub use netcheck::{net_check, verify_rates, NetReport};
 pub use profcheck::{prof_check, ProfReport};
 pub use report::{Finding, Report};
 pub use retxcheck::{check_retransmit, retx_sweep, verify_packets, RetxReport, RetxViolation};

@@ -165,7 +165,7 @@ fn check_profile(prof: &Profile, ctx: &str, report: &mut ProfReport) {
         }
         // Segments: sorted, non-overlapping, in-bounds, and telescoping
         // to the same per-phase totals the phases array claims.
-        let mut per_phase = [0u64; 5];
+        let mut per_phase = [0u64; madeleine::PHASE_COUNT];
         let mut cursor = f.submit_ns;
         for &(phase, start, end) in &f.segments {
             report.segments += 1;

@@ -30,6 +30,7 @@ use crate::nic::NicState;
 use crate::packet::{SubmitError, TxRequest, WirePacket};
 use crate::rng::SplitMix64;
 use crate::time::{transfer_time, SimDuration, SimTime};
+use crate::topo::{AdmitOutcome, FabricState, Topology};
 use crate::trace::{Trace, TraceEvent};
 
 /// Identifies a node (a host in the cluster).
@@ -62,12 +63,14 @@ pub trait Endpoint {
 }
 
 /// A network fabric instance: parameters plus its private jitter/drop RNG
-/// and, when installed, a scripted fault plan.
+/// and, when installed, a scripted fault plan and/or a switched topology
+/// (madnet).
 #[derive(Debug)]
 struct NetworkState {
     params: NetworkParams,
     rng: SplitMix64,
     fault: Option<FaultState>,
+    fabric: Option<FabricState>,
 }
 
 /// A node: the set of NICs it hosts.
@@ -283,8 +286,32 @@ impl Simulation {
             params,
             rng,
             fault: None,
+            fabric: None,
         });
         id
+    }
+
+    /// Install a switched topology (madnet) on a network: NICs attached
+    /// afterwards occupy host ports in attachment order, packets are
+    /// ECMP-routed through the switch graph, and links apply max-min
+    /// fair bandwidth sharing, bounded queues and ECN marking.
+    ///
+    /// # Panics
+    /// Panics for an unknown network or when NICs are already attached
+    /// (port assignment happens at attach time).
+    pub fn install_topology(&mut self, net: NetworkId, topo: Topology) {
+        let idx = net.0 as usize;
+        assert!(idx < self.world.networks.len(), "unknown network");
+        assert!(
+            self.world.nics.iter().all(|n| n.network != net),
+            "install_topology must run before NICs attach to the network"
+        );
+        self.world.networks[idx].fabric = Some(FabricState::new(topo));
+    }
+
+    /// Runtime fabric state of a network, when a topology is installed.
+    pub fn fabric(&self, net: NetworkId) -> Option<&FabricState> {
+        self.world.networks[net.0 as usize].fabric.as_ref()
     }
 
     /// Install (or replace) a deterministic [`FaultPlan`] on a network. The
@@ -310,6 +337,11 @@ impl Simulation {
             "unknown network"
         );
         let id = NicId(self.world.nics.len() as u32);
+        if let Some(fabric) = self.world.networks[network.0 as usize].fabric.as_mut() {
+            fabric
+                .assign_port(id)
+                .expect("topology has no free host port for this NIC");
+        }
         self.world.nics.push(NicState::new(id, node, network));
         self.world.nodes[node.0 as usize].nics.push(id);
         id
@@ -467,6 +499,52 @@ impl Simulation {
                     .push(self.time, TraceEvent::TimerFired { node, tag });
                 self.with_endpoint(node, |ep, ctx| ep.on_timer(ctx, timer, tag));
             }
+            EventKind::FabricDone {
+                network,
+                transfer,
+                generation,
+            } => self.fabric_done(network, transfer, generation),
+        }
+    }
+
+    /// A fabric fluid transfer finished serializing (madnet). Stale
+    /// generations — reschedules superseded by a later join/leave — are
+    /// discarded; a live completion releases the packet onto its path's
+    /// propagation latency and reschedules the transfers that sped up.
+    fn fabric_done(&mut self, network: NetworkId, transfer: u64, generation: u64) {
+        let now = self.time;
+        let Some(fabric) = self.world.networks[network.0 as usize].fabric.as_mut() else {
+            return;
+        };
+        let Some(d) = fabric.complete(now, transfer, generation) else {
+            return;
+        };
+        let arrive_at = now + d.path_latency + d.extra_delay;
+        self.queue.push(
+            arrive_at,
+            EventKind::Arrival {
+                nic: d.dst_nic,
+                packet: d.packet,
+            },
+        );
+        if let Some(dup) = d.dup_packet {
+            self.queue.push(
+                arrive_at + SimDuration::from_nanos(1),
+                EventKind::Arrival {
+                    nic: d.dst_nic,
+                    packet: dup,
+                },
+            );
+        }
+        for r in d.resched {
+            self.queue.push(
+                r.done_at,
+                EventKind::FabricDone {
+                    network,
+                    transfer: r.id,
+                    generation: r.generation,
+                },
+            );
         }
     }
 
@@ -552,10 +630,11 @@ impl Simulation {
                 kind: req.kind,
                 cookie,
                 seq,
+                ecn: false,
                 payload: req.payload,
             };
             let arrive_at = now + latency + jitter + fault.extra_delay;
-            if fault.duplicate {
+            let dup_packet = if fault.duplicate {
                 let dup_seq = {
                     let nic = &mut self.world.nics[nic_idx];
                     let s = nic.next_seq;
@@ -572,21 +651,103 @@ impl Simulation {
                 );
                 let mut dup = packet.clone();
                 dup.seq = dup_seq;
+                Some(Box::new(dup))
+            } else {
+                None
+            };
+            if self.world.networks[net_idx].fabric.is_some() {
+                // madnet: the packet becomes a fluid transfer serialized
+                // at its max-min fair share; propagation latency comes
+                // from the routed path, while jitter and fault delays
+                // stay with the packet.
+                let wire_bytes = payload_len + overhead;
+                let extra = jitter + fault.extra_delay;
+                let network = self.world.nics[nic_idx].network;
+                let fabric = self.world.networks[net_idx]
+                    .fabric
+                    .as_mut()
+                    .expect("checked above");
+                match fabric.admit(
+                    now,
+                    Box::new(packet),
+                    dup_packet,
+                    dst_nic,
+                    wire_bytes,
+                    extra,
+                ) {
+                    AdmitOutcome::Local { packet, dup_packet } => {
+                        if let Some(dup) = dup_packet {
+                            self.queue.push(
+                                arrive_at + SimDuration::from_nanos(1),
+                                EventKind::Arrival {
+                                    nic: dst_nic,
+                                    packet: dup,
+                                },
+                            );
+                        }
+                        self.queue.push(
+                            arrive_at,
+                            EventKind::Arrival {
+                                nic: dst_nic,
+                                packet,
+                            },
+                        );
+                    }
+                    AdmitOutcome::NoRoute | AdmitOutcome::Dropped => {
+                        self.world.nics[nic_idx].stats.fabric_drops += 1;
+                        self.world.trace.push(
+                            now,
+                            TraceEvent::FabricDrop {
+                                nic: nic_id,
+                                cookie,
+                            },
+                        );
+                    }
+                    AdmitOutcome::Queued { marked, .. } => {
+                        if marked {
+                            self.world.nics[nic_idx].stats.ecn_marked += 1;
+                            self.world.trace.push(
+                                now,
+                                TraceEvent::EcnMark {
+                                    nic: nic_id,
+                                    cookie,
+                                },
+                            );
+                        }
+                        let fabric = self.world.networks[net_idx]
+                            .fabric
+                            .as_ref()
+                            .expect("checked above");
+                        for r in fabric.reschedules(now) {
+                            self.queue.push(
+                                r.done_at,
+                                EventKind::FabricDone {
+                                    network,
+                                    transfer: r.id,
+                                    generation: r.generation,
+                                },
+                            );
+                        }
+                    }
+                }
+            } else {
+                if let Some(dup) = dup_packet {
+                    self.queue.push(
+                        arrive_at + SimDuration::from_nanos(1),
+                        EventKind::Arrival {
+                            nic: dst_nic,
+                            packet: dup,
+                        },
+                    );
+                }
                 self.queue.push(
-                    arrive_at + SimDuration::from_nanos(1),
+                    arrive_at,
                     EventKind::Arrival {
                         nic: dst_nic,
-                        packet: Box::new(dup),
+                        packet: Box::new(packet),
                     },
                 );
             }
-            self.queue.push(
-                arrive_at,
-                EventKind::Arrival {
-                    nic: dst_nic,
-                    packet: Box::new(packet),
-                },
-            );
         }
 
         // Keep the engine busy if more work is queued; otherwise note
@@ -1041,6 +1202,136 @@ mod tests {
             let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
             let received = rx.borrow().clone();
             (end, received, sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Dumbbell fixture: `senders` left-side nodes all transmitting to a
+    /// single right-side receiver across a shared core link.
+    fn incast_sim(senders: u32, core: crate::topo::LinkProfile) -> (Simulation, Vec<NicId>, NicId) {
+        let mut sim = Simulation::new();
+        let net = sim.add_network(NetworkParams::synthetic());
+        let edge = crate::topo::LinkProfile {
+            bandwidth: 1_000_000_000,
+            latency: SimDuration::from_nanos(500),
+            queue_capacity: 1 << 20,
+            ecn_threshold: 1 << 18,
+        };
+        sim.install_topology(net, Topology::dumbbell(senders, 1, edge, core));
+        let mut src_nics = Vec::new();
+        for _ in 0..senders {
+            let n = sim.add_node();
+            src_nics.push(sim.add_nic(n, net));
+            sim.set_endpoint(n, Box::new(Recorder::default()));
+        }
+        let r = sim.add_node();
+        let rnic = sim.add_nic(r, net);
+        sim.set_endpoint(r, Box::new(Recorder::default()));
+        (sim, src_nics, rnic)
+    }
+
+    #[test]
+    fn fabric_contention_shares_the_core() {
+        // One sender finishes a 100 KB transfer across the core in some
+        // time T; four senders sharing the same core at max-min fair
+        // rates need materially longer than T (but far less than 4 T of
+        // serial pipes would allow them to hide).
+        let time_for = |senders: u32| {
+            let core = crate::topo::LinkProfile {
+                bandwidth: 1_000_000_000,
+                latency: SimDuration::from_nanos(500),
+                queue_capacity: 1 << 22,
+                ecn_threshold: 1 << 21,
+            };
+            let (mut sim, src_nics, rnic) = incast_sim(senders, core);
+            for (i, &nic) in src_nics.iter().enumerate() {
+                let node = sim.nic(nic).node;
+                sim.inject(node, |ctx| {
+                    ctx.submit(nic, req_to(rnic, 1, i as u64, &vec![0u8; 100_000]))
+                        .unwrap();
+                });
+            }
+            let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+            assert_eq!(sim.nic(rnic).stats.rx_packets, u64::from(senders));
+            end.as_nanos()
+        };
+        let solo = time_for(1);
+        let contended = time_for(4);
+        assert!(
+            contended > solo * 3 / 2,
+            "4-way sharing should slow the core well past solo ({solo} ns \
+             vs {contended} ns)"
+        );
+    }
+
+    #[test]
+    fn fabric_bounded_queue_drops_and_marks() {
+        // A starved core (1% of edge bandwidth, tiny queue) under a
+        // burst from every sender must both ECN-mark and drop.
+        let core = crate::topo::LinkProfile {
+            bandwidth: 10_000_000,
+            latency: SimDuration::from_nanos(500),
+            queue_capacity: 40_000,
+            ecn_threshold: 8_000,
+        };
+        let (mut sim, src_nics, rnic) = incast_sim(4, core);
+        for &nic in &src_nics {
+            let node = sim.nic(nic).node;
+            sim.inject(node, |ctx| {
+                for c in 0..4u64 {
+                    ctx.submit(nic, req_to(rnic, 1, c, &vec![0u8; 16_000]))
+                        .unwrap();
+                }
+            });
+        }
+        sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+        let marked: u64 = src_nics.iter().map(|&n| sim.nic(n).stats.ecn_marked).sum();
+        let dropped: u64 = src_nics
+            .iter()
+            .map(|&n| sim.nic(n).stats.fabric_drops)
+            .sum();
+        assert!(marked > 0, "congested core must ECN-mark");
+        assert!(dropped > 0, "overflowing queue must drop");
+        let net = NetworkId(0);
+        let fabric = sim.fabric(net).expect("topology installed");
+        assert_eq!(fabric.active_transfers(), 0, "fabric drained");
+        let stats = fabric.link_stats();
+        assert_eq!(
+            stats.iter().map(|s| s.queue_drops).sum::<u64>(),
+            dropped,
+            "per-link drop counters agree with per-NIC ones"
+        );
+        assert!(stats.iter().any(|s| s.ecn_marks > 0));
+        assert!(stats.iter().any(|s| s.busy_ns > 0));
+    }
+
+    #[test]
+    fn fabric_runs_are_deterministic() {
+        let run = || {
+            let core = crate::topo::LinkProfile {
+                bandwidth: 100_000_000,
+                latency: SimDuration::from_nanos(500),
+                queue_capacity: 1 << 18,
+                ecn_threshold: 1 << 14,
+            };
+            let (mut sim, src_nics, rnic) = incast_sim(3, core);
+            sim.enable_trace(4096);
+            for (i, &nic) in src_nics.iter().enumerate() {
+                let node = sim.nic(nic).node;
+                sim.inject(node, |ctx| {
+                    for c in 0..3u64 {
+                        ctx.submit(nic, req_to(rnic, 1, c, &vec![i as u8; 9_000]))
+                            .unwrap();
+                    }
+                });
+            }
+            let end = sim.run_until_quiescent(SimTime::from_nanos(u64::MAX / 2));
+            let trace: Vec<(u64, String)> = sim
+                .trace()
+                .iter()
+                .map(|r| (r.at.as_nanos(), format!("{:?}", r.event)))
+                .collect();
+            (end, sim.events_processed(), trace)
         };
         assert_eq!(run(), run());
     }

@@ -33,6 +33,14 @@ pub enum EventKind {
         timer: TimerId,
         tag: u64,
     },
+    /// A fabric (madnet) fluid transfer finished serializing at its
+    /// max-min fair rate. Stale when `generation` no longer matches the
+    /// transfer (it was rescheduled by a later join/leave).
+    FabricDone {
+        network: crate::engine::NetworkId,
+        transfer: u64,
+        generation: u64,
+    },
 }
 
 /// A scheduled event.

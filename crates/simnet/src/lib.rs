@@ -53,6 +53,7 @@ pub mod packet;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod topo;
 pub mod trace;
 
 pub use engine::{Endpoint, NetworkId, NicId, NodeId, SimCtx, Simulation};
@@ -64,4 +65,7 @@ pub use packet::{SubmitError, TxMode, TxRequest, VChannel, WirePacket};
 pub use rng::SplitMix64;
 pub use stats::{Summary, Throughput, Utilization};
 pub use time::{transfer_time, SimDuration, SimTime};
+pub use topo::{
+    flow_hash, max_min_rates, FabricState, Link, LinkProfile, LinkStats, Topology, Vertex,
+};
 pub use trace::{Trace, TraceEvent, TraceRecord};

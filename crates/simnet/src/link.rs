@@ -136,6 +136,20 @@ impl NetworkParams {
         }
     }
 
+    /// Default madnet per-link profile derived from this technology's
+    /// wire parameters: full wire bandwidth per link, per-hop latency
+    /// equal to the flat pipe's one-way latency, 256 KiB switch queues
+    /// marking at 64 KiB. Topology constructors take explicit profiles;
+    /// this is the convenient "same fabric, now switched" starting point.
+    pub fn link_profile(&self) -> crate::topo::LinkProfile {
+        crate::topo::LinkProfile {
+            bandwidth: self.wire_bandwidth,
+            latency: self.wire_latency,
+            queue_capacity: 1 << 18,
+            ecn_threshold: 1 << 16,
+        }
+    }
+
     /// Fixed (size-independent) cost of sending one packet with `segments`
     /// gather entries in the given mode.
     pub fn fixed_tx_cost(&self, mode: crate::packet::TxMode, segments: usize) -> SimDuration {

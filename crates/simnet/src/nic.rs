@@ -39,6 +39,10 @@ pub struct NicStats {
     pub wire_stalls: u64,
     /// Gather segments transmitted (for DMA descriptor accounting).
     pub tx_segments: u64,
+    /// madnet: packets this NIC sent that were ECN-marked in the fabric.
+    pub ecn_marked: u64,
+    /// madnet: packets this NIC sent that a full switch queue dropped.
+    pub fabric_drops: u64,
 }
 
 /// State of one simulated NIC.

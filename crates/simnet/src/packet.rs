@@ -37,6 +37,10 @@ pub struct WirePacket {
     pub cookie: u64,
     /// Per-source-NIC monotone sequence number stamped by the simulator.
     pub seq: u64,
+    /// ECN congestion-experienced mark: set by the fabric (madnet) when
+    /// the packet crossed a link whose queue was past its ECN threshold.
+    /// Always `false` on private point-to-point networks.
+    pub ecn: bool,
     /// Payload segments (gather list). Total length is the wire payload size.
     pub payload: Vec<Bytes>,
 }
@@ -150,6 +154,7 @@ mod tests {
             kind: 7,
             cookie: 99,
             seq: 1,
+            ecn: false,
             payload: segs.iter().map(|s| Bytes::copy_from_slice(s)).collect(),
         }
     }

@@ -28,6 +28,10 @@ pub enum TraceEvent {
     WireStall { nic: NicId, cookie: u64 },
     /// A timer fired on a node.
     TimerFired { node: NodeId, tag: u64 },
+    /// madnet: a packet was ECN-marked crossing a congested fabric link.
+    EcnMark { nic: NicId, cookie: u64 },
+    /// madnet: a packet was dropped by a full switch queue.
+    FabricDrop { nic: NicId, cookie: u64 },
 }
 
 impl TraceEvent {
@@ -43,6 +47,8 @@ impl TraceEvent {
             TraceEvent::WireDup { .. } => "WireDup",
             TraceEvent::WireStall { .. } => "WireStall",
             TraceEvent::TimerFired { .. } => "TimerFired",
+            TraceEvent::EcnMark { .. } => "EcnMark",
+            TraceEvent::FabricDrop { .. } => "FabricDrop",
         }
     }
 
@@ -58,7 +64,9 @@ impl TraceEvent {
             | TraceEvent::RxDelivered { nic, .. }
             | TraceEvent::WireDrop { nic, .. }
             | TraceEvent::WireDup { nic, .. }
-            | TraceEvent::WireStall { nic, .. } => Some(*nic),
+            | TraceEvent::WireStall { nic, .. }
+            | TraceEvent::EcnMark { nic, .. }
+            | TraceEvent::FabricDrop { nic, .. } => Some(*nic),
             TraceEvent::TimerFired { .. } => None,
         }
     }

@@ -148,6 +148,12 @@ fn analyze(args: &[String]) -> ExitCode {
     print!("{flow}");
     ok &= flow.is_clean();
 
+    // madnet topology sweep: routed paths + fair-share conservation
+    // over the seeded topology corpus.
+    let net = madcheck::net_check(opts.seed, opts.samples.max(4));
+    print!("{net}");
+    ok &= net.is_clean();
+
     // madprof partition sweep: bounded corpus (each sample is a full
     // traced simulation, so the count is fixed rather than tied to
     // --samples).

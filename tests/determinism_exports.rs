@@ -107,6 +107,82 @@ fn profile_exports_are_byte_identical_across_runs() {
     assert_eq!(a.to_json().render(), b.to_json().render());
 }
 
+/// A traced 16-node cluster on a k=4 fat-tree: cross-pod flows take
+/// multi-hop ECMP routes through shared core links, so fabric
+/// contention, switch queues and ECN marks all participate in the trace.
+fn fat_tree_workload() -> Cluster {
+    let profile = nicdrv::calib::params(Technology::MyrinetMx).link_profile();
+    let spec = ClusterSpec {
+        nodes: 16,
+        rails: vec![Technology::MyrinetMx],
+        engine: EngineKind::Optimizing {
+            config: EngineConfig {
+                reliability: ReliabilityMode::Recover,
+                ..EngineConfig::default()
+            },
+            policy: PolicyKind::Pooled,
+        },
+        trace: Some(1 << 14),
+        engine_trace: Some(1 << 14),
+    };
+    let mut c = Cluster::build_with_topologies(
+        &spec,
+        vec![Some(simnet::Topology::fat_tree(4, profile))],
+        vec![],
+    );
+    // Cross-pod pairs (pods are groups of 4 hosts on a k=4 fat-tree),
+    // plus one intra-pod pair that shares an edge switch.
+    for (round, &(src_i, dst_i)) in [(0usize, 15usize), (3, 12), (5, 10), (1, 2)]
+        .iter()
+        .enumerate()
+        .cycle()
+        .take(12)
+    {
+        let src = c.nodes[src_i];
+        let dst = c.nodes[dst_i];
+        let h = c.handles[src_i].clone();
+        let flow = h.open_flow(dst, TrafficClass::DEFAULT);
+        c.sim.inject(src, move |ctx| {
+            h.send(
+                ctx,
+                flow,
+                MessageBuilder::new()
+                    .pack_cheaper(&vec![round as u8; 1024 + 512 * round])
+                    .build_parts(),
+            )
+        });
+        c.run_for(SimDuration::from_micros(5));
+    }
+    c.drain();
+    c
+}
+
+/// The determinism contract extends to switched fabrics: two independent
+/// same-spec runs over a k=4 fat-tree — ECMP routing, fair-share
+/// contention, queue marks and all — produce byte-identical traces,
+/// registries and reports, with the topology metadata included.
+#[test]
+fn fat_tree_exports_are_byte_identical_across_runs() {
+    let a = fat_tree_workload();
+    let b = fat_tree_workload();
+    let ea = a.export_chrome_trace();
+    let eb = b.export_chrome_trace();
+    assert!(ea.events > 0, "fabric workload produced trace events");
+    assert_eq!(
+        ea.json, eb.json,
+        "fat-tree Chrome export must be run-invariant"
+    );
+    assert!(
+        ea.json.contains("fat-tree"),
+        "export carries the topology metadata"
+    );
+    assert_eq!(a.prometheus_text(), b.prometheus_text());
+    assert_eq!(a.metrics_registry().render(), b.metrics_registry().render());
+    // The workload really crossed the fabric.
+    let delivered: u64 = (0..16).map(|n| a.handle(n).metrics().delivered_msgs).sum();
+    assert_eq!(delivered, 12, "every cross-fabric message delivered");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 

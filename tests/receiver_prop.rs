@@ -115,6 +115,7 @@ proptest! {
             kind: 1,
             cookie: 0,
             seq: 0,
+            ecn: false,
             payload: segs,
         };
         let back = decode_packet(&pkt).unwrap();
@@ -151,6 +152,7 @@ proptest! {
             kind: 1,
             cookie: 0,
             seq: 0,
+            ecn: false,
             payload: vec![truncated],
         };
         // Any strict prefix must fail to decode (never mis-decode).

@@ -134,6 +134,7 @@ fn malformed_packet(c: &Cluster) -> WirePacket {
         kind: madeleine::proto::KIND_DATA,
         cookie: 0,
         seq: 0,
+        ecn: false,
         payload: vec![bytes::Bytes::from_static(&[0xff])],
     }
 }
