@@ -10,7 +10,10 @@
 //! trace-tool explain <file.trace> [--activation N] [--tech ...]
 //! trace-tool stats <file.trace> [--tick US] [--csv out.csv] [--tech ...]
 //! trace-tool profile <file.trace|file.json> [--top N] [--folded out.folded]
-//!                    [--csv out.csv] [--tech ...]
+//!                    [--csv out.csv] [--fail-on-overflow] [--tech ...]
+//! trace-tool snapshot <file.trace|file.json> <out.json> [--label NAME] [--tech ...]
+//! trace-tool diff <a> <b> [--top N] [--folded out.folded] [--json out.json]
+//!                 [--fail-on-overflow] [--tech ...]
 //! ```
 //!
 //! `export` replays the workload with full madtrace instrumentation and
@@ -24,7 +27,17 @@
 //! table and the run critical path, from either a workload trace
 //! (replayed traced) or an existing madtrace Chrome export (`--folded`
 //! writes inferno-compatible folded stacks, `--csv` the attribution
-//! table). It warns loudly when any event ring overflowed.
+//! table). It warns loudly when any event ring overflowed, and
+//! `--fail-on-overflow` turns the warning into a nonzero exit so CI
+//! never silently analyzes a truncated run.
+//!
+//! `snapshot` captures a run's profile as a maddiff snapshot artifact
+//! (a committed-baseline half of a diff); `diff` is maddiff — it aligns
+//! two runs by message identity (each side may be a snapshot, a Chrome
+//! export, or a workload trace) and reports per-phase latency deltas,
+//! rail/strategy migrations, critical-path divergence and the first
+//! divergent optimizer decision (`--folded` writes two-column
+//! differential folded stacks for inferno's diff-folded mode).
 
 use mad_bench::tracecli;
 use madware::trace::Trace;
@@ -40,7 +53,10 @@ fn fail(msg: &str) -> ! {
          trace-tool explain <file> [--activation N] [--tech mx|elan|ib|tcp|shm]\n  \
          trace-tool stats <file> [--tick US] [--csv out.csv] [--tech mx|elan|ib|tcp|shm]\n  \
          trace-tool profile <file> [--top N] [--folded out.folded] [--csv out.csv] \
-[--tech mx|elan|ib|tcp|shm]"
+[--fail-on-overflow] [--tech mx|elan|ib|tcp|shm]\n  \
+         trace-tool snapshot <file> <out.json> [--label NAME] [--tech mx|elan|ib|tcp|shm]\n  \
+         trace-tool diff <a> <b> [--top N] [--folded out.folded] [--json out.json] \
+[--fail-on-overflow] [--tech mx|elan|ib|tcp|shm]"
     );
     std::process::exit(2);
 }
@@ -194,6 +210,85 @@ fn main() {
             if let Some(p) = csv_out {
                 std::fs::write(p, &out.csv).unwrap_or_else(|e| fail(&e.to_string()));
                 println!("wrote per-message attribution to {p}");
+            }
+            if args.iter().any(|a| a == "--fail-on-overflow") && out.truncated {
+                eprintln!(
+                    "error: trace ring dropped {} events and --fail-on-overflow is set",
+                    out.dropped_events
+                );
+                std::process::exit(1);
+            }
+        }
+        Some("snapshot") => {
+            let Some(path) = args.get(1) else {
+                fail("snapshot needs a trace, Chrome-export or snapshot file")
+            };
+            let Some(out_path) = args.get(2) else {
+                fail("snapshot needs an output path")
+            };
+            let label = args
+                .iter()
+                .position(|a| a == "--label")
+                .map(|i| {
+                    args.get(i + 1)
+                        .unwrap_or_else(|| fail("--label needs a value"))
+                        .to_string()
+                })
+                .unwrap_or_else(|| "baseline".to_string());
+            let tech = tech_arg(&args);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&e.to_string()));
+            let snap = tracecli::snapshot_input(&text, tech, &label).unwrap_or_else(|e| fail(&e));
+            std::fs::write(out_path, snap.to_json().render())
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "wrote maddiff snapshot '{label}' ({} messages, {} dropped events) to {out_path}",
+                snap.rows.len(),
+                snap.dropped_events
+            );
+        }
+        Some("diff") => {
+            let (Some(a_path), Some(b_path)) = (args.get(1), args.get(2)) else {
+                fail("diff needs two input files (baseline, fresh)")
+            };
+            let top = args
+                .iter()
+                .position(|a| a == "--top")
+                .map(|i| {
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| fail("--top needs a count"))
+                })
+                .unwrap_or(10);
+            let folded_out = args.iter().position(|a| a == "--folded").map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| fail("--folded needs a path"))
+            });
+            let json_out = args.iter().position(|a| a == "--json").map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| fail("--json needs a path"))
+            });
+            let tech = tech_arg(&args);
+            let a_text = std::fs::read_to_string(a_path).unwrap_or_else(|e| fail(&e.to_string()));
+            let b_text = std::fs::read_to_string(b_path).unwrap_or_else(|e| fail(&e.to_string()));
+            let out =
+                tracecli::diff_inputs(&a_text, &b_text, tech, top).unwrap_or_else(|e| fail(&e));
+            print!("{}", out.report);
+            if let Some(p) = folded_out {
+                std::fs::write(p, &out.folded).unwrap_or_else(|e| fail(&e.to_string()));
+                println!(
+                    "wrote differential folded stacks to {p} (inferno diff-folded compatible)"
+                );
+            }
+            if let Some(p) = json_out {
+                std::fs::write(p, &out.json).unwrap_or_else(|e| fail(&e.to_string()));
+                println!("wrote diff document to {p}");
+            }
+            if args.iter().any(|a| a == "--fail-on-overflow") && out.truncated {
+                eprintln!(
+                    "error: trace rings dropped {} events and --fail-on-overflow is set",
+                    out.dropped_events
+                );
+                std::process::exit(1);
             }
         }
         _ => fail("missing or unknown subcommand"),

@@ -242,6 +242,43 @@ fn fairness_cell(
     (point, cluster)
 }
 
+/// Fully-traced replica of `run_fairness(mode)`, drained and ready to
+/// snapshot — maddiff's E13 cell (diffing pack-order vs DRR shows the
+/// queueing/decision-wait swap between the elephant and the mice).
+pub fn traced_fairness_cell(mode: madeleine::FairnessMode) -> Cluster {
+    fairness_cell(mode, Some(1 << 18)).1
+}
+
+/// Fully-traced replica of the overload cell for one admission policy.
+/// maddiff's explicit E13 Shed case: diffing `Block` against
+/// `ShedOldest` must report the shed messages in `unmatched` (submitted
+/// but never delivered), never fold them into the phase deltas.
+pub fn traced_overload_cell(policy: AdmissionPolicy) -> Cluster {
+    let mut config = EngineConfig::default();
+    config.admission.max_backlog_bytes = OVERLOAD_BUDGET;
+    config.admission.policy = [policy; 4];
+    let (app, _stats) = OverloadApp::new(
+        NodeId(1),
+        TrafficClass::DEFAULT,
+        OVERLOAD_MSG,
+        SimDuration::from_micros(1),
+        OVERLOAD_TARGET,
+    );
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx],
+        engine: EngineKind::Optimizing {
+            config,
+            policy: PolicyKind::Pooled,
+        },
+        trace: Some(1 << 18),
+        engine_trace: Some(1 << 18),
+    };
+    let mut cluster = Cluster::build(&spec, vec![Some(Box::new(app)), Some(Box::new(NullApp))]);
+    cluster.drain();
+    cluster
+}
+
 /// madprof artifacts for the DRR fairness cell (the EXPERIMENTS
 /// "mice-behind-elephant" flamegraph): the traced replica of
 /// `run_fairness(Drr)` profiled post-hoc, showing the elephant's

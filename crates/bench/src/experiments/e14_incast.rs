@@ -75,11 +75,14 @@ pub struct IncastPoint {
 /// Run the incast cell: [`INCAST_SENDERS`] → 1 across a dumbbell whose
 /// core equals one edge link, with or without admission control.
 pub fn run_incast(admission: bool) -> IncastPoint {
-    let (point, _cluster) = incast_cell(admission, None);
+    let (point, _cluster) = incast_cell(admission, None, 0);
     point
 }
 
-fn incast_cell(admission: bool, trace_cap: Option<usize>) -> (IncastPoint, Cluster) {
+/// `salt` perturbs the senders' submission period (nanoseconds added to
+/// the 2 µs base) so maddiff's cross-seed smoke can compare genuinely
+/// different timings; salt 0 is the canonical cell.
+fn incast_cell(admission: bool, trace_cap: Option<usize>, salt: u64) -> (IncastPoint, Cluster) {
     let n = INCAST_SENDERS;
     let profile = nicdrv::calib::params(Technology::MyrinetMx).link_profile();
     let topo = Topology::dumbbell(n as u32, 1, profile, profile);
@@ -103,7 +106,7 @@ fn incast_cell(admission: bool, trace_cap: Option<usize>) -> (IncastPoint, Clust
             NodeId(n as u32),
             TrafficClass::DEFAULT,
             INCAST_MSG_BYTES,
-            SimDuration::from_micros(2),
+            SimDuration::from_nanos(2_000 + salt),
             INCAST_MSGS,
         );
         apps.push(Some(Box::new(app)));
@@ -161,11 +164,19 @@ fn incast_cell(admission: bool, trace_cap: Option<usize>) -> (IncastPoint, Clust
     (point, cluster)
 }
 
+/// Fully-traced replica of `run_incast(true)` — maddiff's E14 cell.
+/// The admission-controlled variant is used because the naive collapse
+/// overflows even generous rings, and a truncated baseline would poison
+/// every diff against it.
+pub fn traced_cell(salt: u64) -> Cluster {
+    incast_cell(true, Some(1 << 18), salt).1
+}
+
 /// madprof artifacts for the naive incast cell (the EXPERIMENTS E14
 /// reading guide): folded stacks and the attribution CSV whose
 /// `queueing_ns` column carries the fabric's echoed congestion marks.
 pub fn profile_artifacts() -> Vec<(String, String)> {
-    let (_, cluster) = incast_cell(false, Some(1 << 18));
+    let (_, cluster) = incast_cell(false, Some(1 << 18), 0);
     let prof = cluster.profile();
     vec![
         (

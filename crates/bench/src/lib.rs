@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diffcells;
 pub mod experiments;
 pub mod regression;
 pub mod table;

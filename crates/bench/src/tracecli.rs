@@ -463,6 +463,10 @@ pub struct ProfileOutput {
     pub csv: String,
     /// The profile JSON block.
     pub json: String,
+    /// The trace ring dropped events — `--fail-on-overflow` trips on this.
+    pub truncated: bool,
+    /// How many events were dropped.
+    pub dropped_events: u64,
 }
 
 /// madprof from the command line: accept either a madtrace Chrome export
@@ -509,6 +513,86 @@ pub fn profile_input(text: &str, tech: Technology, top: usize) -> Result<Profile
         folded: prof.folded_stacks(),
         csv: prof.attribution_csv(),
         json: prof.to_json().render(),
+        truncated: prof.truncated(),
+        dropped_events: prof.dropped_events,
+    })
+}
+
+/// Everything `trace-tool diff` produces for one pair of inputs.
+pub struct DiffOutput {
+    /// Human report: phase deltas, migrations, divergences, top movers.
+    pub report: String,
+    /// Signed differential folded stacks (`stack a_ns b_ns`, inferno
+    /// `difffolded` format).
+    pub folded: String,
+    /// The diff JSON document.
+    pub json: String,
+    /// Either input's trace ring dropped events.
+    pub truncated: bool,
+    /// Total events dropped across both inputs.
+    pub dropped_events: u64,
+}
+
+/// Normalize one `trace-tool diff` input into a [`madeleine::RunSnapshot`].
+/// Accepts, in sniffing order: a maddiff snapshot artifact (loaded
+/// as-is), a madtrace Chrome export (profiled from the artifact), or a
+/// workload trace (replayed on a fully-traced cluster first).
+pub fn snapshot_input(
+    text: &str,
+    tech: Technology,
+    label: &str,
+) -> Result<madeleine::RunSnapshot, String> {
+    if let Ok(doc) = Json::parse(text) {
+        if doc.get("artifact").and_then(|v| v.as_str()) == Some("maddiff-snapshot") {
+            return madeleine::RunSnapshot::from_json(&doc);
+        }
+        let is_chrome = doc
+            .get("otherData")
+            .and_then(|o| o.get("exporter"))
+            .map(|e| e.as_str() == Some("madtrace"))
+            .unwrap_or(false);
+        if is_chrome {
+            let input = madeleine::ProfInput::from_chrome(text)?;
+            return Ok(madeleine::RunSnapshot::capture(label, &input));
+        }
+    }
+    let trace = Trace::from_text(text).map_err(|e| {
+        format!(
+            "input is neither a maddiff snapshot, a madtrace Chrome export, \
+             nor a workload trace: {e:?}"
+        )
+    })?;
+    Ok(traced_replay(trace, false, tech).run_snapshot(label))
+}
+
+/// maddiff from the command line: normalize two inputs (any mix of
+/// snapshot / Chrome export / workload trace) and diff run B against
+/// baseline run A.
+pub fn diff_inputs(
+    a_text: &str,
+    b_text: &str,
+    tech: Technology,
+    top: usize,
+) -> Result<DiffOutput, String> {
+    let a = snapshot_input(a_text, tech, "a")?;
+    let b = snapshot_input(b_text, tech, "b")?;
+    let d = madeleine::diff(&a, &b);
+    let mut report = String::new();
+    if d.truncated() {
+        report.push_str(&format!(
+            "WARNING: {} trace events were dropped by ring overflow — one \
+             or both inputs are TRUNCATED and the deltas below may blame \
+             the wrong phase (raise the trace capacity and re-run)\n\n",
+            a.dropped_events + b.dropped_events
+        ));
+    }
+    report.push_str(&d.report(top));
+    Ok(DiffOutput {
+        report,
+        folded: d.folded_diff(),
+        json: d.to_json().render(),
+        truncated: d.truncated(),
+        dropped_events: a.dropped_events + b.dropped_events,
     })
 }
 
@@ -803,6 +887,80 @@ mod tests {
     #[test]
     fn profile_rejects_garbage() {
         assert!(profile_input("not a trace", Technology::MyrinetMx, 5).is_err());
+    }
+
+    #[test]
+    fn diff_of_identical_inputs_is_zero_and_deterministic() {
+        let text = sample(7).to_text();
+        let out = diff_inputs(&text, &text, Technology::MyrinetMx, 5).expect("diffs");
+        assert!(!out.truncated);
+        let doc = Json::parse(&out.json).expect("diff json parses");
+        assert_eq!(
+            doc.get("artifact").and_then(|v| v.as_str()),
+            Some("maddiff-diff")
+        );
+        assert_eq!(doc.get("is_zero").map(|v| v.render()), Some("true".into()));
+        assert_eq!(doc.get("aligned").and_then(|v| v.as_u64()), Some(200));
+        assert!(
+            out.report.contains("decision divergence: none"),
+            "{}",
+            out.report
+        );
+        // Every folded line carries equal a/b columns.
+        for line in out.folded.lines() {
+            let cols: Vec<&str> = line.rsplitn(3, ' ').collect();
+            assert_eq!(cols[0], cols[1], "{line}");
+        }
+        let again = diff_inputs(&text, &text, Technology::MyrinetMx, 5).expect("diffs");
+        assert_eq!(out.report, again.report);
+        assert_eq!(out.json, again.json);
+        assert_eq!(out.folded, again.folded);
+    }
+
+    #[test]
+    fn diff_mixes_snapshot_chrome_and_trace_inputs() {
+        // A workload trace, its Chrome export, and its maddiff snapshot
+        // all describe the same run; any pairing must diff to zero.
+        let t = sample(7);
+        let text = t.to_text();
+        let (export, _) = export(t.clone(), false, Technology::MyrinetMx);
+        let snap = traced_replay(t, false, Technology::MyrinetMx)
+            .run_snapshot("baseline")
+            .to_json()
+            .render();
+        for (a, b) in [(&text, &export.json), (&snap, &text), (&snap, &export.json)] {
+            let out = diff_inputs(a, b, Technology::MyrinetMx, 3).expect("diffs");
+            let doc = Json::parse(&out.json).unwrap();
+            assert_eq!(
+                doc.get("is_zero").map(|v| v.render()),
+                Some("true".into()),
+                "{}",
+                out.report
+            );
+        }
+    }
+
+    #[test]
+    fn diff_of_different_seeds_reports_divergence() {
+        let a = sample(7).to_text();
+        let b = sample(8).to_text();
+        let out = diff_inputs(&a, &b, Technology::MyrinetMx, 5).expect("diffs");
+        let doc = Json::parse(&out.json).unwrap();
+        assert_eq!(doc.get("is_zero").map(|v| v.render()), Some("false".into()));
+        // Different workloads submit different messages: they land in
+        // unmatched, and the aligned partition invariant still holds.
+        assert_eq!(
+            doc.get("partition_violations").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        assert!(out.report.contains("top movers") || out.report.contains("unmatched"));
+    }
+
+    #[test]
+    fn diff_rejects_garbage() {
+        let ok = sample(7).to_text();
+        assert!(diff_inputs("nope", &ok, Technology::MyrinetMx, 5).is_err());
+        assert!(diff_inputs(&ok, "nope", Technology::MyrinetMx, 5).is_err());
     }
 
     #[test]

@@ -336,6 +336,13 @@ impl Cluster {
     /// engine tracing enabled ([`ClusterSpec::with_tracing`]); without it
     /// the profile is empty.
     pub fn profile(&self) -> crate::prof::Profile {
+        self.prof_input().profile()
+    }
+
+    /// Normalize this cluster's live rings into a [`crate::prof::ProfInput`]
+    /// — the shared front half of [`Cluster::profile`] and the maddiff
+    /// snapshot/diff surfaces.
+    pub fn prof_input(&self) -> crate::prof::ProfInput {
         let sinks: Vec<(NodeId, crate::trace::EventSink)> = self
             .nodes
             .iter()
@@ -344,7 +351,23 @@ impl Cluster {
             .collect();
         let borrowed: Vec<(NodeId, &crate::trace::EventSink)> =
             sinks.iter().map(|(n, s)| (*n, s)).collect();
-        crate::prof::profile(self.sim.trace(), &borrowed, &self.nics)
+        crate::prof::ProfInput::from_engine(self.sim.trace(), &borrowed, &self.nics)
+    }
+
+    /// maddiff: capture this run's profile as a serializable
+    /// [`crate::diff::RunSnapshot`] — one half of a differential
+    /// comparison, round-trippable through JSON for committed baselines.
+    pub fn run_snapshot(&self, label: &str) -> crate::diff::RunSnapshot {
+        crate::diff::RunSnapshot::capture(label, &self.prof_input())
+    }
+
+    /// maddiff: compare this run (side B, "fresh") against `baseline`
+    /// (side A); every signed delta in the result reads B minus A.
+    pub fn diff_against(&self, baseline: &Cluster) -> crate::diff::RunDiff {
+        crate::diff::diff(
+            &baseline.run_snapshot("baseline"),
+            &self.run_snapshot("fresh"),
+        )
     }
 
     /// Walk every node's engine/receiver metrics (plus sampler digests,

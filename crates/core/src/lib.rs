@@ -59,6 +59,7 @@ pub mod collect;
 pub mod config;
 pub mod constraints;
 pub mod cost;
+pub mod diff;
 pub mod engine;
 pub mod error;
 pub mod flowmgr;
@@ -82,6 +83,7 @@ pub mod trace;
 
 pub use api::{AppDriver, CommApi, NullApp};
 pub use config::EngineConfig;
+pub use diff::{diff, AlignedDelta, CritDiff, DecisionDivergence, RunDiff, RunSnapshot, SnapRow};
 pub use engine::{EngineBuilder, EngineHandle, MadEngine};
 pub use error::EngineError;
 pub use flowmgr::{AdmissionConfig, AdmissionPolicy, FairnessMode, FlowIndex, SendOutcome};

@@ -195,6 +195,11 @@ pub struct ProfInput {
     plan_won: BTreeMap<(u32, u64), String>,
     /// (node, activation) → vetoed proposals.
     plan_vetoes: BTreeMap<(u32, u64), u32>,
+    /// (node, activation) → ordered canonical decision records
+    /// (`P:` proposed, `V:` vetoed, `S:` scored, `W:` won) — maddiff's
+    /// decision-divergence input. Built identically by both sources, so
+    /// a live-ring log and its Chrome re-read compare byte-for-byte.
+    decisions: BTreeMap<(u32, u64), Vec<String>>,
     /// node → chronological cookie ops (binds and retransmits).
     ops: BTreeMap<u32, Vec<CookieOp>>,
     /// (node, rail) → chronological (ts, cookie) transmit completions.
@@ -344,16 +349,51 @@ impl ProfInput {
             } => {
                 self.encoded.insert((node, *cookie), (*rail, *activation));
             }
+            EngineEvent::PlanProposed {
+                activation,
+                strategy,
+                chunks,
+                bytes,
+            } => {
+                self.decisions
+                    .entry((node, *activation))
+                    .or_default()
+                    .push(format!("P:{strategy}:{chunks}:{bytes}"));
+            }
+            EngineEvent::PlanScored {
+                activation,
+                strategy,
+                score_num,
+                score_den,
+            } => {
+                self.decisions
+                    .entry((node, *activation))
+                    .or_default()
+                    .push(format!("S:{strategy}:{score_num}/{score_den}"));
+            }
             EngineEvent::PlanWon {
                 activation,
                 strategy,
-                ..
+                score_num,
+                score_den,
             } => {
                 self.plan_won
                     .insert((node, *activation), (*strategy).to_string());
+                self.decisions
+                    .entry((node, *activation))
+                    .or_default()
+                    .push(format!("W:{strategy}:{score_num}/{score_den}"));
             }
-            EngineEvent::PlanVetoed { activation, .. } => {
+            EngineEvent::PlanVetoed {
+                activation,
+                strategy,
+                violation,
+            } => {
                 *self.plan_vetoes.entry((node, *activation)).or_insert(0) += 1;
+                self.decisions
+                    .entry((node, *activation))
+                    .or_default()
+                    .push(format!("V:{strategy}:{violation}"));
             }
             _ => {}
         }
@@ -503,20 +543,83 @@ impl ProfInput {
                         input.encoded.insert((pid, cookie), (rail as u16, act));
                     }
                 }
+                "PlanProposed" => {
+                    if let (Some(act), Some(strategy), Some(chunks), Some(bytes)) = (
+                        au("activation"),
+                        astr("strategy"),
+                        au("chunks"),
+                        au("bytes"),
+                    ) {
+                        input
+                            .decisions
+                            .entry((pid, act))
+                            .or_default()
+                            .push(format!("P:{strategy}:{chunks}:{bytes}"));
+                    }
+                }
+                "PlanScored" => {
+                    if let (Some(act), Some(strategy), Some(num), Some(den)) = (
+                        au("activation"),
+                        astr("strategy"),
+                        au("score_num"),
+                        au("score_den"),
+                    ) {
+                        input
+                            .decisions
+                            .entry((pid, act))
+                            .or_default()
+                            .push(format!("S:{strategy}:{num}/{den}"));
+                    }
+                }
                 "PlanWon" => {
                     if let (Some(act), Some(strategy)) = (au("activation"), astr("strategy")) {
                         input.plan_won.insert((pid, act), strategy.to_string());
+                        if let (Some(num), Some(den)) = (au("score_num"), au("score_den")) {
+                            input
+                                .decisions
+                                .entry((pid, act))
+                                .or_default()
+                                .push(format!("W:{strategy}:{num}/{den}"));
+                        }
                     }
                 }
                 "PlanVetoed" => {
                     if let Some(act) = au("activation") {
                         *input.plan_vetoes.entry((pid, act)).or_insert(0) += 1;
+                        if let (Some(strategy), Some(violation)) =
+                            (astr("strategy"), astr("violation"))
+                        {
+                            input
+                                .decisions
+                                .entry((pid, act))
+                                .or_default()
+                                .push(format!("V:{strategy}:{violation}"));
+                        }
                     }
                 }
                 _ => {}
             }
         }
         Ok(input)
+    }
+
+    /// Ordered canonical decision records per `(node, activation)` —
+    /// maddiff compares these log-for-log to find the first activation
+    /// where two runs' planners disagreed.
+    pub fn decisions(&self) -> &BTreeMap<(u32, u64), Vec<String>> {
+        &self.decisions
+    }
+
+    /// Messages that were submitted but never delivered (shed under
+    /// admission pressure, or abandoned when a rail died), with their
+    /// traffic class. maddiff reports these as `unmatched`, never
+    /// folding them into phase deltas.
+    pub fn undelivered(&self) -> Vec<(MsgKey, String)> {
+        self.submits
+            .iter()
+            .filter(|(key, _)| !self.delivered.contains_key(key))
+            .map(|(key, (_, _, class))| (*key, class.clone()))
+            .collect()
     }
 
     /// Run the attribution and critical-path passes.

@@ -1,0 +1,270 @@
+//! Conformance rule for maddiff run comparison: over a seeded corpus of
+//! live traced workloads, (1) diffing a run against an identically
+//! seeded re-run must be **exactly zero** in every field — no aligned
+//! delta, no unmatched message, no migration, no critical-path or
+//! decision divergence; (2) diffing against a deliberately perturbed
+//! configuration (a doubled Nagle delay) must keep the delta-partition
+//! invariant — each aligned message's six per-phase deltas sum exactly
+//! to its latency delta — and report only submitted-elsewhere reasons
+//! for unmatched traffic; and (3) the rendered diff report and JSON
+//! must be byte-identical across repeated comparisons. A differ that
+//! finds phantom deltas in identical runs, or whose phase deltas leak
+//! nanoseconds, would steer every regression hunt toward noise.
+
+use madeleine::diff::diff;
+use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
+use madeleine::ids::TrafficClass;
+use madeleine::{EngineConfig, MessageBuilder, PolicyKind, ReliabilityMode, RunSnapshot};
+use simnet::{FaultPlan, SimTime, SplitMix64, Technology};
+
+/// Event-ring capacity for corpus clusters; overflow would silently
+/// weaken the check, so snapshots are also asserted un-truncated.
+const RING_CAP: usize = 1 << 14;
+
+/// Aggregate result of a maddiff conformance check.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Corpus workloads diffed.
+    pub samples: usize,
+    /// Aligned message pairs whose delta partition was verified.
+    pub aligned: usize,
+    /// Aligned pairs in the perturbed comparisons with a nonzero delta
+    /// (the perturbation must actually move something).
+    pub moved: usize,
+    /// Violations, in discovery order.
+    pub findings: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when every diff behaved.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl std::fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "madcheck diff: {} workloads, {} aligned pairs, {} moved under perturbation",
+            self.samples, self.aligned, self.moved
+        )?;
+        if self.is_clean() {
+            writeln!(
+                f,
+                "conformant: self-diffs are exactly zero and every phase delta partitions"
+            )?;
+        } else {
+            for (i, finding) in self.findings.iter().enumerate() {
+                writeln!(f, "DIFF FINDING {}: {finding}", i + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build, drive and drain one seeded corpus workload. `perturb` arms a
+/// 2 µs Nagle delay (the default is zero) — a pure-configuration change
+/// that shifts decision and queueing time without altering which
+/// messages exist, so every message still aligns. Odd-indexed samples
+/// also run madrel `Recover` under a seeded loss fault plan so the
+/// `retx_recovery` phase carries weight in the deltas.
+fn build_sample(seed: u64, idx: usize, perturb: bool) -> Cluster {
+    let mut rng = SplitMix64::new(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let faulty = idx % 2 == 1;
+    let mut config = EngineConfig::default();
+    if faulty {
+        config.reliability = ReliabilityMode::Recover;
+    }
+    if perturb {
+        config.nagle_delay = simnet::SimDuration::from_micros(2);
+    }
+    let spec = ClusterSpec {
+        nodes: 2,
+        rails: vec![Technology::MyrinetMx],
+        engine: EngineKind::Optimizing {
+            config,
+            policy: PolicyKind::Pooled,
+        },
+        trace: Some(RING_CAP),
+        engine_trace: Some(RING_CAP),
+    };
+    let mut c = Cluster::build(&spec, vec![]);
+    if faulty {
+        c.set_fault_plan(
+            0,
+            FaultPlan::new(seed.wrapping_add(idx as u64)).with_loss(0.02),
+        );
+    }
+    let src = c.nodes[0];
+    let dst = c.nodes[1];
+    let h = c.handles[0].clone();
+    let classes = [TrafficClass::DEFAULT, TrafficClass::BULK];
+    let flows: Vec<_> = classes.iter().map(|&cl| h.open_flow(dst, cl)).collect();
+    let msgs = 8 + rng.next_below(8);
+    let mut t_ns = 0u64;
+    for _ in 0..msgs {
+        t_ns += [0, 400, 2_500][rng.next_below(3) as usize];
+        let flow = flows[rng.next_below(flows.len() as u64) as usize];
+        let body = [64usize, 512, 4_096][rng.next_below(3) as usize];
+        c.sim.run_until(SimTime::from_nanos(t_ns));
+        c.sim.inject(src, |ctx| {
+            h.send(
+                ctx,
+                flow,
+                MessageBuilder::new()
+                    .pack_cheaper(&vec![0x6Bu8; body])
+                    .build_parts(),
+            )
+        });
+    }
+    c.drain();
+    c
+}
+
+fn snapshot(seed: u64, idx: usize, perturb: bool, label: &str) -> RunSnapshot {
+    build_sample(seed, idx, perturb).run_snapshot(label)
+}
+
+/// Replay the seeded corpus, verifying self-diff zero, report
+/// determinism and the perturbed delta partition.
+pub fn diff_check(seed: u64, samples: usize) -> DiffReport {
+    let mut report = DiffReport {
+        samples,
+        aligned: 0,
+        moved: 0,
+        findings: Vec::new(),
+    };
+    for idx in 0..samples {
+        let ctx = format!("sample {idx}");
+        let base = snapshot(seed, idx, false, "base");
+        if base.truncated() {
+            report.findings.push(format!(
+                "{ctx}: event ring overflowed ({} dropped)",
+                base.dropped_events
+            ));
+            continue;
+        }
+
+        // (1) Identically seeded re-run: the diff must be exactly zero,
+        // and the snapshot itself must not move a byte.
+        let again = snapshot(seed, idx, false, "base");
+        if base.to_json().render() != again.to_json().render() {
+            report.findings.push(format!(
+                "{ctx}: same-seed replay changed the snapshot bytes"
+            ));
+        }
+        let zero = diff(&base, &again);
+        if !zero.is_zero() {
+            report.findings.push(format!(
+                "{ctx}: self-diff is not zero ({} aligned deltas, {} unmatched, report:\n{})",
+                zero.aligned.iter().filter(|m| m.delta_ns != 0).count(),
+                zero.unmatched.len(),
+                zero.report(3)
+            ));
+        }
+
+        // (2) Perturbed configuration: every aligned pair's phase
+        // deltas must sum exactly to its latency delta, independently
+        // of the differ's own violation counter.
+        let perturbed = snapshot(seed, idx, true, "perturbed");
+        let d = diff(&base, &perturbed);
+        if d.partition_violations != 0 {
+            report.findings.push(format!(
+                "{ctx}: differ counted {} partition violations",
+                d.partition_violations
+            ));
+        }
+        for m in &d.aligned {
+            report.aligned += 1;
+            if m.delta_ns != 0 {
+                report.moved += 1;
+            }
+            let sum: i64 = m.phase_deltas.iter().sum();
+            if sum != m.delta_ns {
+                report.findings.push(format!(
+                    "{ctx}: {} phase deltas sum to {sum} ns but latency delta is {} ns",
+                    m.key, m.delta_ns
+                ));
+            }
+        }
+        for u in &d.unmatched {
+            if !u.reason.contains("never") {
+                report.findings.push(format!(
+                    "{ctx}: unmatched {} carries no provenance reason: {}",
+                    u.key, u.reason
+                ));
+            }
+        }
+
+        // (3) Repeating the comparison must reproduce the report and
+        // the JSON byte-for-byte.
+        let d2 = diff(&base, &perturbed);
+        if d.report(5) != d2.report(5) || d.to_json().render() != d2.to_json().render() {
+            report.findings.push(format!(
+                "{ctx}: repeated comparison changed the diff report bytes"
+            ));
+        }
+        if report.findings.len() >= 32 {
+            break; // a systematic differ bug needs no full listing
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_diffs_conform() {
+        let r = diff_check(42, 6);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.aligned >= 6 * 8, "aligned pairs checked: {}", r.aligned);
+        assert!(
+            r.moved > 0,
+            "doubling the Nagle delay must move at least one latency"
+        );
+    }
+
+    #[test]
+    fn diff_check_is_deterministic() {
+        let a = diff_check(7, 4);
+        let b = diff_check(7, 4);
+        assert_eq!(a.aligned, b.aligned);
+        assert_eq!(a.moved, b.moved);
+        assert_eq!(a.findings, b.findings);
+    }
+
+    /// The verifier must catch a leaking partition: corrupt one phase
+    /// delta's underlying snapshot row and the sum check fires.
+    #[test]
+    fn corrupted_delta_partition_is_flagged() {
+        let base = snapshot(3, 0, false, "base");
+        let mut bent = snapshot(3, 0, false, "bent");
+        // Inflate one row's wire phase without touching its lifetime:
+        // the per-message partition inside the snapshot breaks, so the
+        // diff against the honest base must flag it.
+        let row = &mut bent.rows[0];
+        let wire = madeleine::Phase::Wire.rank() as usize;
+        row.phases[wire] += 5;
+        let d = diff(&base, &bent);
+        let mut report = DiffReport {
+            samples: 1,
+            aligned: 0,
+            moved: 0,
+            findings: Vec::new(),
+        };
+        for m in &d.aligned {
+            report.aligned += 1;
+            let sum: i64 = m.phase_deltas.iter().sum();
+            if sum != m.delta_ns {
+                report
+                    .findings
+                    .push(format!("{} leaks {} ns", m.key, sum - m.delta_ns));
+            }
+        }
+        assert!(!report.is_clean());
+        assert!(report.findings[0].contains("leaks 5 ns"), "{report}");
+    }
+}

@@ -32,6 +32,7 @@ pub mod analyzer;
 pub mod backlog;
 pub mod capcheck;
 pub mod corpus;
+pub mod diffcheck;
 pub mod fixtures;
 pub mod flowcheck;
 pub mod maskcheck;
@@ -45,6 +46,7 @@ pub use analyzer::{analyze, check_plan, check_spec, minimize, AnalyzeOptions, De
 pub use backlog::{BacklogSpec, FragSpec, MsgSpec, RndvPhase, ANALYZED_RAIL};
 pub use capcheck::{check_plan_caps, CapViolation};
 pub use corpus::corpus;
+pub use diffcheck::{diff_check, DiffReport};
 pub use flowcheck::{flow_check, FlowReport};
 pub use maskcheck::{mask_check, mask_check_standard, MaskFinding, MaskReport};
 pub use metricscheck::{check_registry, metrics_check, MetricsReport};

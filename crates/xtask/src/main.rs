@@ -10,8 +10,10 @@
 //!   strategy applicability masks against the sweep, then checks the
 //!   madscope metrics export (unique sample keys, no silent drops) and
 //!   the madprof attribution partition (phase durations telescope
-//!   exactly to each message's lifetime over a seeded traced corpus).
-//!   Finishes with a madtrace smoke test: a small
+//!   exactly to each message's lifetime over a seeded traced corpus) and
+//!   the maddiff comparison rules (same-seed self-diffs exactly zero,
+//!   per-phase deltas partition each latency delta, byte-stable
+//!   reports). Finishes with a madtrace smoke test: a small
 //!   traced workload is exported to Chrome trace-event JSON, re-parsed,
 //!   and the event count must round-trip (bit-identically across runs).
 //! * `lint` — run the madlint AST pass (determinism, panic hygiene,
@@ -21,9 +23,14 @@
 //!   failure class (see `madlint::diag`).
 //! * `bench` — run the madscope smoke suite (one point each of E1, E2,
 //!   E7 and E12 plus a sampler-instrumented replay) and write the
-//!   schema-versioned `BENCH_<label>.json` gate document and the sampler
-//!   CSV; `--check <baseline>` compares the fresh run against a committed
-//!   baseline and exits non-zero on regression.
+//!   schema-versioned `BENCH_<label>.json` gate document, the sampler
+//!   CSV and the `BENCH_<label>_diffseeds.json` maddiff seed bundle;
+//!   `--check <baseline>` compares the fresh run against a committed
+//!   baseline and exits non-zero on regression. On a gate failure, each
+//!   violated metric's diff cell is re-run against the committed seed
+//!   bundle next to the baseline and a `BENCH_diff_<metric>.md`
+//!   root-cause report (phase share deltas, rail/strategy migrations,
+//!   first divergent decision) is written to the output directory.
 //!
 //! No external dependencies: argument parsing is by hand and the analyzer
 //! runs in-process.
@@ -61,19 +68,25 @@ commands:
   analyze   madlint AST lints + static conformance analysis of all
             registered strategies against every driver capability
             profile, plus the strategy-mask, madflow flow-index,
-            retransmit, metrics-export and madprof-attribution rules
+            retransmit, metrics-export, madprof-attribution and
+            maddiff-comparison rules
               --broken-fixture   also register the deliberately broken
                                  fixture strategies (expected to fail)
               --seed <u64>       corpus seed (default: stable)
               --samples <n>      sampled backlogs per profile (default 64)
               --skip-lints       conformance analysis only
   bench     madscope regression gate: run the E1/E2/E7/E12 smoke suite
-            plus a sampler replay, write BENCH_<label>.json and
-            BENCH_<label>_sampler.csv
+            plus a sampler replay, write BENCH_<label>.json,
+            BENCH_<label>_sampler.csv and the maddiff seed bundle
+            BENCH_<label>_diffseeds.json
               --label <name>     document label / file stem (default: baseline)
               --out <dir>        output directory (default: repo root)
               --check <file>     compare against a baseline BENCH_*.json
-                                 and exit non-zero on any regression
+                                 and exit non-zero on any regression;
+                                 on failure, re-run each violated
+                                 metric's maddiff cell against the
+                                 committed <file stem>_diffseeds.json
+                                 and write BENCH_diff_<metric>.md
               --threshold <f>    per-metric regression budget as a
                                  fraction of the baseline (default 0.05)
   lint      madlint AST pass only (+ cargo fmt --check when available)
@@ -161,6 +174,14 @@ fn analyze(args: &[String]) -> ExitCode {
     print!("{prof}");
     ok &= prof.is_clean();
 
+    // maddiff sweep: self-diffs must be exactly zero, perturbed diffs
+    // must keep the delta-partition invariant, and reports must be
+    // byte-stable (each sample is two full traced simulations plus a
+    // perturbed third, so the count is fixed like prof's).
+    let diffr = madcheck::diff_check(opts.seed, 6);
+    print!("{diffr}");
+    ok &= diffr.is_clean();
+
     ok &= trace_smoke();
 
     if ok {
@@ -239,10 +260,17 @@ fn bench(args: &[String]) -> ExitCode {
     if let Err(e) = fs::write(&csv_path, &suite.sampler_csv) {
         return bench_error(&format!("cannot write {}: {e}", csv_path.display()));
     }
+    let seeds_path = out_dir.join(format!("BENCH_{label}_diffseeds.json"));
+    let mut seeds_text = mad_bench::diffcells::write_seeds(&label);
+    seeds_text.push('\n');
+    if let Err(e) = fs::write(&seeds_path, &seeds_text) {
+        return bench_error(&format!("cannot write {}: {e}", seeds_path.display()));
+    }
     println!(
-        "xtask bench: wrote {} and {}",
+        "xtask bench: wrote {}, {} and {}",
         json_path.display(),
-        csv_path.display()
+        csv_path.display(),
+        seeds_path.display()
     );
 
     let Some(base_path) = check_path else {
@@ -278,7 +306,74 @@ fn bench(args: &[String]) -> ExitCode {
         for v in &violations {
             println!("  {v}");
         }
+        bench_diff_reports(&base_path, &out_dir, &violations);
         ExitCode::FAILURE
+    }
+}
+
+/// maddiff root-cause attribution for a failed gate: re-run each
+/// violated metric's traced diff cell on the current code, align it
+/// against the committed seed bundle next to the baseline document, and
+/// write one `BENCH_diff_<metric>.md` per violated metric. Missing or
+/// unparseable seed bundles degrade to a note — the gate verdict never
+/// depends on this path.
+fn bench_diff_reports(base_path: &Path, out_dir: &Path, violations: &[String]) {
+    use mad_bench::diffcells;
+
+    let seeds_path = match base_path.file_name().and_then(|n| n.to_str()) {
+        Some(name) => match name.strip_suffix(".json") {
+            Some(stem) => base_path.with_file_name(format!("{stem}_diffseeds.json")),
+            None => base_path.with_file_name(format!("{name}_diffseeds.json")),
+        },
+        None => return,
+    };
+    let seeds_text = match fs::read_to_string(&seeds_path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!(
+                "xtask bench: no maddiff seed bundle at {} ({e}); skipping root-cause reports",
+                seeds_path.display()
+            );
+            return;
+        }
+    };
+    let seeds = match diffcells::parse_seeds(&seeds_text) {
+        Ok(s) => s,
+        Err(e) => {
+            println!(
+                "xtask bench: cannot parse {}: {e}; skipping root-cause reports",
+                seeds_path.display()
+            );
+            return;
+        }
+    };
+
+    // Several violations usually map to one cell; re-run each cell once.
+    let mut fresh: std::collections::BTreeMap<&str, madeleine::RunSnapshot> =
+        std::collections::BTreeMap::new();
+    for v in violations {
+        let metric = v.split(':').next().unwrap_or(v).trim();
+        let Some(cell) = diffcells::cell_for_metric(metric) else {
+            println!("xtask bench: no maddiff cell maps to `{metric}`; skipping");
+            continue;
+        };
+        let Some(baseline) = seeds.get(cell.name) else {
+            println!(
+                "xtask bench: seed bundle {} has no cell `{}`; skipping `{metric}`",
+                seeds_path.display(),
+                cell.name
+            );
+            continue;
+        };
+        let snap = fresh
+            .entry(cell.name)
+            .or_insert_with(|| (cell.build)(0).run_snapshot(cell.name));
+        let report = diffcells::root_cause_report(metric, v, baseline, snap);
+        let path = out_dir.join(format!("BENCH_diff_{metric}.md"));
+        match fs::write(&path, report) {
+            Ok(()) => println!("xtask bench: wrote root-cause report {}", path.display()),
+            Err(e) => println!("xtask bench: cannot write {}: {e}", path.display()),
+        }
     }
 }
 

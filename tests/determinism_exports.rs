@@ -183,6 +183,80 @@ fn fat_tree_exports_are_byte_identical_across_runs() {
     assert_eq!(delivered, 12, "every cross-fabric message delivered");
 }
 
+/// Messages pushed through each faulted madrel cell below.
+const FAULTED_MSGS: u32 = 24;
+
+/// A drained two-node madrel `Recover` cell under seeded
+/// loss + duplication + reordering — the corpus shape shared by the
+/// madprof partition proptest and the maddiff comparison proptests.
+/// `nagle_us` > 0 arms a Nagle delay (a pure-config perturbation that
+/// changes latencies without changing message identity).
+fn faulted_cell_nagle(seed: u64, loss_pm: u32, dup_pm: u32, nagle_us: u64) -> Cluster {
+    let mut c = Cluster::build(
+        &ClusterSpec {
+            nodes: 2,
+            rails: vec![Technology::MyrinetMx],
+            engine: EngineKind::Optimizing {
+                config: EngineConfig {
+                    reliability: ReliabilityMode::Recover,
+                    nagle_delay: SimDuration::from_micros(nagle_us),
+                    ..EngineConfig::default()
+                },
+                policy: PolicyKind::Pooled,
+            },
+            trace: Some(1 << 14),
+            engine_trace: Some(1 << 14),
+        },
+        vec![],
+    );
+    c.set_fault_plan(
+        0,
+        FaultPlan::new(seed)
+            .with_loss(f64::from(loss_pm) / 1000.0)
+            .with_dup(f64::from(dup_pm) / 1000.0)
+            .with_reorder(0.15, SimDuration::from_micros(2)),
+    );
+    let h = c.handle(0).clone();
+    let (src, dst) = (c.nodes[0], c.nodes[1]);
+    let f = h.open_flow(dst, TrafficClass::DEFAULT);
+    c.sim.inject(src, |ctx| {
+        for i in 0..FAULTED_MSGS {
+            h.send(
+                ctx,
+                f,
+                MessageBuilder::new()
+                    .pack_cheaper(&vec![i as u8; 200])
+                    .build_parts(),
+            );
+        }
+    });
+    c.drain();
+    c
+}
+
+fn faulted_cell(seed: u64, loss_pm: u32, dup_pm: u32) -> Cluster {
+    faulted_cell_nagle(seed, loss_pm, dup_pm, 0)
+}
+
+/// Comparing two runs is itself an export surface: building both sides
+/// fresh and diffing them twice must reproduce the human report and the
+/// JSON byte-for-byte, even when the diff is structurally non-trivial
+/// (a Nagle-delay perturbation → real latency deltas).
+#[test]
+fn diff_report_is_byte_identical_across_runs() {
+    let render = || {
+        let a = faulted_cell_nagle(11, 100, 50, 0).run_snapshot("base");
+        let b = faulted_cell_nagle(11, 100, 50, 2).run_snapshot("fresh");
+        let d = madeleine::diff(&a, &b);
+        (d.report(8), d.to_json().render(), d.is_zero())
+    };
+    let (report1, json1, zero1) = render();
+    let (report2, json2, _) = render();
+    assert!(!zero1, "the Nagle perturbation must produce real deltas");
+    assert_eq!(report1, report2, "diff report must be run-invariant");
+    assert_eq!(json1, json2, "diff JSON must be run-invariant");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
@@ -196,45 +270,8 @@ proptest! {
         loss_pm in 0u32..200, // per-mille; the shim has no f64 ranges
         dup_pm in 0u32..200,
     ) {
-        const MSGS: u32 = 24;
-        let mut c = Cluster::build(
-            &ClusterSpec {
-                nodes: 2,
-                rails: vec![Technology::MyrinetMx],
-                engine: EngineKind::Optimizing {
-                    config: EngineConfig {
-                        reliability: ReliabilityMode::Recover,
-                        ..EngineConfig::default()
-                    },
-                    policy: PolicyKind::Pooled,
-                },
-                trace: Some(1 << 14),
-                engine_trace: Some(1 << 14),
-            },
-            vec![],
-        );
-        c.set_fault_plan(
-            0,
-            FaultPlan::new(seed)
-                .with_loss(f64::from(loss_pm) / 1000.0)
-                .with_dup(f64::from(dup_pm) / 1000.0)
-                .with_reorder(0.15, SimDuration::from_micros(2)),
-        );
-        let h = c.handle(0).clone();
-        let (src, dst) = (c.nodes[0], c.nodes[1]);
-        let f = h.open_flow(dst, TrafficClass::DEFAULT);
-        c.sim.inject(src, |ctx| {
-            for i in 0..MSGS {
-                h.send(
-                    ctx,
-                    f,
-                    MessageBuilder::new()
-                        .pack_cheaper(&vec![i as u8; 200])
-                        .build_parts(),
-                );
-            }
-        });
-        c.drain();
+        const MSGS: u32 = FAULTED_MSGS;
+        let c = faulted_cell(seed, loss_pm, dup_pm);
         let prof = c.profile();
         prop_assert_eq!(prof.flows.len(), MSGS as usize, "every delivery attributed");
         prop_assert_eq!(prof.partition_violations, 0);
@@ -245,6 +282,52 @@ proptest! {
             prop_assert_eq!(
                 total, lifetime,
                 "{} phases must partition its lifetime", span.key
+            );
+        }
+    }
+
+    /// maddiff's zero-baseline: a run diffed against an independently
+    /// built, identically seeded run must be exactly zero in every
+    /// field — under the same loss + duplication + reordering faults
+    /// with `Recover`. Any nonzero field here is differ noise that
+    /// would surface as a phantom regression.
+    #[test]
+    fn self_diff_is_all_zero_under_faults(
+        seed in any::<u64>(),
+        loss_pm in 0u32..200,
+        dup_pm in 0u32..200,
+    ) {
+        let a = faulted_cell(seed, loss_pm, dup_pm).run_snapshot("run");
+        let b = faulted_cell(seed, loss_pm, dup_pm).run_snapshot("run");
+        let d = madeleine::diff(&a, &b);
+        prop_assert!(d.is_zero(), "self-diff must be zero:\n{}", d.report(5));
+        prop_assert_eq!(d.aligned.len(), FAULTED_MSGS as usize);
+    }
+
+    /// maddiff's delta partition across a genuine perturbation: shifting
+    /// the fault seed changes retransmission timing but not message
+    /// identity, so every message aligns and each aligned pair's six
+    /// per-phase deltas must sum exactly to its latency delta.
+    #[test]
+    fn diff_delta_partition_holds_across_seed_perturbation(
+        seed in any::<u64>(),
+        loss_pm in 0u32..200,
+        dup_pm in 0u32..200,
+    ) {
+        let a = faulted_cell(seed, loss_pm, dup_pm).run_snapshot("a");
+        let b = faulted_cell(seed ^ 1, loss_pm, dup_pm).run_snapshot("b");
+        let d = madeleine::diff(&a, &b);
+        prop_assert_eq!(d.partition_violations, 0);
+        prop_assert_eq!(
+            d.aligned.len(), FAULTED_MSGS as usize,
+            "identity (node, flow, seq) must align fully across seeds"
+        );
+        prop_assert!(d.unmatched.is_empty());
+        for m in &d.aligned {
+            let sum: i64 = m.phase_deltas.iter().sum();
+            prop_assert_eq!(
+                sum, m.delta_ns,
+                "{} phase deltas must partition its latency delta", m.key
             );
         }
     }
