@@ -25,7 +25,7 @@ use madware::workload::{Arrival, SizeDist};
 use simnet::{FaultPlan, NodeId, SimDuration, Technology};
 use std::collections::BTreeMap;
 
-use crate::experiments::{e13_flowscale, e14_incast};
+use crate::experiments::{e13_flowscale, e14_incast, e15_coll};
 
 /// Ring capacity shared by the locally-built cells.
 const TRACE_CAP: usize = 1 << 16;
@@ -195,6 +195,10 @@ fn e14_cell(salt: u64) -> Cluster {
     e14_incast::traced_cell(salt)
 }
 
+fn e15_cell(salt: u64) -> Cluster {
+    e15_coll::traced_cell(salt)
+}
+
 /// Every diff cell, in report order. Prefix → cell resolution walks this
 /// list first-match.
 pub const CELLS: &[DiffCell] = &[
@@ -227,6 +231,11 @@ pub const CELLS: &[DiffCell] = &[
         name: "e14",
         prefixes: &["e14_"],
         build: e14_cell,
+    },
+    DiffCell {
+        name: "e15",
+        prefixes: &["e15_"],
+        build: e15_cell,
     },
 ];
 
@@ -504,13 +513,13 @@ mod tests {
     }
 
     /// Nightly cross-seed diff smoke (slow; run with `--ignored`): for
-    /// E7, E12 and E14, same-salt runs snapshot byte-identically and
+    /// E7, E12, E14 and E15, same-salt runs snapshot byte-identically and
     /// self-diff to zero, and cross-salt diffs keep the delta-partition
     /// invariant over the aligned set.
     #[test]
     #[ignore = "nightly cross-seed diff smoke"]
-    fn cross_seed_diff_smoke_e7_e12_e14() {
-        for name in ["e7", "e12", "e14"] {
+    fn cross_seed_diff_smoke_e7_e12_e14_e15() {
+        for name in ["e7", "e12", "e14", "e15"] {
             let cell = cell_named(name).expect("cell exists");
             let a1 = (cell.build)(0).run_snapshot(name);
             let a2 = (cell.build)(0).run_snapshot(name);

@@ -5,6 +5,7 @@ pub mod e11_ablation;
 pub mod e12_loss;
 pub mod e13_flowscale;
 pub mod e14_incast;
+pub mod e15_coll;
 pub mod e1_aggregation;
 pub mod e2_nic_idle;
 pub mod e3_nagle;
@@ -37,6 +38,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e12", e12_loss::run),
         ("e13", e13_flowscale::run),
         ("e14", e14_incast::run),
+        ("e15", e15_coll::run),
     ]
 }
 

@@ -35,7 +35,9 @@ use madeleine::{AdmissionPolicy, FairnessMode, Phase};
 use madware::scenario::eager_flows;
 use simnet::{SimDuration, Technology};
 
-use crate::experiments::{e12_loss, e13_flowscale, e14_incast, e1_aggregation, e7_multirail};
+use crate::experiments::{
+    e12_loss, e13_flowscale, e14_incast, e15_coll, e1_aggregation, e7_multirail,
+};
 
 /// Document schema tag; bump when metric names or semantics change so a
 /// stale committed baseline fails loudly instead of comparing garbage.
@@ -457,6 +459,51 @@ pub fn run_suite(label: &str) -> SuiteOutput {
         Direction::HigherIsBetter,
     );
 
+    // E15: madcoll algorithm selection. The win rate counts grid cells
+    // (fabric × shape) where cost-model selection matches the best
+    // fixed algorithm within the experiment's tolerance; the allreduce
+    // tail and the training barrier fan-in are the gated latencies.
+    let mut cells = 0u32;
+    let mut wins = 0u32;
+    let mut allreduce_p99 = 0.0f64;
+    for fabric in [e15_coll::Fabric::Dumbbell, e15_coll::Fabric::FatTree] {
+        for shape in e15_coll::shapes() {
+            let mut best = f64::INFINITY;
+            for algo in madeleine::CollAlgo::ALL {
+                best = best.min(e15_coll::run_grid_cell(fabric, &shape, Some(algo)).p99_us);
+            }
+            let auto = e15_coll::run_grid_cell(fabric, &shape, None);
+            cells += 1;
+            if auto.p99_us <= best * e15_coll::AUTO_TOLERANCE {
+                wins += 1;
+            }
+            if fabric == e15_coll::Fabric::Dumbbell
+                && matches!(shape.op, madeleine::CollOp::Allreduce)
+            {
+                allreduce_p99 = auto.p99_us;
+            }
+        }
+    }
+    push(
+        &mut metrics,
+        "e15_allreduce_auto_p99_us",
+        allreduce_p99,
+        Direction::LowerIsBetter,
+    );
+    push(
+        &mut metrics,
+        "e15_selection_win_rate",
+        wins as f64 / cells as f64,
+        Direction::HigherIsBetter,
+    );
+    let train = e15_coll::run_train_cell(madware::mltrain::MlTrainMode::RingAllreduce);
+    push(
+        &mut metrics,
+        "e15_barrier_fanin_p999_us",
+        train.barrier_p999_us,
+        Direction::LowerIsBetter,
+    );
+
     // madprof: phase attribution of the traced E12 loss cell (the 1%
     // seeded loss puts real time in every phase, so the share gates
     // bite). Shares are exact per-mille integers over virtual time —
@@ -709,6 +756,9 @@ mod tests {
             "e12_delivered_fraction",
             "e13_scale_makespan_us",
             "e13_overload_delivered_fraction",
+            "e15_allreduce_auto_p99_us",
+            "e15_selection_win_rate",
+            "e15_barrier_fanin_p999_us",
             "prof_wire_share_p50",
             "prof_retx_share_p99",
             "prof_decision_share_p99",

@@ -167,6 +167,12 @@ pub fn stats(trace: Trace, tech: Technology, tick_us: u64) -> (String, String) {
         trace: None,
         engine_trace: None,
     };
+    // Classes the trace opens flows under, captured before the replay
+    // consumes it: a class whose every flow was cancelled or shed
+    // delivers nothing, and must still show up in the percentile table.
+    let mut trace_classes: Vec<u8> = trace.flows.iter().map(|&(_, class)| class.0).collect();
+    trace_classes.sort_unstable();
+    trace_classes.dedup();
     let mut c = Cluster::build(&spec, vec![Some(Box::new(ReplayApp::new(trace))), None]);
     c.enable_sampler(SimDuration::from_micros(tick_us));
     let end = c.drain();
@@ -187,11 +193,10 @@ pub fn stats(trace: Trace, tech: Technology, tick_us: u64) -> (String, String) {
         &["scope", "count", "p50", "p90", "p99", "max"],
     );
     let mut rows = 0usize;
-    let mut row = |t: &mut crate::Table, name: String, h: &LatencyHistogram| {
+    let row = |t: &mut crate::Table, name: String, h: &LatencyHistogram| -> bool {
         if h.count() == 0 {
-            return;
+            return false;
         }
-        rows += 1;
         // A single sample makes every log2-bucket percentile the same
         // upper bound, which can overstate the one real value by almost
         // 2x — report the exact value instead of a degenerate spread.
@@ -210,22 +215,38 @@ pub fn stats(trace: Trace, tech: Technology, tick_us: u64) -> (String, String) {
             q(0.99),
             fmt_f(h.summary().max()),
         ]);
+        true
     };
-    row(&mut t, "all".into(), &rx.latency);
+    rows += row(&mut t, "all".into(), &rx.latency) as usize;
     for (i, h) in rx.latency_by_class.iter().enumerate() {
-        row(
+        if h.count() == 0 && trace_classes.contains(&(i as u8)) {
+            // The trace offered this class but nothing was delivered
+            // (every flow cancelled or shed): an explicit zero row beats
+            // silently vanishing from the table.
+            rows += 1;
+            t.row(vec![
+                format!("class {}", madeleine::TrafficClass(i as u8).label()),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        rows += row(
             &mut t,
             format!("class {}", madeleine::TrafficClass(i as u8).label()),
             h,
-        );
+        ) as usize;
     }
     for (flow, h) in &rx.latency_by_flow {
-        row(&mut t, format!("flow {flow}"), h);
+        rows += row(&mut t, format!("flow {flow}"), h) as usize;
     }
     for (r, h) in rx.latency_by_rail.iter().enumerate() {
-        row(&mut t, format!("rail {r}"), h);
+        rows += row(&mut t, format!("rail {r}"), h) as usize;
     }
-    row(&mut t, "queue delay (tx)".into(), &tx.queue_delay);
+    rows += row(&mut t, "queue delay (tx)".into(), &tx.queue_delay) as usize;
     if rows == 0 {
         out.push_str("no deliveries recorded: latency percentile table omitted\n");
     } else {
@@ -980,6 +1001,30 @@ mod tests {
         assert_eq!(cells[1], "1");
         assert_eq!(cells[2], cells[5], "p50 == exact max: {all}");
         assert_eq!(cells[4], cells[5], "p99 == exact max: {all}");
+    }
+
+    #[test]
+    fn stats_keeps_zero_delivery_classes_visible() {
+        // A trace that opens a BULK flow but never delivers on it (no
+        // submissions survive for that class): the percentile table must
+        // carry an explicit zero row instead of silently dropping the
+        // class.
+        let mut t = sample(7);
+        t.flows.push((NodeId(1), madeleine::TrafficClass::BULK));
+        let (report, _) = stats(t, Technology::MyrinetMx, 5);
+        let bulk = report
+            .lines()
+            .find(|l| l.contains("class bulk"))
+            .expect("an explicit zero-delivery row for the bulk class");
+        let cells: Vec<&str> = bulk.split_whitespace().collect();
+        // cells: [class, bulk, count, p50, p90, p99, max]
+        assert_eq!(cells[2], "0", "zero-delivery count: {bulk}");
+        assert_eq!(cells[3], "-", "percentiles dashed out: {bulk}");
+        // Classes the trace never mentions stay out of the table.
+        assert!(
+            !report.contains("class put/get"),
+            "unoffered class leaked into the table"
+        );
     }
 
     #[test]

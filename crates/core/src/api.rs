@@ -6,6 +6,7 @@ use simnet::{NodeId, SimDuration, SimTime};
 use crate::flowmgr::SendOutcome;
 use crate::ids::{FlowId, MsgId, TrafficClass};
 use crate::message::{DeliveredMessage, Fragment};
+use crate::trace::EngineEvent;
 
 /// Timer tags at or above this value are reserved for library internals
 /// (Nagle flushes, adaptive-policy epochs).
@@ -44,6 +45,13 @@ pub trait CommApi {
     /// Nagle delay (the optimizer runs on every idle rail; the legacy
     /// engine pumps its software queues).
     fn flush(&mut self);
+    /// Record an application-level decision event on the node's madtrace
+    /// ring (madcoll algorithm selection uses this for
+    /// [`EngineEvent::CollProposed`]/[`EngineEvent::CollWon`]). Engines
+    /// without a trace ring (the legacy baseline) drop it.
+    fn note_event(&mut self, event: EngineEvent) {
+        let _ = event;
+    }
 }
 
 /// The application/middleware stack driving one node.

@@ -1504,6 +1504,10 @@ impl CommApi for MadApi<'_, '_> {
     fn flush(&mut self) {
         self.core.flush(self.ctx);
     }
+
+    fn note_event(&mut self, event: EngineEvent) {
+        self.core.trace.push(self.ctx.now(), event);
+    }
 }
 
 /// The optimizing engine, installed as a node's [`Endpoint`].

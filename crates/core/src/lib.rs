@@ -55,6 +55,7 @@
 
 pub mod api;
 pub mod classes;
+pub mod coll;
 pub mod collect;
 pub mod config;
 pub mod constraints;
@@ -82,6 +83,10 @@ pub mod strategy;
 pub mod trace;
 
 pub use api::{AppDriver, CommApi, NullApp};
+pub use coll::{
+    coll_hub, estimate_ns, select_algo, CollAlgo, CollApp, CollChoice, CollConfig, CollHub,
+    CollMember, CollOp, CollPlan, CollSend, CollStats, FabricHint,
+};
 pub use config::EngineConfig;
 pub use diff::{diff, AlignedDelta, CritDiff, DecisionDivergence, RunDiff, RunSnapshot, SnapRow};
 pub use engine::{EngineBuilder, EngineHandle, MadEngine};

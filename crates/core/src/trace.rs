@@ -249,6 +249,40 @@ pub enum EngineEvent {
         /// Rail the marked packet travelled on.
         rail: u16,
     },
+    /// madcoll costed one candidate algorithm for a collective — the
+    /// "fast tuning" analogue of [`EngineEvent::PlanProposed`], emitted
+    /// by the observer member so madprof/maddiff can attribute the
+    /// selection decision.
+    CollProposed {
+        /// Collective sequence number within the emitting app.
+        coll: u64,
+        /// Operation (`barrier`/`broadcast`/`reduce`/`allreduce`).
+        op: &'static str,
+        /// Candidate algorithm (`flat`/`binomial`/`ring`).
+        algo: &'static str,
+        /// Participating members.
+        members: u32,
+        /// Payload bytes reduced/moved per member.
+        bytes: u64,
+        /// Analytic completion estimate (ns) under the rail cost model.
+        est_ns: u64,
+    },
+    /// madcoll committed to an algorithm for a collective — the
+    /// selection analogue of [`EngineEvent::PlanWon`].
+    CollWon {
+        /// Collective sequence number within the emitting app.
+        coll: u64,
+        /// Operation (`barrier`/`broadcast`/`reduce`/`allreduce`).
+        op: &'static str,
+        /// Winning algorithm (`flat`/`binomial`/`ring`).
+        algo: &'static str,
+        /// Participating members.
+        members: u32,
+        /// Payload bytes reduced/moved per member.
+        bytes: u64,
+        /// Analytic completion estimate (ns) of the winner.
+        est_ns: u64,
+    },
 }
 
 impl EngineEvent {
@@ -274,6 +308,8 @@ impl EngineEvent {
             EngineEvent::Shed { .. } => "Shed",
             EngineEvent::Unblocked { .. } => "Unblocked",
             EngineEvent::CongestionMark { .. } => "CongestionMark",
+            EngineEvent::CollProposed { .. } => "CollProposed",
+            EngineEvent::CollWon { .. } => "CollWon",
         }
     }
 
@@ -469,6 +505,29 @@ impl EngineEvent {
                 .field("src", src.0)
                 .field("cookie", *cookie)
                 .field("rail", *rail)
+                .build(),
+            EngineEvent::CollProposed {
+                coll,
+                op,
+                algo,
+                members,
+                bytes,
+                est_ns,
+            }
+            | EngineEvent::CollWon {
+                coll,
+                op,
+                algo,
+                members,
+                bytes,
+                est_ns,
+            } => obj()
+                .field("coll", *coll)
+                .field("op", *op)
+                .field("algo", *algo)
+                .field("members", *members)
+                .field("bytes", *bytes)
+                .field("est_ns", *est_ns)
                 .build(),
         }
     }

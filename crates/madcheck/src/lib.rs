@@ -31,6 +31,7 @@
 pub mod analyzer;
 pub mod backlog;
 pub mod capcheck;
+pub mod collcheck;
 pub mod corpus;
 pub mod diffcheck;
 pub mod fixtures;
@@ -45,6 +46,7 @@ pub mod retxcheck;
 pub use analyzer::{analyze, check_plan, check_spec, minimize, AnalyzeOptions, Defect, Failure};
 pub use backlog::{BacklogSpec, FragSpec, MsgSpec, RndvPhase, ANALYZED_RAIL};
 pub use capcheck::{check_plan_caps, CapViolation};
+pub use collcheck::{coll_check, CollReport};
 pub use corpus::corpus;
 pub use diffcheck::{diff_check, DiffReport};
 pub use flowcheck::{flow_check, FlowReport};

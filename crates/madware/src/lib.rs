@@ -16,6 +16,9 @@
 //! * [`corba`] — marshalled multi-fragment invocations;
 //! * [`rma`] — one-sided put/get windows over the PUT_GET traffic class;
 //! * [`coll`] — tree collectives (allreduce/broadcast/barrier shapes);
+//! * [`mltrain`] — distributed-ML training steps (compute → gradient
+//!   ring-allreduce or parameter-server exchange → step barrier) over
+//!   madcoll's algorithm-selected collectives;
 //! * [`ga`] — Global-Arrays-style strided distributed arrays over [`rma`];
 //! * [`verify`] — deterministic payload patterns: every workload checks the
 //!   bytes it receives, so experiments double as correctness tests;
@@ -62,6 +65,7 @@ pub mod coll;
 pub mod corba;
 pub mod dsm;
 pub mod ga;
+pub mod mltrain;
 pub mod mpi;
 pub mod rma;
 pub mod rpc;

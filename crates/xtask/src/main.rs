@@ -174,6 +174,13 @@ fn analyze(args: &[String]) -> ExitCode {
     print!("{prof}");
     ok &= prof.is_clean();
 
+    // madcoll schedule sweep: every collective plan in the seeded corpus
+    // (and every auto-selected plan per capability profile) must be an
+    // acyclic, member-spanning, byte-exact round-gated DAG.
+    let coll = madcheck::coll_check(opts.seed, opts.samples.max(8));
+    print!("{coll}");
+    ok &= coll.is_clean();
+
     // maddiff sweep: self-diffs must be exactly zero, perturbed diffs
     // must keep the delta-partition invariant, and reports must be
     // byte-stable (each sample is two full traced simulations plus a

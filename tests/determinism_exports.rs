@@ -10,10 +10,11 @@
 //! and a multi-flow workload that actually populates the converted
 //! containers.)
 
+use madeleine::coll::{CollApp, CollConfig, CollHub, CollOp};
 use madeleine::harness::{Cluster, ClusterSpec, EngineKind};
 use madeleine::{EngineConfig, MessageBuilder, PolicyKind, ReliabilityMode, TrafficClass};
 use proptest::prelude::*;
-use simnet::{FaultPlan, SimDuration, Technology};
+use simnet::{FaultPlan, SimDuration, SimTime, Technology};
 
 /// A traced two-node cluster pushing three flows of mixed classes and
 /// sizes — enough concurrency that `inflight` and `flows` hold several
@@ -257,8 +258,92 @@ fn diff_report_is_byte_identical_across_runs() {
     assert_eq!(json1, json2, "diff JSON must be run-invariant");
 }
 
+/// Ranks in the faulted collective cell below.
+const COLL_MEMBERS: u32 = 6;
+/// Allreduce iterations per run.
+const COLL_ITERS: u32 = 3;
+
+/// A drained 6-member madcoll allreduce over **two** MX rails with
+/// madrel `Recover`, where rail 0 carries seeded loss + duplication +
+/// reordering and then dies outright mid-run — the engine must detect
+/// the death via exhausted retries and fail the round-gated collective
+/// over to the clean second rail.
+fn faulted_allreduce(seed: u64, loss_pm: u32, dup_pm: u32) -> (Cluster, CollHub) {
+    let cfg = CollConfig::for_tech(Technology::MyrinetMx);
+    let (apps, hub) = CollApp::ranks(CollOp::Allreduce, 256, COLL_MEMBERS, COLL_ITERS, &cfg);
+    let spec = ClusterSpec {
+        nodes: COLL_MEMBERS as usize,
+        rails: vec![Technology::MyrinetMx; 2],
+        engine: EngineKind::Optimizing {
+            config: EngineConfig {
+                reliability: ReliabilityMode::Recover,
+                ..EngineConfig::default()
+            },
+            policy: PolicyKind::Pooled,
+        },
+        trace: Some(1 << 15),
+        engine_trace: Some(1 << 15),
+    };
+    let mut c = Cluster::build(&spec, apps);
+    c.set_fault_plan(
+        0,
+        FaultPlan::new(seed)
+            .with_loss(f64::from(loss_pm) / 1000.0)
+            .with_dup(f64::from(dup_pm) / 1000.0)
+            .with_reorder(0.10, SimDuration::from_micros(2))
+            .with_death(SimTime::from_nanos(30_000)),
+    );
+    c.drain();
+    (c, hub)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// madcoll under the full madrel gauntlet: every allreduce completes
+    /// with the identical (closed-form-verified) reduced value at every
+    /// member despite loss + duplication + reordering + rail death, and
+    /// two independent same-seed runs export byte-identical Chrome
+    /// traces and metric registries — recovery and failover included.
+    #[test]
+    fn faulted_allreduce_completes_and_exports_identically(
+        seed in any::<u64>(),
+        loss_pm in 0u32..100, // per-mille; the shim has no f64 ranges
+        dup_pm in 0u32..100,
+    ) {
+        let (a, hub) = faulted_allreduce(seed, loss_pm, dup_pm);
+        {
+            let stats = hub.borrow();
+            prop_assert_eq!(stats.started, u64::from(COLL_ITERS));
+            prop_assert_eq!(
+                stats.completed, stats.started,
+                "every collective must complete despite the dead rail"
+            );
+            prop_assert_eq!(
+                stats.member_completions,
+                u64::from(COLL_MEMBERS * COLL_ITERS),
+                "every member must see every completion"
+            );
+            prop_assert_eq!(
+                stats.wrong_results, 0,
+                "reduced values must be identical (and right) everywhere"
+            );
+        }
+        // The dead rail was really noticed by at least one engine.
+        let rails_dead: u64 = (0..COLL_MEMBERS as usize)
+            .map(|n| a.handle(n).metrics().rails_dead)
+            .sum();
+        prop_assert!(rails_dead >= 1, "rail death must be detected");
+        // Same seed, same bytes — with retransmission, dedup and
+        // failover traffic in the trace.
+        let (b, _hub_b) = faulted_allreduce(seed, loss_pm, dup_pm);
+        let ea = a.export_chrome_trace();
+        let eb = b.export_chrome_trace();
+        prop_assert!(ea.events > 0, "collective produced trace events");
+        prop_assert_eq!(ea.json, eb.json, "faulted coll trace must be run-invariant");
+        prop_assert_eq!(a.metrics_registry().render(), b.metrics_registry().render());
+        prop_assert_eq!(a.prometheus_text(), b.prometheus_text());
+    }
 
     /// The attribution exactness invariant survives faults: under seeded
     /// loss + duplication + reordering with madrel `Recover`, every
